@@ -1,0 +1,15 @@
+"""Shared benchmark helpers.
+
+Each benchmark runs one figure's experiment at reduced scale (documented
+inline; paper-scale parameters are in EXPERIMENTS.md), prints a
+paper-vs-measured table straight to the terminal, and asserts the
+qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+
+def report(capsys, text: str) -> None:
+    """Print around pytest's capture so tables reach the terminal."""
+    with capsys.disabled():
+        print("\n" + text)

@@ -1,0 +1,36 @@
+#!/usr/bin/env python
+"""Flow aging: trading a little mean FCT for a lot of tail fairness (§7).
+
+Pure preemptive SJF can starve large flows under a sustained stream of
+smaller ones. The paper's aging knob raises a flow's criticality by
+2^(alpha * waiting_time), letting operators bound worst-case completion
+times. This example sweeps the aging rate on a loaded fat-tree (flow-level
+simulation) and prints the max/mean FCT trade-off curve against RCP's
+fair-sharing reference.
+
+Run:  python examples/aging_fairness.py
+"""
+
+from repro.experiments.fig12 import run_fig12
+
+
+def main() -> None:
+    rates = (0.0, 1.0, 2.0, 6.0, 10.0)
+    result = run_fig12(aging_rates=rates, seeds=(1,))
+
+    print("16-server fat-tree, Poisson random-pair traffic at 85% load\n")
+    print(f"{'aging rate':>10s} {'max FCT':>10s} {'mean FCT':>10s}")
+    for alpha in rates:
+        print(f"{alpha:10.1f} {result['PDQ max'][alpha] * 1e3:8.2f}ms "
+              f"{result['PDQ mean'][alpha] * 1e3:8.2f}ms")
+    print(f"{'RCP (ref)':>10s} {result['RCP max'][0.0] * 1e3:8.2f}ms "
+          f"{result['RCP mean'][0.0] * 1e3:8.2f}ms")
+
+    drop = 1 - min(result["PDQ max"][a] for a in rates if a > 0) / \
+        result["PDQ max"][0.0]
+    print(f"\nAging cuts the worst flow completion time by {drop:.0%} "
+          "(paper: ~48%) while the mean stays below fair sharing's.")
+
+
+if __name__ == "__main__":
+    main()

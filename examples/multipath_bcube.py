@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Multipath PDQ on BCube: striping one flow over several NICs (§6).
+
+BCube(2,3) gives every server four NICs and up to four parallel two-hop
+paths between far-apart servers. M-PDQ splits a flow into subflows, pins
+each onto its own path via flow-level ECMP, and periodically shifts load
+from paused subflows to the one with the least remaining work. For a large
+transfer this multiplies throughput until the subflow count exceeds the
+usable path diversity.
+
+Run:  python examples/multipath_bcube.py
+"""
+
+from repro import BCube, FlowSpec, MpdqStack, Network, PdqStack
+from repro.units import MBYTE
+
+
+def fct_with(stack, flows) -> float:
+    network = Network(BCube(n=2, k=3), stack)
+    network.launch(flows)
+    network.run_until_quiet(deadline=1.0)
+    return network.metrics.mean_fct()
+
+
+def main() -> None:
+    # h0 (address 0000) -> h15 (address 1111): all four digits differ, so
+    # four parallel paths exist
+    flows = [FlowSpec(fid=0, src="h0", dst="h15", size_bytes=4 * MBYTE)]
+
+    print("4 MB transfer h0 -> h15 on BCube(2,3), 1 Gbps links\n")
+    print(f"{'configuration':16s} {'mean FCT':>10s} {'speedup':>8s}")
+    base = fct_with(PdqStack(), flows)
+    print(f"{'PDQ (1 path)':16s} {base * 1e3:8.2f}ms {'1.00x':>8s}")
+    for subflows in (2, 3, 4, 6):
+        fct = fct_with(MpdqStack(n_subflows=subflows), flows)
+        print(f"M-PDQ({subflows} subflows) {fct * 1e3:8.2f}ms "
+              f"{base / fct:7.2f}x")
+
+    print(
+        "\nThe gain saturates once subflows exceed the path diversity "
+        "(four here) -- the paper's Fig 11b observes the same knee around "
+        "four subflows."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,50 @@
+#!/usr/bin/env python
+"""Quickstart: preemptive flow scheduling in thirty lines.
+
+Two senders share a 1 Gbps bottleneck toward one receiver. A 1 MB flow is
+in full flight when a 100 KB flow arrives: under PDQ the switch pauses the
+long flow, lets the short one finish at line rate, then resumes the long
+flow -- the preemptive behaviour that motivates the paper (Fig 1).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FlowSpec, Network, PdqConfig, PdqStack, SingleBottleneck
+from repro.units import KBYTE, MBYTE, MSEC
+
+
+def main() -> None:
+    topology = SingleBottleneck(n_senders=2)
+    network = Network(topology, PdqStack(PdqConfig.full()))
+
+    network.launch([
+        FlowSpec(fid=0, src="send0", dst="recv", size_bytes=1 * MBYTE),
+        FlowSpec(fid=1, src="send1", dst="recv", size_bytes=100 * KBYTE,
+                 arrival=3 * MSEC),
+    ])
+    network.run_until_quiet(deadline=0.1)
+
+    print("flow  size     arrival  completion  fct")
+    for record in network.metrics.all_records():
+        spec = record.spec
+        print(
+            f"{spec.fid:4d}  {spec.size_bytes // 1000:4d}KB  "
+            f"{spec.arrival * 1e3:6.1f}ms  "
+            f"{record.completion_time * 1e3:8.3f}ms  "
+            f"{record.fct * 1e3:7.3f}ms"
+        )
+
+    short = network.metrics.record(1)
+    long_flow = network.metrics.record(0)
+    print(
+        f"\nThe short flow finished in {short.fct * 1e3:.2f} ms -- about "
+        "line rate, as if the long flow were not there (it was paused)."
+    )
+    print(
+        f"The long flow took {long_flow.fct * 1e3:.2f} ms: its own 8.4 ms "
+        "plus the ~0.9 ms it stood aside."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim.
+
+The environment has no `wheel` package, so PEP 660 editable installs fail;
+this shim lets `pip install -e . --no-use-pep517 --no-build-isolation`
+(and plain `python setup.py develop`) work offline.
+"""
+
+from setuptools import setup
+
+setup()

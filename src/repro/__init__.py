@@ -1,0 +1,68 @@
+"""repro: a reproduction of "Finishing Flows Quickly with Preemptive
+Scheduling" (PDQ), Hong, Caesar & Godfrey, SIGCOMM 2012.
+
+The package provides:
+
+* a packet-level discrete-event simulator (:mod:`repro.events`,
+  :mod:`repro.net`) with the paper's delay/queue model;
+* the PDQ protocol (:mod:`repro.core`) -- senders, receivers, switch flow
+  and rate controllers, Early Start / Early Termination / Suppressed
+  Probing, multipath PDQ;
+* the paper's baselines (:mod:`repro.transport`): TCP Reno, RCP, D3;
+* a flow-level equilibrium simulator (:mod:`repro.flowsim`) for large
+  scales;
+* topologies, workloads, metrics and the per-figure experiment harness
+  (:mod:`repro.experiments`) regenerating every evaluation figure.
+
+Quickstart::
+
+    from repro import PdqConfig, PdqStack, Network, SingleBottleneck, FlowSpec
+
+    topo = SingleBottleneck(n_senders=2)
+    net = Network(topo, PdqStack(PdqConfig.full()))
+    net.launch([
+        FlowSpec(fid=0, src="send0", dst="recv", size_bytes=100_000),
+        FlowSpec(fid=1, src="send1", dst="recv", size_bytes=50_000),
+    ])
+    net.run_until_quiet(deadline=1.0)
+    print(net.metrics.mean_fct())
+"""
+
+from repro.core import MpdqStack, PdqConfig, PdqStack
+from repro.events import Simulator
+from repro.metrics import FlowRecord, MetricsCollector, SummaryStats
+from repro.net import Network
+from repro.net.network import NetworkConfig
+from repro.topology import (
+    BCube,
+    FatTree,
+    Jellyfish,
+    SingleBottleneck,
+    SingleRootedTree,
+)
+from repro.transport import D3Stack, RcpStack, TcpStack
+from repro.workload import FlowSpec
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BCube",
+    "D3Stack",
+    "FatTree",
+    "FlowRecord",
+    "FlowSpec",
+    "Jellyfish",
+    "MetricsCollector",
+    "MpdqStack",
+    "Network",
+    "NetworkConfig",
+    "PdqConfig",
+    "PdqStack",
+    "RcpStack",
+    "Simulator",
+    "SingleBottleneck",
+    "SingleRootedTree",
+    "SummaryStats",
+    "TcpStack",
+    "__version__",
+]

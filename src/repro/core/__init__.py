@@ -1,0 +1,24 @@
+"""PDQ: Preemptive Distributed Quick flow scheduling (the paper's §3).
+
+Public surface:
+
+* :class:`~repro.core.config.PdqConfig` -- all protocol knobs; presets
+  ``basic()`` / ``es()`` / ``es_et()`` / ``full()`` match the paper's
+  PDQ(Basic) / PDQ(ES) / PDQ(ES+ET) / PDQ(Full) variants.
+* :class:`~repro.core.stack.PdqStack` -- plugs PDQ into a
+  :class:`~repro.net.network.Network`.
+* :class:`~repro.core.multipath.MpdqStack` -- Multipath PDQ (§6).
+"""
+
+from repro.core.comparator import FlowComparator, criticality_key
+from repro.core.config import PdqConfig
+from repro.core.multipath import MpdqStack
+from repro.core.stack import PdqStack
+
+__all__ = [
+    "PdqConfig",
+    "PdqStack",
+    "MpdqStack",
+    "FlowComparator",
+    "criticality_key",
+]

@@ -1,0 +1,67 @@
+"""Flow criticality comparison (paper §3.3).
+
+"We say a flow is more critical than another one if it has smaller deadline
+(emulating EDF) ... When there is a tie or flows have no deadline, we break
+it by giving priority to the flow with smaller expected transmission time
+(emulating SJF). If a tie remains, we break it by flow ID."
+
+Criticality is expressed as a sortable key: smaller key = more critical.
+The optional ``criticality`` header field (the §5.6 Random / Estimation
+schemes and §7 aging advertise through it / through T_H) replaces the SJF
+component when present.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+_INF = float("inf")
+
+#: key type: (deadline-or-inf, sjf-or-override, flow id)
+CriticalityKey = Tuple[float, float, int]
+
+
+def criticality_key(
+    fid: int,
+    deadline: Optional[float],
+    expected_tx: float,
+    criticality: Optional[float] = None,
+) -> CriticalityKey:
+    """Build a sortable criticality key. Smaller sorts first (more
+    critical). ``deadline`` is the absolute deadline (None = no deadline);
+    ``criticality``, when set, overrides the expected-transmission-time
+    component."""
+    d = deadline if deadline is not None else _INF
+    c = criticality if criticality is not None else expected_tx
+    return (d, c, fid)
+
+
+class FlowComparator:
+    """Pluggable comparator; operators can override (paper §3.3, §7).
+
+    The default implements the paper's EDF-then-SJF-then-fid order. Custom
+    disciplines subclass and override :meth:`key`.
+    """
+
+    def key(self, fid: int, deadline: Optional[float], expected_tx: float,
+            criticality: Optional[float] = None) -> CriticalityKey:
+        return criticality_key(fid, deadline, expected_tx, criticality)
+
+    def more_critical(self, a: CriticalityKey, b: CriticalityKey) -> bool:
+        return a < b
+
+
+class SjfOnlyComparator(FlowComparator):
+    """Ignores deadlines entirely (pure shortest-job-first)."""
+
+    def key(self, fid, deadline, expected_tx, criticality=None):
+        c = criticality if criticality is not None else expected_tx
+        return (0.0, c, fid)
+
+
+class EdfOnlyComparator(FlowComparator):
+    """Pure earliest-deadline-first; ties by flow id only."""
+
+    def key(self, fid, deadline, expected_tx, criticality=None):
+        d = deadline if deadline is not None else _INF
+        return (d, 0.0, fid)

@@ -1,0 +1,143 @@
+"""Per-link switch flow state (paper §3.3.1).
+
+Each egress link remembers ``<R_i, P_i, D_i, T_i, RTT_i>`` for the most
+critical flows -- capacity ``max(2*kappa, min_capacity)`` where kappa is the
+number of currently sending flows, hard-capped at M (``hard_flow_limit``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.comparator import CriticalityKey, FlowComparator
+from repro.core.config import PdqConfig
+
+
+class FlowEntry:
+    """Switch-side record of one flow on one link."""
+
+    __slots__ = (
+        "fid", "rate", "pauseby", "deadline", "expected_tx", "rtt",
+        "criticality", "requested", "last_update", "key",
+    )
+
+    def __init__(self, fid: int, now: float):
+        self.fid = fid
+        self.rate: float = 0.0          # R_i, committed on the reverse path
+        self.pauseby: Optional[int] = None  # P_i
+        self.deadline: Optional[float] = None  # D_i (absolute)
+        self.expected_tx: float = 0.0   # T_i
+        self.rtt: float = 0.0           # RTT_i
+        self.criticality: Optional[float] = None
+        self.requested: float = 0.0     # R_H as the sender asked (pre-clamp)
+        self.last_update: float = now
+        self.key: CriticalityKey = (float("inf"), float("inf"), fid)
+
+    @property
+    def sending(self) -> bool:
+        """A flow counts as sending when it holds a committed positive rate
+        and no switch has paused it."""
+        return self.rate > 0.0 and self.pauseby is None
+
+
+class PdqFlowList:
+    """Criticality-sorted bounded flow list for one egress link."""
+
+    def __init__(self, config: PdqConfig, comparator: FlowComparator):
+        self.config = config
+        self.comparator = comparator
+        self._entries: List[FlowEntry] = []   # sorted, most critical first
+        self._by_fid: Dict[int, FlowEntry] = {}
+        self.evictions = 0
+
+    # -- basic container ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def get(self, fid: int) -> Optional[FlowEntry]:
+        return self._by_fid.get(fid)
+
+    def entry_at(self, index: int) -> FlowEntry:
+        return self._entries[index]
+
+    def index_of(self, fid: int) -> int:
+        entry = self._by_fid[fid]
+        return self._entries.index(entry)
+
+    # -- sizing ----------------------------------------------------------------------
+
+    @property
+    def kappa(self) -> int:
+        """Number of currently sending flows in the list."""
+        return sum(1 for e in self._entries if e.sending)
+
+    @property
+    def capacity(self) -> int:
+        soft = max(
+            self.config.capacity_factor * max(self.kappa, 1),
+            self.config.min_list_capacity,
+        )
+        return min(soft, self.config.hard_flow_limit)
+
+    # -- mutation ---------------------------------------------------------------------
+
+    def admit(self, fid: int, now: float, key: CriticalityKey) -> Optional[FlowEntry]:
+        """Try to add a new flow (Algorithm 1's admission test): succeeds if
+        there is room or the flow beats the least critical entry. Returns
+        the new entry, or None if the flow must use the RCP fallback."""
+        capacity = self.capacity
+        if len(self._entries) >= capacity:
+            least = self._entries[-1]
+            if not self.comparator.more_critical(key, least.key):
+                return None
+        entry = FlowEntry(fid, now)
+        entry.key = key
+        self._insert(entry)
+        self._by_fid[fid] = entry
+        evicted = []
+        while len(self._entries) > capacity:
+            evicted.append(self._entries.pop())
+            self.evictions += 1
+        for gone in evicted:
+            del self._by_fid[gone.fid]
+        return entry if fid in self._by_fid else None
+
+    def remove(self, fid: int) -> bool:
+        entry = self._by_fid.pop(fid, None)
+        if entry is None:
+            return False
+        self._entries.remove(entry)
+        return True
+
+    def reposition(self, entry: FlowEntry, key: CriticalityKey) -> int:
+        """Update an entry's key and restore sorted order; returns the new
+        index."""
+        self._entries.remove(entry)
+        entry.key = key
+        return self._insert(entry)
+
+    def purge_expired(self, now: float, horizon: float) -> List[int]:
+        """Drop entries not refreshed within ``horizon`` seconds (protects
+        against lost TERMs; §5.6's loss resilience depends on it)."""
+        stale = [e for e in self._entries if now - e.last_update > horizon]
+        for entry in stale:
+            self._entries.remove(entry)
+            del self._by_fid[entry.fid]
+        return [e.fid for e in stale]
+
+    # -- internals --------------------------------------------------------------------
+
+    def _insert(self, entry: FlowEntry) -> int:
+        lo, hi = 0, len(self._entries)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._entries[mid].key <= entry.key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._entries.insert(lo, entry)
+        return lo

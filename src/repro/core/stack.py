@@ -1,0 +1,42 @@
+"""Protocol stack wiring PDQ into a Network."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.comparator import FlowComparator
+from repro.core.config import PdqConfig
+from repro.core.receiver import PdqReceiver
+from repro.core.sender import PdqSender
+from repro.core.switch import PdqSwitchProtocol
+from repro.transport.base import ProtocolStack
+
+
+class PdqStack(ProtocolStack):
+    """PDQ endpoints plus the per-switch flow/rate controllers.
+
+    Wire overhead: a 40-byte TCP/IP header plus the paper's 16-byte
+    scheduling header on every packet (data, probe and ACK alike).
+    """
+
+    header_bytes = 56
+    ack_bytes = 56
+
+    def __init__(self, config: Optional[PdqConfig] = None,
+                 comparator: Optional[FlowComparator] = None):
+        self.config = config or PdqConfig.full()
+        self.comparator = comparator or FlowComparator()
+        self.name = self.config.variant_name
+
+    def make_switch_protocol(self, network, switch) -> PdqSwitchProtocol:
+        return PdqSwitchProtocol(network, switch, self.config, self.comparator)
+
+    def make_endpoints(self, network, spec, record, fwd_path, rev_path):
+        src_host = network.host(spec.src)
+        dst_host = network.host(spec.dst)
+        sender = PdqSender(network, self, spec, record, fwd_path, src_host,
+                           self.config)
+        receiver = PdqReceiver(network, self, spec, record, rev_path, dst_host)
+        src_host.register_sender(spec.fid, sender)
+        dst_host.register_receiver(spec.fid, receiver)
+        return sender, receiver

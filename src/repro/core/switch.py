@@ -1,0 +1,325 @@
+"""PDQ switch: the flow controller (Algorithms 1-3) plus the rate
+controller, attached per egress link (paper §3.3).
+
+Forward-path packets (SYN / DATA / PROBE) run Algorithm 1 against the
+egress link the packet leaves on; TERM removes flow state; reverse-path
+packets (SYN-ACK / ACK) run Algorithm 3 against the flow's forward-link
+state at this switch. Acceptance is two-phase: the forward pass tentatively
+grants a rate in the header, and the reverse pass commits it into switch
+state when no downstream switch pauses the flow.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.core.comparator import FlowComparator
+from repro.core.config import PdqConfig
+from repro.core.flowlist import FlowEntry, PdqFlowList
+from repro.core.rate_controller import PdqRateController
+from repro.net.headers import PdqHeader
+from repro.net.link import Link
+from repro.net.packet import Packet, PacketKind
+from repro.utils.ewma import Ewma
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.network import Network
+    from repro.net.node import Switch
+
+
+class PdqLinkState:
+    """All PDQ state for one egress link."""
+
+    def __init__(self, protocol: "PdqSwitchProtocol", link: Link):
+        self.protocol = protocol
+        self.link = link
+        config = protocol.config
+        self.config = config
+        self.flows = PdqFlowList(config, protocol.comparator)
+        self.rtt_avg = Ewma(alpha=0.1, default=config.default_rtt)
+        self.rate_controller = PdqRateController(
+            protocol.sim, link, config, self.rtt_avg_value
+        )
+        self.last_accept_time = -float("inf")
+        self.last_accept_fid: Optional[int] = None
+        self.last_accept_key = None
+        # flows that did not fit in the list (RCP fallback, §3.3.1)
+        self.outside: Dict[int, float] = {}
+        self.pauses = 0
+        self.accepts = 0
+
+    # -- helpers -------------------------------------------------------------------
+
+    def rtt_avg_value(self) -> float:
+        return self.rtt_avg.value_or(self.config.default_rtt)
+
+    @property
+    def capacity(self) -> float:
+        return self.rate_controller.capacity
+
+    def _observe(self, header: PdqHeader, now: float) -> None:
+        if header.rtt > 0:
+            self.rtt_avg.update(header.rtt)
+        self.rate_controller.start()
+        horizon = self.config.entry_expiry_rtts * self.rtt_avg_value()
+        for fid in self.flows.purge_expired(now, horizon):
+            self.protocol.forget(fid, self)
+        cutoff = now - horizon
+        self.outside = {f: t for f, t in self.outside.items() if t >= cutoff}
+
+    # -- Algorithm 2 ------------------------------------------------------------------
+
+    def availbw(self, index: int) -> tuple[float, float]:
+        """Algorithm 2 for the flow at ``index``: returns (available
+        bandwidth, bandwidth held by more-critical flows).
+
+        Nearly-completed more-critical flows fall into the Early-Start
+        budget instead of counting their rate. A more-critical flow that is
+        sending counts its committed rate; one that is tentatively accepted
+        or paused *by this switch* counts its requested rate -- the switch
+        is holding the link for it (this is what makes the equilibrium of
+        §4 -- drivers accepted, everyone else paused -- reachable in O(1)
+        probes instead of through admission races)."""
+        config = self.config
+        my_id = self.protocol.switch_id
+        early_start_budget = 0.0
+        allocated = 0.0
+        rtt = self.rtt_avg_value()
+        for i in range(index):
+            entry = self.flows.entry_at(i)
+            entry_rtt = entry.rtt if entry.rtt > 0 else rtt
+            ratio = entry.expected_tx / entry_rtt if entry_rtt > 0 else float("inf")
+            if (
+                config.early_start
+                and ratio < config.K
+                and early_start_budget < config.K
+            ):
+                early_start_budget += ratio
+            elif entry.pauseby is None and entry.rate > 0:
+                allocated += entry.rate  # committed sender
+            else:
+                # tentative accept (not yet committed) or paused by us:
+                # reserve what the flow asked for
+                allocated += entry.requested
+        capacity = self.capacity
+        if allocated >= capacity:
+            return 0.0, allocated
+        return capacity - allocated, allocated
+
+    # -- Algorithm 1 --------------------------------------------------------------------
+
+    def on_forward(self, packet: Packet) -> None:
+        header: PdqHeader = packet.sched
+        now = self.protocol.sim.now
+        my_id = self.protocol.switch_id
+        self._observe(header, now)
+
+        # paused by another switch: drop our state and pass through
+        if header.pauseby is not None and header.pauseby != my_id:
+            if self.flows.remove(packet.fid):
+                self.protocol.forget(packet.fid, self)
+            self.outside.pop(packet.fid, None)
+            self._cancel_tentative_accept(packet.fid)
+            return
+
+        entry = self.flows.get(packet.fid)
+        if entry is None:
+            key = self.protocol.comparator.key(
+                packet.fid, header.deadline, header.expected_tx,
+                header.criticality,
+            )
+            entry = self.flows.admit(packet.fid, now, key)
+            if entry is None:
+                self._rcp_fallback(packet.fid, header, now, my_id)
+                return
+            self.protocol.remember(packet.fid, self)
+            self.outside.pop(packet.fid, None)
+
+        # refresh <D_i, T_i, RTT_i> from the header and re-sort
+        entry.deadline = header.deadline
+        entry.expected_tx = header.expected_tx
+        if header.rtt > 0:
+            entry.rtt = header.rtt
+        entry.criticality = header.criticality
+        entry.requested = header.rate
+        entry.last_update = now
+        key = self.protocol.comparator.key(
+            packet.fid, entry.deadline, entry.expected_tx, entry.criticality
+        )
+        index = self.flows.reposition(entry, key)
+
+        requested = header.rate
+        available, _ = self.availbw(index)
+        grant = min(available, requested)
+        # Pause semantics (§2.2/§3.3): flows are paused, never trickled a
+        # sliver -- a paused sender probes every RTT, so pausing *is* the
+        # recovery path when capacity frees up again.
+        min_useful = max(
+            self.config.min_rate,
+            self.config.crumb_fraction
+            * min(requested, self.rate_controller.r_pdq),
+        )
+        if grant >= min_useful:
+            window_open = (
+                self.last_accept_fid not in (None, packet.fid)
+                and (now - self.last_accept_time)
+                < self.config.dampening_rtts * self.rtt_avg_value()
+            )
+            # Dampening suppresses redundant switching among peers; a flow
+            # MORE critical than the one just accepted is a preemption and
+            # must go through, or the most critical flow starves behind
+            # admission races (§4's convergence argument assumes preemption
+            # is never delayed).
+            preempts = (
+                self.config.dampening_preemption_exempt
+                and self.last_accept_key is not None
+                and entry.key < self.last_accept_key
+            )
+            dampened = (
+                self.config.dampening
+                and not entry.sending
+                and window_open
+                and not preempts
+            )
+            if dampened:
+                header.pauseby = my_id
+                header.rate = 0.0
+                entry.pauseby = my_id
+                self.pauses += 1
+            else:
+                # start the dampening window once per newly accepted flow; a
+                # tentatively-accepted flow re-confirming every packet must
+                # not keep resetting it, or it locks out more-critical
+                # preempters indefinitely
+                if not entry.sending and self.last_accept_fid != packet.fid:
+                    self.last_accept_time = now
+                    self.last_accept_fid = packet.fid
+                    self.last_accept_key = entry.key
+                header.pauseby = None
+                header.rate = grant
+                self.accepts += 1
+        else:
+            header.pauseby = my_id
+            header.rate = 0.0
+            entry.pauseby = my_id
+            self.pauses += 1
+            self._cancel_tentative_accept(packet.fid)
+
+    def _cancel_tentative_accept(self, fid: int) -> None:
+        """A flow this switch tentatively accepted turned out paused: close
+        the dampening window it opened, or it blocks genuinely acceptable
+        flows for nothing (phantom accepts on multi-hop paths otherwise
+        stall convergence badly)."""
+        if self.last_accept_fid == fid:
+            self.last_accept_fid = None
+            self.last_accept_time = -float("inf")
+            self.last_accept_key = None
+
+    def _rcp_fallback(self, fid: int, header: PdqHeader, now: float,
+                      my_id: int) -> None:
+        """Flows beyond the list get the leftover capacity, RCP-style
+        (§3.3.1); zero leftover means pause. Leftover accounts for listed
+        flows' reservations, not just committed rates -- a burst of listed
+        but not-yet-committed flows still owns the link."""
+        self.outside[fid] = now
+        my_id_ = self.protocol.switch_id
+        listed_rate = 0.0
+        for entry in self.flows:
+            if entry.pauseby is None and entry.rate > 0:
+                listed_rate += entry.rate
+            elif entry.pauseby in (None, my_id_):
+                listed_rate += entry.requested
+        leftover = max(0.0, self.capacity - listed_rate)
+        share = leftover / max(1, len(self.outside))
+        if share <= self.config.min_rate:
+            header.pauseby = my_id
+            header.rate = 0.0
+            self.pauses += 1
+        else:
+            header.rate = min(header.rate, share)
+
+    # -- Algorithm 3 ----------------------------------------------------------------------
+
+    def on_reverse(self, packet: Packet) -> None:
+        header: PdqHeader = packet.sched
+        my_id = self.protocol.switch_id
+        if header.pauseby is not None and header.pauseby != my_id:
+            if self.flows.remove(packet.fid):
+                self.protocol.forget(packet.fid, self)
+        if header.pauseby is not None:
+            header.rate = 0.0  # a paused flow's committed rate is zero
+            self._cancel_tentative_accept(packet.fid)
+        entry = self.flows.get(packet.fid)
+        if entry is None:
+            return
+        index = self.flows.index_of(packet.fid)
+        entry.pauseby = header.pauseby
+        if self.config.suppressed_probing:
+            header.inter_probe = max(
+                header.inter_probe, self.config.probing_x * index
+            )
+        entry.rate = header.rate
+
+    # -- termination --------------------------------------------------------------------------
+
+    def on_term(self, packet: Packet) -> None:
+        if self.flows.remove(packet.fid):
+            self.protocol.forget(packet.fid, self)
+        self.outside.pop(packet.fid, None)
+        if len(self.flows) == 0 and not self.outside:
+            self.rate_controller.stop()
+
+
+class PdqSwitchProtocol:
+    """Per-switch PDQ protocol: routes packets to per-egress-link state and
+    resolves reverse-path lookups (which forward link a flow's state lives
+    on at this switch)."""
+
+    def __init__(self, network: "Network", switch: "Switch", config: PdqConfig,
+                 comparator: Optional[FlowComparator] = None):
+        self.net = network
+        self.sim = network.sim
+        self.switch_id = switch.id
+        self.config = config
+        self.comparator = comparator or FlowComparator()
+        self._states: Dict[int, PdqLinkState] = {}
+        self._flow_index: Dict[int, PdqLinkState] = {}
+
+    # -- state registry --------------------------------------------------------------
+
+    def state_for(self, link: Link) -> PdqLinkState:
+        state = self._states.get(link.link_id)
+        if state is None:
+            state = PdqLinkState(self, link)
+            self._states[link.link_id] = state
+        return state
+
+    def remember(self, fid: int, state: PdqLinkState) -> None:
+        self._flow_index[fid] = state
+
+    def forget(self, fid: int, state: PdqLinkState) -> None:
+        if self._flow_index.get(fid) is state:
+            del self._flow_index[fid]
+
+    def flow_state(self, fid: int) -> Optional[PdqLinkState]:
+        return self._flow_index.get(fid)
+
+    # -- packet dispatch ----------------------------------------------------------------
+
+    def process(self, packet: Packet, out_link: Link) -> None:
+        header = packet.sched
+        if not isinstance(header, PdqHeader):
+            return
+        kind = packet.kind
+        if kind in (PacketKind.SYN, PacketKind.DATA, PacketKind.PROBE):
+            self.state_for(out_link).on_forward(packet)
+        elif kind == PacketKind.TERM:
+            self.state_for(out_link).on_term(packet)
+        elif kind in (PacketKind.SYN_ACK, PacketKind.ACK):
+            state = self._flow_index.get(packet.fid)
+            if state is not None:
+                state.on_reverse(packet)
+            elif header.pauseby is not None:
+                # stateless part of Algorithm 3: a paused flow's rate is 0
+                header.rate = 0.0
+        # TERM_ACK needs no processing: TERM already cleaned up

@@ -1,0 +1,31 @@
+"""Exception hierarchy for the PDQ reproduction library."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class SimulationError(ReproError):
+    """Raised when the discrete-event simulator is used incorrectly."""
+
+
+class TopologyError(ReproError):
+    """Raised for malformed topology parameters or unreachable endpoints."""
+
+
+class RoutingError(ReproError):
+    """Raised when no route exists between two nodes."""
+
+
+class ProtocolError(ReproError):
+    """Raised on protocol state-machine violations (bugs, not packet loss)."""
+
+
+class WorkloadError(ReproError):
+    """Raised for invalid workload specifications."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment is configured inconsistently."""

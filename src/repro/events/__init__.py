@@ -1,0 +1,13 @@
+"""Discrete-event simulation core.
+
+A tiny, fast event engine: :class:`~repro.events.simulator.Simulator` keeps a
+binary heap of timestamped callbacks; :class:`~repro.events.timers.Timer` and
+:class:`~repro.events.timers.PeriodicTimer` provide cancellable one-shot and
+repeating events on top of it.
+"""
+
+from repro.events.event import Event
+from repro.events.simulator import Simulator
+from repro.events.timers import PeriodicTimer, Timer
+
+__all__ = ["Event", "Simulator", "Timer", "PeriodicTimer"]

@@ -1,0 +1,33 @@
+"""Event handle scheduled on a :class:`~repro.events.simulator.Simulator`."""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, seq)``: ties in time fire in scheduling
+    order, which makes simulations deterministic. Cancellation is O(1)
+    (the heap entry is tombstoned and skipped when popped).
+    """
+
+    __slots__ = ("time", "seq", "callback", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; safe to call more than once."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = " cancelled" if self.cancelled else ""
+        return f"<Event t={self.time:.9f} seq={self.seq}{state}>"

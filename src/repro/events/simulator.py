@@ -1,0 +1,109 @@
+"""The discrete-event simulator loop."""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+from repro.errors import SimulationError
+from repro.events.event import Event
+
+
+class Simulator:
+    """Minimal discrete-event engine.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(1e-3, lambda: print("fires at t=1ms"))
+        sim.run(until=1.0)
+
+    Invariants:
+
+    * ``now`` is monotonically non-decreasing.
+    * events scheduled at the same timestamp fire in the order scheduled.
+    * scheduling into the past raises :class:`SimulationError`.
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[Event] = []
+        self._seq: int = 0
+        self._running: bool = False
+        self._stopped: bool = False
+        self.processed_events: int = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
+        """Schedule ``callback`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        event = Event(time, self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return event
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+        """Process events until the heap drains, ``until`` passes, or
+        ``max_events`` have fired.
+
+        ``until`` is inclusive: an event at exactly ``until`` still fires.
+        After returning because of ``until``, ``now`` equals ``until`` so a
+        subsequent ``run`` resumes cleanly.
+        """
+        if self._running:
+            raise SimulationError("simulator is not reentrant")
+        self._running = True
+        self._stopped = False
+        fired = 0
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and fired >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                event.callback()
+                fired += 1
+                self.processed_events += 1
+            if until is not None and not self._stopped and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+
+    def stop(self) -> None:
+        """Stop the current :meth:`run` after the in-flight event returns."""
+        self._stopped = True
+
+    # -- introspection ---------------------------------------------------------
+
+    def pending(self) -> int:
+        """Number of live (non-cancelled) events still queued."""
+        return sum(1 for event in self._heap if not event.cancelled)
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next live event, or None if the heap is empty."""
+        for event in self._heap:
+            if not event.cancelled:
+                break
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None

@@ -1,0 +1,92 @@
+"""Cancellable and restartable timers on top of the event heap.
+
+Transport protocols need two recurring idioms:
+
+* :class:`Timer` -- a one-shot timeout that is constantly pushed back
+  (retransmission timers), restarted, or cancelled.
+* :class:`PeriodicTimer` -- a repeating callback whose period can change
+  between firings (PDQ's rate-controller update every 2 RTTs, probe timers
+  whose interval is set by Suppressed Probing).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.events.event import Event
+from repro.events.simulator import Simulator
+
+
+class Timer:
+    """One-shot, restartable timeout."""
+
+    def __init__(self, sim: Simulator, callback: Callable[[], Any]):
+        self._sim = sim
+        self._callback = callback
+        self._event: Optional[Event] = None
+
+    @property
+    def armed(self) -> bool:
+        return self._event is not None and not self._event.cancelled
+
+    @property
+    def expiry(self) -> Optional[float]:
+        """Absolute time at which the timer will fire, or None."""
+        return self._event.time if self.armed else None
+
+    def start(self, delay: float) -> None:
+        """(Re)arm the timer ``delay`` seconds from now, replacing any
+        previously armed expiry."""
+        self.cancel()
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()
+
+
+class PeriodicTimer:
+    """Repeating timer; the period may be changed at any time.
+
+    The callback may call :meth:`stop` (or change :attr:`period`) and the
+    change takes effect for the next firing.
+    """
+
+    def __init__(self, sim: Simulator, period: float, callback: Callable[[], Any]):
+        if period <= 0:
+            raise ValueError(f"period must be positive, got {period}")
+        self._sim = sim
+        self.period = period
+        self._callback = callback
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, first_delay: Optional[float] = None) -> None:
+        """Start firing; first firing after ``first_delay`` (default: one
+        period)."""
+        self.stop()
+        self._running = True
+        delay = self.period if first_delay is None else first_delay
+        self._event = self._sim.schedule(delay, self._fire)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self._callback()
+        if self._running:
+            self._event = self._sim.schedule(self.period, self._fire)

@@ -1,0 +1,23 @@
+"""Experiment harness: one module per paper figure.
+
+Each ``figN`` module exposes ``run_*`` functions that regenerate the
+corresponding figure's rows/series at configurable scale (benchmarks use
+reduced defaults; paper-scale parameters are documented per function) and
+return plain dictionaries the benchmark layer formats into tables.
+"""
+
+from repro.experiments.scenario import (
+    available_protocols,
+    make_stack,
+    run_flow_level,
+    run_packet_level,
+)
+from repro.experiments.search import binary_search_max
+
+__all__ = [
+    "available_protocols",
+    "make_stack",
+    "run_packet_level",
+    "run_flow_level",
+    "binary_search_max",
+]

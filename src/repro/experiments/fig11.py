@@ -1,0 +1,132 @@
+"""Fig 11: Multipath PDQ on BCube(2,3) with random permutation traffic.
+
+(a) mean FCT vs load (fraction of sending hosts): PDQ vs M-PDQ(3 subflows)
+(b) mean FCT vs number of subflows at full load
+(c) max deadline flows at 99 % application throughput vs subflows
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.scenario import run_packet_level
+from repro.experiments.search import binary_search_max
+from repro.topology.bcube import BCube
+from repro.units import KBYTE, MSEC
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import mean
+from repro.workload.deadlines import exponential_deadlines
+from repro.workload.flow import FlowSpec
+from repro.workload.sizes import uniform_sizes
+
+
+def _bcube() -> BCube:
+    return BCube(n=2, k=3)  # 16 servers, 4 NICs each (§6)
+
+
+def _permutation_subset(load: float, seed: int, mean_size: float,
+                        mean_deadline=None) -> List[FlowSpec]:
+    """Random permutation over a ``load`` fraction of hosts."""
+    topo = _bcube()
+    hosts = list(topo.hosts)
+    rng = spawn_rng(seed, "fig11")
+    n_senders = max(2, int(round(load * len(hosts))))
+    chosen = list(rng.permutation(hosts))[:n_senders]
+    # derangement over the chosen hosts
+    while True:
+        perm = list(rng.permutation(len(chosen)))
+        if all(perm[i] != i for i in range(len(chosen))):
+            break
+    sizes = uniform_sizes(n_senders, mean_size, rng=rng)
+    deadlines = None
+    if mean_deadline is not None:
+        deadlines = exponential_deadlines(n_senders, mean=mean_deadline,
+                                          rng=rng)
+    return [
+        FlowSpec(fid=i, src=chosen[i], dst=chosen[perm[i]],
+                 size_bytes=sizes[i],
+                 deadline=deadlines[i] if deadlines else None)
+        for i in range(n_senders)
+    ]
+
+
+def run_fig11a(loads: Sequence[float] = (0.25, 0.5, 1.0),
+               seeds: Sequence[int] = (1, 2),
+               mean_size: float = 1000 * KBYTE,
+               n_subflows: int = 3) -> Dict[str, Dict[float, float]]:
+    """Mean FCT (seconds) vs load for PDQ and M-PDQ."""
+    results: Dict[str, Dict[float, float]] = {"PDQ": {}, "M-PDQ": {}}
+    for load in loads:
+        for name, protocol in (("PDQ", "PDQ(Full)"), ("M-PDQ", "M-PDQ")):
+            results[name][load] = mean(
+                run_packet_level(
+                    _bcube(), protocol,
+                    _permutation_subset(load, s, mean_size),
+                    sim_deadline=4.0, n_subflows=n_subflows,
+                ).mean_fct()
+                for s in seeds
+            )
+    return results
+
+
+def run_fig11b(subflow_counts: Sequence[int] = (1, 2, 3, 4, 6, 8),
+               seeds: Sequence[int] = (1, 2),
+               mean_size: float = 1000 * KBYTE) -> Dict[int, float]:
+    """Mean FCT (seconds) vs number of subflows at 100 % load; 1 subflow
+    means single-path PDQ."""
+    results: Dict[int, float] = {}
+    for count in subflow_counts:
+        protocol = "PDQ(Full)" if count == 1 else "M-PDQ"
+        results[count] = mean(
+            run_packet_level(
+                _bcube(), protocol, _permutation_subset(1.0, s, mean_size),
+                sim_deadline=4.0, n_subflows=count,
+            ).mean_fct()
+            for s in seeds
+        )
+    return results
+
+
+def run_fig11c(subflow_counts: Sequence[int] = (1, 2, 4),
+               seeds: Sequence[int] = (1,),
+               mean_size: float = 1000 * KBYTE,
+               mean_deadline: float = 30 * MSEC,
+               target: float = 0.99,
+               hi: int = 32) -> Dict[int, int]:
+    """Max deadline flows at 99 % application throughput vs subflows.
+
+    The flow count is swept by running multiple permutation rounds over a
+    random host subset (more flows than hosts reuse senders)."""
+    topo = _bcube()
+    hosts = list(topo.hosts)
+
+    def flows_for(n: int, seed: int) -> List[FlowSpec]:
+        rng = spawn_rng(seed, "fig11c")
+        sizes = uniform_sizes(n, mean_size, rng=rng)
+        deadlines = exponential_deadlines(n, mean=mean_deadline, rng=rng)
+        flows = []
+        for i in range(n):
+            src_i = int(rng.integers(len(hosts)))
+            dst_i = int(rng.integers(len(hosts) - 1))
+            if dst_i >= src_i:
+                dst_i += 1
+            flows.append(FlowSpec(fid=i, src=hosts[src_i], dst=hosts[dst_i],
+                                  size_bytes=sizes[i],
+                                  deadline=deadlines[i]))
+        return flows
+
+    results: Dict[int, int] = {}
+    for count in subflow_counts:
+        protocol = "PDQ(Full)" if count == 1 else "M-PDQ"
+
+        def ok(n: int, _p=protocol, _c=count) -> bool:
+            return mean(
+                run_packet_level(
+                    topo, _p, flows_for(n, s), sim_deadline=2.0,
+                    n_subflows=_c,
+                ).application_throughput()
+                for s in seeds
+            ) >= target
+
+        results[count] = binary_search_max(ok, hi=hi)
+    return results

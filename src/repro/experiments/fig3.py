@@ -1,0 +1,182 @@
+"""Fig 3: query aggregation on the default 12-server single-rooted tree.
+
+(a) application throughput vs number of deadline flows
+(b) application throughput vs mean flow size (3 flows)
+(c) max flows sustaining 99 % application throughput vs mean deadline
+(d) mean FCT (normalized to optimal) vs number of flows, no deadlines
+(e) mean FCT (normalized to optimal) vs mean flow size (3 flows)
+
+Paper scale: flows up to 25, sizes 100-350 KB, deadlines 20-60 ms, many
+seeds. Benchmarks run reduced sweeps; every function takes the full ranges.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.scenario import run_packet_level
+from repro.experiments.search import binary_search_max
+from repro.sched.optimal import (
+    optimal_application_throughput,
+    sjf_completion_times,
+)
+from repro.topology.single_rooted import SingleRootedTree
+from repro.units import GBPS, KBYTE, MSEC
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import mean
+from repro.workload.deadlines import exponential_deadlines
+from repro.workload.flow import FlowSpec
+from repro.workload.patterns import aggregation_flows
+from repro.workload.sizes import uniform_sizes
+
+DEFAULT_PROTOCOLS = ("PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)", "PDQ(Basic)",
+                     "D3", "RCP", "TCP")
+BOTTLENECK = 1 * GBPS  # the receiver's access link
+
+
+def _workload(n_flows: int, seed: int, mean_size: float,
+              mean_deadline: Optional[float],
+              deadline_floor: float = 3 * MSEC) -> List[FlowSpec]:
+    """Query-aggregation workload: senders h1..h11 -> aggregator h0."""
+    rng = spawn_rng(seed, "fig3")
+    sizes = uniform_sizes(n_flows, mean_size, rng=rng)
+    deadlines = None
+    if mean_deadline is not None:
+        deadlines = exponential_deadlines(
+            n_flows, mean=mean_deadline, floor=deadline_floor, rng=rng
+        )
+    senders = [f"h{i}" for i in range(1, 12)]
+    return aggregation_flows(senders, "h0", sizes, deadlines=deadlines,
+                             rng=rng)
+
+
+def _app_throughput(protocol: str, flows: Sequence[FlowSpec]) -> float:
+    metrics = run_packet_level(SingleRootedTree(), protocol, flows,
+                               sim_deadline=2.0)
+    return metrics.application_throughput()
+
+
+def _optimal_app_throughput(flows: Sequence[FlowSpec]) -> float:
+    sizes = [f.size_bytes for f in flows]
+    deadlines = [f.deadline for f in flows]
+    return optimal_application_throughput(sizes, deadlines, BOTTLENECK)
+
+
+# -- Fig 3a ---------------------------------------------------------------------
+
+def run_fig3a(flow_counts: Sequence[int] = (3, 10, 18),
+              protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+              seeds: Sequence[int] = (1, 2),
+              mean_size: float = 100 * KBYTE,
+              mean_deadline: float = 20 * MSEC) -> Dict[str, Dict[int, float]]:
+    """Application throughput [0..1] per protocol per flow count."""
+    results: Dict[str, Dict[int, float]] = {p: {} for p in protocols}
+    results["Optimal"] = {}
+    for n in flow_counts:
+        workloads = [_workload(n, s, mean_size, mean_deadline) for s in seeds]
+        results["Optimal"][n] = mean(
+            _optimal_app_throughput(w) for w in workloads
+        )
+        for protocol in protocols:
+            results[protocol][n] = mean(
+                _app_throughput(protocol, w) for w in workloads
+            )
+    return results
+
+
+# -- Fig 3b ---------------------------------------------------------------------
+
+def run_fig3b(mean_sizes: Sequence[float] = (100 * KBYTE, 200 * KBYTE,
+                                             300 * KBYTE),
+              protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+              seeds: Sequence[int] = (1, 2),
+              n_flows: int = 3,
+              mean_deadline: float = 20 * MSEC) -> Dict[str, Dict[float, float]]:
+    """Application throughput per protocol per mean flow size (3 flows)."""
+    results: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
+    results["Optimal"] = {}
+    for size in mean_sizes:
+        workloads = [_workload(n_flows, s, size, mean_deadline) for s in seeds]
+        results["Optimal"][size] = mean(
+            _optimal_app_throughput(w) for w in workloads
+        )
+        for protocol in protocols:
+            results[protocol][size] = mean(
+                _app_throughput(protocol, w) for w in workloads
+            )
+    return results
+
+
+# -- Fig 3c ---------------------------------------------------------------------
+
+def run_fig3c(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
+              protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP", "TCP"),
+              seeds: Sequence[int] = (1, 2),
+              mean_size: float = 100 * KBYTE,
+              target: float = 0.99,
+              hi: int = 48) -> Dict[str, Dict[float, int]]:
+    """Max number of flows at >= 99 % application throughput."""
+    results: Dict[str, Dict[float, int]] = {p: {} for p in protocols}
+    results["Optimal"] = {}
+    for deadline in mean_deadlines:
+        def optimal_ok(n: int, _d=deadline) -> bool:
+            return mean(
+                _optimal_app_throughput(_workload(n, s, mean_size, _d))
+                for s in seeds
+            ) >= target
+
+        results["Optimal"][deadline] = binary_search_max(optimal_ok, hi=hi)
+        for protocol in protocols:
+            def ok(n: int, _p=protocol, _d=deadline) -> bool:
+                return mean(
+                    _app_throughput(_p, _workload(n, s, mean_size, _d))
+                    for s in seeds
+                ) >= target
+
+            results[protocol][deadline] = binary_search_max(ok, hi=hi)
+    return results
+
+
+# -- Fig 3d / 3e ------------------------------------------------------------------
+
+def _normalized_fct(protocol: str, flows: Sequence[FlowSpec]) -> float:
+    metrics = run_packet_level(SingleRootedTree(), protocol, flows,
+                               sim_deadline=4.0)
+    measured = metrics.mean_fct()
+    optimal = mean(
+        sjf_completion_times([f.size_bytes for f in flows], BOTTLENECK)
+    )
+    return measured / optimal
+
+
+def run_fig3d(flow_counts: Sequence[int] = (1, 5, 10),
+              protocols: Sequence[str] = ("PDQ(Full)", "PDQ(ES)",
+                                          "PDQ(Basic)", "RCP", "TCP"),
+              seeds: Sequence[int] = (1, 2),
+              mean_size: float = 100 * KBYTE) -> Dict[str, Dict[int, float]]:
+    """Mean FCT normalized to the omniscient optimal, no deadlines."""
+    results: Dict[str, Dict[int, float]] = {p: {} for p in protocols}
+    for n in flow_counts:
+        workloads = [_workload(n, s, mean_size, None) for s in seeds]
+        for protocol in protocols:
+            results[protocol][n] = mean(
+                _normalized_fct(protocol, w) for w in workloads
+            )
+    return results
+
+
+def run_fig3e(mean_sizes: Sequence[float] = (100 * KBYTE, 200 * KBYTE,
+                                             300 * KBYTE),
+              protocols: Sequence[str] = ("PDQ(Full)", "PDQ(ES)",
+                                          "PDQ(Basic)", "RCP", "TCP"),
+              seeds: Sequence[int] = (1, 2),
+              n_flows: int = 3) -> Dict[str, Dict[float, float]]:
+    """Mean FCT normalized to optimal vs mean flow size (3 flows)."""
+    results: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
+    for size in mean_sizes:
+        workloads = [_workload(n_flows, s, size, None) for s in seeds]
+        for protocol in protocols:
+            results[protocol][size] = mean(
+                _normalized_fct(protocol, w) for w in workloads
+            )
+    return results

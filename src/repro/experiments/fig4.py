@@ -1,0 +1,125 @@
+"""Fig 4: sending patterns on the 12-server tree.
+
+(a) deadline flows: max flows at 99 % application throughput, normalized
+    to PDQ(Full)
+(b) no deadlines: mean FCT normalized to PDQ(Full)
+
+Patterns: Aggregation, Stride(1), Stride(N/2), Staggered Prob(0.7),
+Staggered Prob(0.3), Random Permutation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.experiments.scenario import normalize, run_packet_level
+from repro.experiments.search import binary_search_max
+from repro.topology.single_rooted import SingleRootedTree
+from repro.units import KBYTE, MSEC
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import mean
+from repro.workload.deadlines import exponential_deadlines
+from repro.workload.flow import FlowSpec
+from repro.workload.patterns import (
+    aggregation_flows,
+    random_permutation_flows,
+    staggered_flows,
+    stride_flows,
+)
+from repro.workload.sizes import uniform_sizes
+
+PATTERNS = ("Aggregation", "Stride(1)", "Stride(N/2)", "Staggered(0.7)",
+            "Staggered(0.3)", "RandomPermutation")
+DEFAULT_PROTOCOLS = ("PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "D3", "RCP", "TCP")
+
+
+def pattern_flows(pattern: str, n_flows: int, seed: int,
+                  mean_size: float = 100 * KBYTE,
+                  mean_deadline: Optional[float] = None) -> List[FlowSpec]:
+    """Build ``n_flows`` flows for a named pattern on the default tree."""
+    tree = SingleRootedTree()
+    hosts = [f"h{i}" for i in range(tree.n_servers)]
+    rng = spawn_rng(seed, f"fig4:{pattern}")
+    sizes = uniform_sizes(n_flows, mean_size, rng=rng)
+    deadlines = None
+    if mean_deadline is not None:
+        deadlines = exponential_deadlines(n_flows, mean=mean_deadline, rng=rng)
+    if pattern == "Aggregation":
+        return aggregation_flows(hosts[1:], hosts[0], sizes,
+                                 deadlines=deadlines, rng=rng)
+    if pattern == "Stride(1)":
+        reps = -(-n_flows // len(hosts))
+        pairs = stride_flows(hosts, 1, sizes[: len(hosts)] * reps,
+                             deadlines=None)
+        specs = pairs[:n_flows]
+    elif pattern == "Stride(N/2)":
+        reps = -(-n_flows // len(hosts))
+        pairs = stride_flows(hosts, len(hosts) // 2,
+                             sizes[: len(hosts)] * reps, deadlines=None)
+        specs = pairs[:n_flows]
+    elif pattern == "Staggered(0.7)":
+        specs = staggered_flows(tree, sizes, p_local=0.7, rng=rng)
+    elif pattern == "Staggered(0.3)":
+        specs = staggered_flows(tree, sizes, p_local=0.3, rng=rng)
+    elif pattern == "RandomPermutation":
+        rounds = -(-n_flows // len(hosts))
+        needed = rounds * len(hosts)
+        all_sizes = (sizes * (needed // len(sizes) + 1))[:needed]
+        specs = random_permutation_flows(hosts, all_sizes, rng=rng)[:n_flows]
+    else:
+        raise ExperimentError(f"unknown pattern {pattern!r}")
+    # attach sizes/deadlines uniformly for the sliced patterns
+    out = []
+    for i, spec in enumerate(specs[:n_flows]):
+        out.append(spec.with_(
+            fid=i, size_bytes=sizes[i],
+            deadline=deadlines[i] if deadlines else None,
+        ))
+    return out
+
+
+def run_fig4a(patterns: Sequence[str] = PATTERNS,
+              protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+              seeds: Sequence[int] = (1,),
+              mean_deadline: float = 20 * MSEC,
+              target: float = 0.99,
+              hi: int = 32) -> Dict[str, Dict[str, float]]:
+    """Normalized max flows at 99 % application throughput."""
+    results: Dict[str, Dict[str, float]] = {}
+    for pattern in patterns:
+        absolute: Dict[str, float] = {}
+        for protocol in protocols:
+            def ok(n: int, _p=protocol, _pat=pattern) -> bool:
+                values = []
+                for seed in seeds:
+                    flows = pattern_flows(_pat, n, seed,
+                                          mean_deadline=mean_deadline)
+                    metrics = run_packet_level(SingleRootedTree(), _p, flows,
+                                               sim_deadline=2.0)
+                    values.append(metrics.application_throughput())
+                return mean(values) >= target
+
+            absolute[protocol] = binary_search_max(ok, hi=hi)
+        results[pattern] = normalize(absolute, "PDQ(Full)")
+    return results
+
+
+def run_fig4b(patterns: Sequence[str] = PATTERNS,
+              protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+              seeds: Sequence[int] = (1, 2),
+              n_flows: int = 12) -> Dict[str, Dict[str, float]]:
+    """Mean FCT normalized to PDQ(Full), deadline-unconstrained."""
+    results: Dict[str, Dict[str, float]] = {}
+    for pattern in patterns:
+        absolute: Dict[str, float] = {}
+        for protocol in protocols:
+            values = []
+            for seed in seeds:
+                flows = pattern_flows(pattern, n_flows, seed)
+                metrics = run_packet_level(SingleRootedTree(), protocol,
+                                           flows, sim_deadline=4.0)
+                values.append(metrics.mean_fct())
+            absolute[protocol] = mean(values)
+        results[pattern] = normalize(absolute, "PDQ(Full)")
+    return results

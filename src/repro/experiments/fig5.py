@@ -1,0 +1,129 @@
+"""Fig 5: realistic datacenter workloads.
+
+(a) VL2-like workload: sustainable short-flow arrival rate at 99 %
+    application throughput vs mean deadline
+(b) VL2-like workload: long-flow FCT normalized to PDQ(Full)
+(c) EDU1-like workload (synthetic trace -> Bro-like summaries): FCT
+    normalized to PDQ(Full)
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.experiments.scenario import normalize, run_packet_level
+from repro.experiments.search import binary_search_max
+from repro.topology.single_rooted import SingleRootedTree
+from repro.units import KBYTE, MSEC
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import mean
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.deadlines import exponential_deadlines
+from repro.workload.edu import edu1_flow_summaries
+from repro.workload.flow import FlowSpec
+from repro.workload.vl2 import SHORT_FLOW_CUTOFF, vl2_flow_sizes
+
+DEFAULT_PROTOCOLS = ("PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "D3", "RCP", "TCP")
+
+
+def vl2_workload(rate_per_sec: float, duration: float, seed: int,
+                 mean_deadline: float = 20 * MSEC,
+                 size_scale: float = 1.0,
+                 cap_bytes: int = 1_000_000) -> List[FlowSpec]:
+    """Poisson flow arrivals with VL2-like sizes between random host pairs;
+    short flows (< 40 KB) carry deadlines. ``cap_bytes`` truncates the
+    elephant tail so packet-level runs stay tractable (the deadline metric
+    only concerns the short flows; elephants are background load)."""
+    tree = SingleRootedTree()
+    hosts = [f"h{i}" for i in range(tree.n_servers)]
+    rng = spawn_rng(seed, "fig5:vl2")
+    arrivals = poisson_arrivals(rate_per_sec, duration, rng=rng)
+    sizes = vl2_flow_sizes(len(arrivals), rng=rng, scale=size_scale,
+                           cap_bytes=cap_bytes)
+    deadlines = exponential_deadlines(len(arrivals), mean=mean_deadline,
+                                      rng=rng)
+    flows = []
+    for i, (t, size) in enumerate(zip(arrivals, sizes)):
+        src_i = int(rng.integers(len(hosts)))
+        dst_i = int(rng.integers(len(hosts) - 1))
+        if dst_i >= src_i:
+            dst_i += 1
+        deadline = (deadlines[i]
+                    if size < SHORT_FLOW_CUTOFF * size_scale else None)
+        flows.append(FlowSpec(fid=i, src=hosts[src_i], dst=hosts[dst_i],
+                              size_bytes=size, arrival=t, deadline=deadline))
+    return flows
+
+
+def run_fig5a(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
+              protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP", "TCP"),
+              seeds: Sequence[int] = (1,),
+              duration: float = 0.04,
+              rate_step: float = 1000.0,
+              hi_steps: int = 10,
+              target: float = 0.99) -> Dict[str, Dict[float, float]]:
+    """Sustainable arrival rate (flows/sec) at 99 % application throughput
+    of the deadline-constrained short flows. The search is capped at
+    ``hi_steps * rate_step`` (the offered load already far exceeds the
+    fabric there)."""
+    results: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
+    for deadline in mean_deadlines:
+        for protocol in protocols:
+            def ok(steps: int, _p=protocol, _d=deadline) -> bool:
+                values = []
+                for seed in seeds:
+                    flows = vl2_workload(steps * rate_step, duration, seed,
+                                         mean_deadline=_d)
+                    if not any(f.has_deadline for f in flows):
+                        return True
+                    metrics = run_packet_level(
+                        SingleRootedTree(), _p, flows,
+                        sim_deadline=duration + 1.0,
+                    )
+                    values.append(metrics.application_throughput())
+                return mean(values) >= target
+
+            steps = binary_search_max(ok, hi=hi_steps, grow=False)
+            results[protocol][deadline] = steps * rate_step
+    return results
+
+
+def run_fig5b(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+              seeds: Sequence[int] = (1, 2),
+              rate_per_sec: float = 2000.0,
+              duration: float = 0.03,
+              long_cutoff: int = 100 * KBYTE) -> Dict[str, float]:
+    """Long-flow mean FCT normalized to PDQ(Full) under the VL2 mix."""
+    absolute: Dict[str, float] = {}
+    for protocol in protocols:
+        values = []
+        for seed in seeds:
+            flows = vl2_workload(rate_per_sec, duration, seed)
+            long_fids = [
+                f.fid for f in flows if f.size_bytes >= long_cutoff
+            ]
+            metrics = run_packet_level(SingleRootedTree(), protocol, flows,
+                                       sim_deadline=duration + 2.0)
+            values.append(metrics.mean_fct(only=long_fids))
+        absolute[protocol] = mean(values)
+    return normalize(absolute, "PDQ(Full)")
+
+
+def run_fig5c(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+              seeds: Sequence[int] = (1, 2),
+              duration: float = 0.05,
+              flows_per_second: float = 2000.0) -> Dict[str, float]:
+    """EDU1-like trace-driven workload: mean FCT normalized to PDQ(Full)."""
+    tree = SingleRootedTree()
+    hosts = [f"h{i}" for i in range(tree.n_servers)]
+    absolute: Dict[str, float] = {}
+    for protocol in protocols:
+        values = []
+        for seed in seeds:
+            flows = edu1_flow_summaries(hosts, duration, flows_per_second,
+                                        rng=seed)
+            metrics = run_packet_level(tree, protocol, flows,
+                                       sim_deadline=duration + 2.0)
+            values.append(metrics.mean_fct())
+        absolute[protocol] = mean(values)
+    return normalize(absolute, "PDQ(Full)")

@@ -1,0 +1,85 @@
+"""Fig 6: convergence dynamics (seamless flow switching).
+
+Five ~1 MB flows start together; PDQ should complete them serially in SJF
+order, finish around 42 ms (raw 40 ms + ~3 % header overhead + 2-RTT
+initialization), keep the bottleneck ~100 % utilized at switchovers, hold
+only a few packets of queue, and drop nothing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.config import PdqConfig
+from repro.core.stack import PdqStack
+from repro.events.timers import PeriodicTimer
+from repro.net.network import Network
+from repro.topology.single_bottleneck import SingleBottleneck
+from repro.units import MBYTE, MSEC
+from repro.workload.flow import FlowSpec
+
+
+def run_fig6(n_flows: int = 5, flow_size: int = 1 * MBYTE,
+             sample_interval: float = 1 * MSEC,
+             sim_deadline: float = 0.2) -> Dict[str, object]:
+    """Returns per-flow throughput series, utilization/queue series and the
+    headline summary values."""
+    topo = SingleBottleneck(n_flows)
+    net = Network(topo, PdqStack(PdqConfig.full()))
+    monitor = net.monitor("sw0", "recv", interval=sample_interval)
+    flows = [
+        # slight size perturbation: lower fid = slightly smaller = more
+        # critical (paper's setup)
+        FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                 size_bytes=flow_size + i * 1_000)
+        for i in range(n_flows)
+    ]
+    net.launch(flows)
+
+    # sample each flow's delivered bytes to derive per-flow throughput
+    delivered_samples: List[Tuple[float, List[int]]] = []
+
+    def sample() -> None:
+        delivered_samples.append((
+            net.sim.now,
+            [net.metrics.record(f.fid).bytes_delivered for f in flows],
+        ))
+
+    sampler = PeriodicTimer(net.sim, sample_interval, sample)
+    sampler.start()
+    net.run_until_quiet(deadline=sim_deadline)
+    sampler.stop()
+    monitor.stop()
+
+    throughput_series: List[Tuple[float, List[float]]] = []
+    for i in range(1, len(delivered_samples)):
+        t0, prev = delivered_samples[i - 1]
+        t1, cur = delivered_samples[i]
+        dt = t1 - t0
+        if dt <= 0:
+            continue
+        throughput_series.append(
+            (t1, [(c - p) * 8.0 / dt for p, c in zip(prev, cur)])
+        )
+
+    completions = sorted(
+        r.fct for r in net.metrics.all_records() if r.completed
+    )
+    last = completions[-1] if completions else 0.0
+    return {
+        "completions": completions,
+        "total_time": last,
+        "mean_utilization": monitor.mean_utilization(2 * MSEC,
+                                                     max(last - 2e-3, 1e-3)),
+        "max_queue_packets": monitor.max_queue_packets(),
+        "drops": net.total_drops(),
+        "throughput_series": throughput_series,
+        "utilization_series": monitor.utilization,
+        "queue_series": monitor.queue_packets,
+        "paper": {
+            "total_time": 42 * MSEC,
+            "utilization": "~100%",
+            "queue": "a few packets",
+            "drops": 0,
+        },
+    }

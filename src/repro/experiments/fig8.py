@@ -1,0 +1,163 @@
+"""Fig 8: network scale, topology generality, and the packet-level vs
+flow-level cross-validation.
+
+(a) fat-tree, deadline flows: max flows at 99 % application throughput vs
+    network size (packet and flow level)
+(b) fat-tree, no deadlines: mean FCT vs network size
+(c,d) BCube / Jellyfish: mean FCT vs network size
+(e) per-flow CDF of RCP FCT / PDQ FCT (flow level, ~128 servers)
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.experiments.scenario import run_flow_level, run_packet_level
+from repro.experiments.search import binary_search_max
+from repro.topology.base import Topology
+from repro.topology.bcube import BCube
+from repro.topology.fattree import FatTree
+from repro.topology.jellyfish import Jellyfish
+from repro.units import KBYTE, MSEC
+from repro.utils.rng import spawn_rng
+from repro.utils.stats import cdf_points, fraction_at_most, mean
+from repro.workload.deadlines import exponential_deadlines
+from repro.workload.flow import FlowSpec
+from repro.workload.patterns import random_permutation_flows
+from repro.workload.sizes import uniform_sizes
+
+
+def topology_for(family: str, n_servers: int) -> Topology:
+    if family == "fattree":
+        return FatTree.for_servers(n_servers)
+    if family == "bcube":
+        n, k = 2, 1
+        while 2 ** (k + 1) < n_servers:
+            k += 1
+        return BCube(n=2, k=k)
+    if family == "jellyfish":
+        return Jellyfish.for_servers(n_servers)
+    raise ExperimentError(f"unknown topology family {family!r}")
+
+
+def permutation_workload(topology: Topology, flows_per_server: int,
+                         seed: int, mean_size: float = 100 * KBYTE,
+                         mean_deadline=None) -> List[FlowSpec]:
+    hosts = topology.hosts
+    n = len(hosts) * flows_per_server
+    rng = spawn_rng(seed, "fig8")
+    sizes = uniform_sizes(n, mean_size, rng=rng)
+    deadlines = None
+    if mean_deadline is not None:
+        deadlines = exponential_deadlines(n, mean=mean_deadline, rng=rng)
+    return random_permutation_flows(hosts, sizes, deadlines=deadlines,
+                                    rng=rng)
+
+
+def _subset_deadline_workload(topology: Topology, n_flows: int,
+                              seed: int, mean_deadline: float) -> List[FlowSpec]:
+    """n random src->dst deadline flows (for the 99 %-throughput search)."""
+    hosts = topology.hosts
+    rng = spawn_rng(seed, "fig8a")
+    sizes = uniform_sizes(n_flows, 100 * KBYTE, rng=rng)
+    deadlines = exponential_deadlines(n_flows, mean=mean_deadline, rng=rng)
+    flows = []
+    for i in range(n_flows):
+        src_i = int(rng.integers(len(hosts)))
+        dst_i = int(rng.integers(len(hosts) - 1))
+        if dst_i >= src_i:
+            dst_i += 1
+        flows.append(FlowSpec(fid=i, src=hosts[src_i], dst=hosts[dst_i],
+                              size_bytes=sizes[i], deadline=deadlines[i]))
+    return flows
+
+
+def run_fig8a(sizes: Sequence[int] = (16, 54),
+              protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP"),
+              levels: Sequence[str] = ("packet", "flow"),
+              seeds: Sequence[int] = (1,),
+              mean_deadline: float = 20 * MSEC,
+              target: float = 0.99,
+              hi: int = 64) -> Dict[str, Dict[int, int]]:
+    """Max deadline flows at 99 % app throughput; keys are
+    '<protocol>/<level>'."""
+    results: Dict[str, Dict[int, int]] = {}
+    for n_servers in sizes:
+        topo = topology_for("fattree", n_servers)
+        for level in levels:
+            for protocol in protocols:
+                key = f"{protocol}/{level}"
+                results.setdefault(key, {})
+
+                def ok(n: int, _p=protocol, _l=level) -> bool:
+                    values = []
+                    for seed in seeds:
+                        flows = _subset_deadline_workload(
+                            topo, n, seed, mean_deadline
+                        )
+                        runner = (run_packet_level if _l == "packet"
+                                  else run_flow_level)
+                        metrics = runner(topo, _p, flows, 2.0)
+                        values.append(metrics.application_throughput())
+                    return mean(values) >= target
+
+                results[key][n_servers] = binary_search_max(ok, hi=hi)
+    return results
+
+
+def run_fct_vs_size(family: str,
+                    sizes: Sequence[int] = (16, 54),
+                    protocols: Sequence[str] = ("PDQ(Full)", "RCP"),
+                    levels: Sequence[str] = ("packet", "flow"),
+                    seeds: Sequence[int] = (1,),
+                    flows_per_server: int = 2) -> Dict[str, Dict[int, float]]:
+    """Fig 8b/c/d: mean FCT (seconds) vs network size for one topology
+    family; keys are '<protocol>/<level>'. TCP only exists at packet
+    level."""
+    results: Dict[str, Dict[int, float]] = {}
+    for n_servers in sizes:
+        topo = topology_for(family, n_servers)
+        for level in levels:
+            for protocol in protocols:
+                if level == "flow" and protocol == "TCP":
+                    continue
+                key = f"{protocol}/{level}"
+                results.setdefault(key, {})
+                values = []
+                for seed in seeds:
+                    flows = permutation_workload(topo, flows_per_server, seed)
+                    runner = (run_packet_level if level == "packet"
+                              else run_flow_level)
+                    metrics = runner(topo, protocol, flows, 4.0)
+                    values.append(metrics.mean_fct())
+                results[key][n_servers] = mean(values)
+    return results
+
+
+def run_fig8e(n_servers: int = 128, flows_per_server: int = 2,
+              seeds: Sequence[int] = (1,)) -> Dict[str, object]:
+    """CDF of per-flow RCP FCT / PDQ FCT ratios (flow level)."""
+    ratios: List[float] = []
+    for seed in seeds:
+        topo = topology_for("fattree", n_servers)
+        flows = permutation_workload(topo, flows_per_server, seed)
+        pdq = run_flow_level(topo, "PDQ(Full)", flows, 10.0).fct_by_fid()
+        rcp = run_flow_level(topo, "RCP", flows, 10.0).fct_by_fid()
+        for fid, pdq_fct in pdq.items():
+            rcp_fct = rcp.get(fid)
+            if rcp_fct is not None and pdq_fct > 0:
+                ratios.append(rcp_fct / pdq_fct)
+    if not ratios:
+        raise ExperimentError("no comparable flows")
+    return {
+        "cdf": cdf_points(ratios),
+        "fraction_pdq_2x_faster": 1.0 - fraction_at_most(ratios, 2.0),
+        "fraction_pdq_slower": fraction_at_most(ratios, 1.0),
+        "worst_inflation": 1.0 / min(ratios),
+        "paper": {
+            "fraction_pdq_2x_faster": "~40%",
+            "fraction_pdq_slower": "5-15%",
+            "worst_inflation": 2.57,
+        },
+    }

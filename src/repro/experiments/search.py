@@ -1,0 +1,52 @@
+"""Binary search for the operating point the paper reports.
+
+Fig 3c / 4a / 5a / 8a / 9a / 11c all report "the maximal load (number of
+flows, arrival rate, ...) a protocol can support while ensuring 99 %
+application throughput", found "using a binary search procedure" (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.errors import ExperimentError
+
+
+def binary_search_max(
+    meets_target: Callable[[int], bool],
+    lo: int = 1,
+    hi: int = 64,
+    max_probes: int = 32,
+    grow: bool = True,
+) -> int:
+    """Largest integer n in [lo, hi] with ``meets_target(n)``.
+
+    Assumes (approximate) monotonicity, as the paper does. Returns 0 if
+    even ``lo`` fails; ``hi`` is raised geometrically if it still passes
+    (unless ``grow`` is False, which caps the answer at ``hi``).
+    """
+    if lo < 1 or hi < lo:
+        raise ExperimentError(f"bad search range [{lo}, {hi}]")
+    probes = 0
+    if not meets_target(lo):
+        return 0
+    if not grow and meets_target(hi):
+        return hi
+    # grow hi until it fails (or give up and accept hi)
+    while grow and meets_target(hi):
+        probes += 1
+        lo = hi
+        hi *= 2
+        if probes >= max_probes:
+            return lo
+    # invariant: meets_target(lo) and not meets_target(hi)
+    while hi - lo > 1:
+        probes += 1
+        if probes > max_probes:
+            break
+        mid = (lo + hi) // 2
+        if meets_target(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

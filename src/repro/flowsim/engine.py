@@ -1,0 +1,174 @@
+"""Event-driven fluid simulation engine.
+
+Rates are recomputed at every arrival, transfer start, completion and
+termination, plus at a periodic refresh (needed when criticality drifts
+over time, e.g. flow aging); between recomputations rates are constant and
+progress is linear, so completions are located exactly.
+
+Protocol inefficiencies modeled (paper §5.5): per-packet header overhead
+(flows carry wire bytes) and flow-initialization latency (data starts
+flowing ``init_rtts`` round-trips after arrival).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ExperimentError
+from repro.flowsim.paths import GraphRouter
+from repro.flowsim.progress import FlowProgress
+from repro.metrics.collector import MetricsCollector
+from repro.topology.base import Topology
+from repro.units import USEC, tx_time
+from repro.workload.flow import FlowSpec
+
+#: per-hop one-way latency components used for the RTT estimate, matching
+#: the packet-level defaults (processing dominates)
+_PER_HOP_DELAY = 25 * USEC + 0.1 * USEC
+
+
+class FlowLevelSimulation:
+    """Runs a workload through a rate model over a topology."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        model,
+        mtu: int = 1500,
+        header_bytes: int = 56,
+        init_rtts: float = 2.0,
+        refresh_interval: float = 1e-3,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        if mtu <= header_bytes:
+            raise ExperimentError("mtu must exceed header size")
+        self.topology = topology
+        self.model = model
+        self.mtu = mtu
+        self.header_bytes = header_bytes
+        self.payload = mtu - header_bytes
+        self.init_rtts = init_rtts
+        self.refresh_interval = refresh_interval
+        self.metrics = metrics or MetricsCollector()
+        self.router = GraphRouter(topology)
+        self.capacities = self.router.capacities()
+        self.now = 0.0
+        self.recomputations = 0
+
+    # -- setup helpers --------------------------------------------------------------
+
+    def _wire_size(self, size_bytes: int) -> float:
+        packets = -(-size_bytes // self.payload)
+        return size_bytes + packets * self.header_bytes
+
+    def _estimate_rtt(self, path: Sequence[Tuple[str, str]]) -> float:
+        rtt = 0.0
+        for a, b in path:
+            rate = self.capacities[(a, b)]
+            rtt += 2.0 * (_PER_HOP_DELAY + tx_time(self.header_bytes, rate))
+        return rtt
+
+    def _make_progress(self, spec: FlowSpec) -> FlowProgress:
+        path = self.router.flow_path(spec.fid, spec.src, spec.dst)
+        max_rate = min(self.capacities[edge] for edge in path)
+        rtt = self._estimate_rtt(path)
+        return FlowProgress(
+            spec=spec,
+            path=path,
+            max_rate=max_rate,
+            rtt=rtt,
+            wire_size=self._wire_size(spec.size_bytes),
+            transfer_start=spec.arrival + self.init_rtts * rtt,
+        )
+
+    # -- main loop -------------------------------------------------------------------
+
+    def run(self, flows: Sequence[FlowSpec], deadline: float = 60.0,
+            max_recomputations: int = 2_000_000) -> MetricsCollector:
+        pending = sorted(
+            (self._make_progress(self.metrics.register(s).spec) for s in flows),
+            key=lambda f: f.spec.arrival,
+        )
+        for flow in pending:
+            self.metrics.on_start(flow.fid, flow.spec.arrival)
+        waiting: List[FlowProgress] = list(pending)  # not yet transferring
+        active: List[FlowProgress] = []
+
+        while (waiting or active) and self.now <= deadline:
+            if not active and waiting:
+                # jump to the next transfer start
+                self.now = max(self.now, min(f.transfer_start for f in waiting))
+            self._promote(waiting, active)
+            if not active:
+                continue
+
+            rates = self.model.allocate(active, self.capacities, self.now)
+            self.recomputations += 1
+            if self.recomputations > max_recomputations:
+                raise ExperimentError(
+                    "flow-level simulation did not converge "
+                    f"({max_recomputations} recomputations)"
+                )
+            self._apply_rates(active, rates)
+            if self._terminate_flows(active, rates):
+                continue  # rates changed; recompute immediately
+
+            horizon = self._next_event_time(waiting, active, deadline)
+            dt = horizon - self.now
+            if dt < 0:
+                raise ExperimentError("fluid engine time went backwards")
+            for flow in active:
+                flow.advance(dt)
+            self.now = horizon
+            self._complete_finished(active)
+        return self.metrics
+
+    # -- helpers ---------------------------------------------------------------------------
+
+    def _promote(self, waiting: List[FlowProgress],
+                 active: List[FlowProgress]) -> None:
+        started = [f for f in waiting if f.transfer_start <= self.now + 1e-12]
+        for flow in started:
+            waiting.remove(flow)
+            active.append(flow)
+
+    def _apply_rates(self, active: List[FlowProgress],
+                     rates: Dict[int, float]) -> None:
+        now = self.now
+        for flow in active:
+            rate = rates.get(flow.fid, 0.0)
+            if rate <= 0 and flow.paused_since is None:
+                flow.paused_since = now
+            elif rate > 0 and flow.paused_since is not None:
+                flow.waited += now - flow.paused_since
+                flow.paused_since = None
+            flow.rate = rate
+
+    def _terminate_flows(self, active: List[FlowProgress],
+                         rates: Dict[int, float]) -> bool:
+        doomed = self.model.terminations(active, rates, self.now)
+        for fid, reason in doomed:
+            flow = next(f for f in active if f.fid == fid)
+            active.remove(flow)
+            self.metrics.on_terminated(fid, self.now, reason)
+        return bool(doomed)
+
+    def _next_event_time(self, waiting: List[FlowProgress],
+                         active: List[FlowProgress], deadline: float) -> float:
+        horizon = self.now + self.refresh_interval
+        if waiting:
+            horizon = min(horizon, min(f.transfer_start for f in waiting))
+        for flow in active:
+            horizon = min(horizon, flow.completion_eta(self.now))
+            # ET condition boundaries also warrant a recomputation
+            if flow.spec.absolute_deadline is not None:
+                if flow.spec.absolute_deadline > self.now:
+                    horizon = min(horizon, flow.spec.absolute_deadline)
+        return min(horizon, deadline + self.refresh_interval)
+
+    def _complete_finished(self, active: List[FlowProgress]) -> None:
+        finished = [f for f in active if f.remaining_wire <= 1e-6]
+        for flow in finished:
+            active.remove(flow)
+            self.metrics.on_bytes(flow.fid, flow.spec.size_bytes)
+            self.metrics.on_complete(flow.fid, self.now)

@@ -1,0 +1,107 @@
+"""Pinned ECMP paths over the bare topology graph.
+
+Mirrors :mod:`repro.net.routing` exactly -- same node-id assignment (sorted
+node names), same link ordering, same hash -- so a flow takes the *same*
+path in the flow-level and packet-level simulators. Fig 8's
+packet-vs-flow-level comparison depends on that correspondence.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import RoutingError
+from repro.net.routing import ecmp_hash
+from repro.topology.base import Topology
+
+#: a directed edge between named nodes
+Edge = Tuple[str, str]
+
+
+class GraphRouter:
+    """ECMP path pinning on a topology graph (no Link objects needed)."""
+
+    def __init__(self, topology: Topology):
+        self.topology = topology
+        graph = topology.graph
+        self._node_id: Dict[str, int] = {
+            name: i for i, name in enumerate(sorted(graph.nodes()))
+        }
+        # out-adjacency with deterministic link ids matching Network's
+        self._out: Dict[str, List[Tuple[int, str]]] = {
+            name: [] for name in graph.nodes()
+        }
+        link_id = 0
+        for a, b in sorted(graph.edges()):
+            self._out[a].append((link_id, b))
+            self._out[b].append((link_id + 1, a))
+            link_id += 2
+        for neighbors in self._out.values():
+            neighbors.sort()
+        self._dist_cache: Dict[str, Dict[str, int]] = {}
+        self._path_cache: Dict[Tuple[int, str, str], Tuple[Edge, ...]] = {}
+
+    # -- public ---------------------------------------------------------------
+
+    def flow_path(self, fid: int, src: str, dst: str) -> Tuple[Edge, ...]:
+        key = (fid, src, dst)
+        path = self._path_cache.get(key)
+        if path is None:
+            path = self._compute(fid, src, dst)
+            self._path_cache[key] = path
+        return path
+
+    def hop_count(self, src: str, dst: str) -> int:
+        dist = self._distances(dst)
+        if src not in dist:
+            raise RoutingError(f"no route {src} -> {dst}")
+        return dist[src]
+
+    def capacities(self) -> Dict[Edge, float]:
+        """Directed capacity map for every link in the topology."""
+        caps: Dict[Edge, float] = {}
+        for a, b, data in self.topology.graph.edges(data=True):
+            caps[(a, b)] = data["rate_bps"]
+            caps[(b, a)] = data["rate_bps"]
+        return caps
+
+    # -- internals ----------------------------------------------------------------
+
+    def _distances(self, dst: str) -> Dict[str, int]:
+        dist = self._dist_cache.get(dst)
+        if dist is not None:
+            return dist
+        dist = {dst: 0}
+        frontier = deque([dst])
+        while frontier:
+            node = frontier.popleft()
+            for _, neighbor in self._out[node]:
+                if neighbor not in dist:
+                    dist[neighbor] = dist[node] + 1
+                    frontier.append(neighbor)
+        self._dist_cache[dst] = dist
+        return dist
+
+    def _compute(self, fid: int, src: str, dst: str) -> Tuple[Edge, ...]:
+        if src == dst:
+            raise RoutingError("flow src equals dst")
+        dist = self._distances(dst)
+        if src not in dist:
+            raise RoutingError(f"no route {src} -> {dst}")
+        path: List[Edge] = []
+        node = src
+        while node != dst:
+            here = dist[node]
+            candidates = [
+                (lid, nb) for lid, nb in self._out[node]
+                if dist.get(nb, here) == here - 1
+            ]
+            if not candidates:
+                raise RoutingError(f"routing dead-end at {node} toward {dst}")
+            pick = candidates[
+                ecmp_hash(fid, self._node_id[node]) % len(candidates)
+            ]
+            path.append((node, pick[1]))
+            node = pick[1]
+        return tuple(path)

@@ -1,0 +1,108 @@
+"""PDQ equilibrium rate model (the §3 centralized algorithm as fluid).
+
+For a stable set of flows, distributed PDQ converges to the allocation the
+centralized scheduler computes (paper §4): process flows in criticality
+order, give each the most bandwidth its path still has. The flow-level
+simulator therefore uses the centralized algorithm directly, with the same
+crumb rule as the packet-level switch (a flow offered only a sliver of its
+maximal rate is paused instead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.comparator import FlowComparator
+from repro.core.config import PdqConfig
+from repro.flowsim.progress import FlowProgress
+from repro.utils.rng import spawn_rng
+
+
+class PdqModel:
+    """Water-filling in criticality order; supports ET, aging and the
+    alternative criticality schemes (§5.6, §7)."""
+
+    name = "PDQ"
+
+    def __init__(self, config: Optional[PdqConfig] = None,
+                 comparator: Optional[FlowComparator] = None):
+        self.config = config or PdqConfig.full()
+        self.comparator = comparator or FlowComparator()
+
+    # -- criticality -------------------------------------------------------------
+
+    def _criticality(self, flow: FlowProgress, now: float) -> Optional[float]:
+        mode = self.config.criticality_mode
+        if flow.criticality is not None:
+            return flow.criticality
+        if mode == "random":
+            flow.criticality = float(
+                spawn_rng(flow.fid, "criticality").random()
+            )
+            return flow.criticality
+        if mode == "estimate":
+            chunk = self.config.estimate_chunk
+            return float(int(flow.sent_wire // chunk) * chunk)
+        return None
+
+    def _aged_expected_tx(self, flow: FlowProgress, now: float) -> float:
+        expected = flow.expected_tx()
+        if self.config.aging_rate <= 0:
+            return expected
+        waited = flow.waited
+        if flow.paused_since is not None:
+            waited += now - flow.paused_since
+        units = waited / self.config.aging_time_unit
+        return expected / (2.0 ** (self.config.aging_rate * units))
+
+    def _key(self, flow: FlowProgress, now: float):
+        return self.comparator.key(
+            flow.fid,
+            flow.spec.absolute_deadline,
+            self._aged_expected_tx(flow, now),
+            self._criticality(flow, now),
+        )
+
+    # -- allocation ------------------------------------------------------------------
+
+    def allocate(self, flows: List[FlowProgress],
+                 capacities: Dict[Tuple[str, str], float],
+                 now: float) -> Dict[int, float]:
+        residual = dict(capacities)
+        rates: Dict[int, float] = {}
+        ordered = sorted(flows, key=lambda f: self._key(f, now))
+        for flow in ordered:
+            available = min(
+                (residual[edge] for edge in flow.path), default=0.0
+            )
+            rate = min(flow.max_rate, available)
+            floor = max(
+                self.config.min_rate,
+                self.config.crumb_fraction * flow.max_rate,
+            )
+            if rate < floor:
+                rates[flow.fid] = 0.0
+                continue
+            rates[flow.fid] = rate
+            for edge in flow.path:
+                residual[edge] -= rate
+        return rates
+
+    # -- early termination (§3.1) -----------------------------------------------------
+
+    def terminations(self, flows: List[FlowProgress],
+                     rates: Dict[int, float], now: float) -> List[Tuple[int, str]]:
+        if not self.config.early_termination:
+            return []
+        doomed = []
+        for flow in flows:
+            deadline = flow.spec.absolute_deadline
+            if deadline is None:
+                continue
+            if now > deadline:
+                doomed.append((flow.fid, "early_termination:deadline_passed"))
+            elif now + flow.expected_tx() > deadline:
+                doomed.append((flow.fid, "early_termination:cannot_finish"))
+            elif rates.get(flow.fid, 0.0) <= 0 and now + flow.rtt > deadline:
+                doomed.append((flow.fid, "early_termination:paused_near_deadline"))
+        return doomed

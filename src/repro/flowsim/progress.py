@@ -1,0 +1,62 @@
+"""Per-flow progress state inside the fluid engine."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+from repro.workload.flow import FlowSpec
+
+
+class FlowProgress:
+    """One in-flight flow in the flow-level simulator.
+
+    ``remaining_wire`` counts wire bytes (payload plus per-packet header
+    overhead), matching the packet-level simulator's notion of work.
+    """
+
+    __slots__ = (
+        "spec", "path", "max_rate", "rtt", "wire_size", "remaining_wire",
+        "transfer_start", "rate", "waited", "paused_since", "criticality",
+    )
+
+    def __init__(self, spec: FlowSpec, path: Sequence[Tuple[str, str]],
+                 max_rate: float, rtt: float, wire_size: float,
+                 transfer_start: float):
+        self.spec = spec
+        self.path = tuple(path)
+        self.max_rate = max_rate
+        self.rtt = rtt
+        self.wire_size = wire_size
+        self.remaining_wire = wire_size
+        self.transfer_start = transfer_start
+        self.rate = 0.0
+        self.waited = 0.0          # accumulated paused time (aging, §7)
+        self.paused_since: Optional[float] = None
+        self.criticality: Optional[float] = spec.criticality
+
+    @property
+    def fid(self) -> int:
+        return self.spec.fid
+
+    @property
+    def sent_wire(self) -> float:
+        return self.wire_size - self.remaining_wire
+
+    def expected_tx(self) -> float:
+        """T: remaining transmission time at the flow's maximal rate."""
+        return self.remaining_wire * 8.0 / self.max_rate
+
+    def completion_eta(self, now: float) -> float:
+        if self.rate <= 0:
+            return float("inf")
+        return now + self.remaining_wire * 8.0 / self.rate
+
+    def advance(self, dt: float) -> None:
+        if dt < 0:
+            raise ValueError(f"negative dt {dt}")
+        if self.rate > 0:
+            self.remaining_wire = max(
+                0.0, self.remaining_wire - self.rate * dt / 8.0
+            )
+        else:
+            self.waited += dt

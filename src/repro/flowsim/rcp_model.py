@@ -1,0 +1,80 @@
+"""RCP equilibrium rate model: max-min fair sharing.
+
+RCP's fixed point is max-min fairness over the network (every flow gets the
+fair share of its bottleneck link), computed here by standard progressive
+water-filling with per-flow rate caps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro.flowsim.progress import FlowProgress
+
+Edge = Tuple[str, str]
+
+
+def max_min_rates(flows: List[FlowProgress],
+                  capacities: Dict[Edge, float]) -> Dict[int, float]:
+    """Progressive-filling max-min allocation honoring per-flow max rates."""
+    rates: Dict[int, float] = {f.fid: 0.0 for f in flows}
+    residual = dict(capacities)
+    unfrozen: Set[int] = {f.fid for f in flows}
+    by_fid = {f.fid: f for f in flows}
+    # flows per link (only links actually used)
+    link_flows: Dict[Edge, Set[int]] = {}
+    for flow in flows:
+        for edge in flow.path:
+            link_flows.setdefault(edge, set()).add(flow.fid)
+
+    for _ in range(len(flows) + len(link_flows) + 1):
+        if not unfrozen:
+            break
+        # the tightest link determines the next increment
+        bottleneck_share = float("inf")
+        for edge, members in link_flows.items():
+            active = members & unfrozen
+            if not active:
+                continue
+            share = residual[edge] / len(active)
+            bottleneck_share = min(bottleneck_share, share)
+        if bottleneck_share == float("inf"):
+            break
+        # flows capped below the share freeze at their cap first
+        capped = [
+            fid for fid in unfrozen
+            if by_fid[fid].max_rate - rates[fid] <= bottleneck_share + 1e-9
+        ]
+        if capped:
+            for fid in capped:
+                increment = by_fid[fid].max_rate - rates[fid]
+                rates[fid] = by_fid[fid].max_rate
+                for edge in by_fid[fid].path:
+                    residual[edge] -= increment
+                unfrozen.discard(fid)
+            continue
+        # otherwise saturate the bottleneck link(s)
+        for fid in list(unfrozen):
+            rates[fid] += bottleneck_share
+        for edge, members in link_flows.items():
+            active = members & unfrozen
+            residual[edge] -= bottleneck_share * len(active)
+        for edge, members in link_flows.items():
+            if residual[edge] <= 1e-6:
+                for fid in members & unfrozen:
+                    unfrozen.discard(fid)
+    return rates
+
+
+class RcpModel:
+    """Max-min fair rates; no deadline awareness, no termination."""
+
+    name = "RCP"
+
+    def allocate(self, flows: List[FlowProgress],
+                 capacities: Dict[Edge, float],
+                 now: float) -> Dict[int, float]:
+        return max_min_rates(flows, capacities)
+
+    def terminations(self, flows, rates, now) -> List[Tuple[int, str]]:
+        return []

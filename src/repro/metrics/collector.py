@@ -1,0 +1,107 @@
+"""Collects per-flow records during a simulation run."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional
+
+from repro.errors import ExperimentError
+from repro.metrics.records import FlowRecord
+from repro.workload.flow import FlowSpec
+
+
+class MetricsCollector:
+    """Registry of flow outcomes; endpoints report into it."""
+
+    def __init__(self) -> None:
+        self.records: Dict[int, FlowRecord] = {}
+
+    # -- event hooks (called by simulators/endpoints) ---------------------------
+
+    def register(self, spec: FlowSpec) -> FlowRecord:
+        if spec.fid in self.records:
+            raise ExperimentError(f"flow {spec.fid} registered twice")
+        record = FlowRecord(spec=spec)
+        self.records[spec.fid] = record
+        return record
+
+    def on_start(self, fid: int, time: float) -> None:
+        self.records[fid].start_time = time
+
+    def on_bytes(self, fid: int, n: int) -> None:
+        self.records[fid].bytes_delivered += n
+
+    def on_complete(self, fid: int, time: float) -> None:
+        record = self.records[fid]
+        if record.completion_time is None:
+            record.completion_time = time
+
+    def on_terminated(self, fid: int, time: float, reason: str) -> None:
+        record = self.records[fid]
+        if not record.completed:
+            record.terminated = True
+            record.termination_time = time
+            record.termination_reason = reason
+
+    def on_retransmit(self, fid: int) -> None:
+        self.records[fid].retransmissions += 1
+
+    def on_probe(self, fid: int) -> None:
+        self.records[fid].probes_sent += 1
+
+    # -- queries ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def record(self, fid: int) -> FlowRecord:
+        return self.records[fid]
+
+    def all_records(self) -> List[FlowRecord]:
+        return list(self.records.values())
+
+    def completed_records(self) -> List[FlowRecord]:
+        return [r for r in self.records.values() if r.completed]
+
+    def deadline_records(self) -> List[FlowRecord]:
+        return [r for r in self.records.values() if r.spec.has_deadline]
+
+    # -- paper metrics ---------------------------------------------------------------
+
+    def application_throughput(self) -> float:
+        """Fraction of deadline-constrained flows that met their deadline
+        (paper §5.1). Terminated and unfinished flows count as misses."""
+        deadline_flows = self.deadline_records()
+        if not deadline_flows:
+            raise ExperimentError("no deadline-constrained flows to score")
+        met = sum(1 for r in deadline_flows if r.met_deadline)
+        return met / len(deadline_flows)
+
+    def mean_fct(self, only: Optional[Iterable[int]] = None) -> float:
+        """Mean flow completion time over completed flows (optionally
+        restricted to the given fids)."""
+        wanted = set(only) if only is not None else None
+        fcts = [
+            r.fct
+            for r in self.records.values()
+            if r.completed and (wanted is None or r.spec.fid in wanted)
+        ]
+        if not fcts:
+            raise ExperimentError("no completed flows to average")
+        return sum(fcts) / len(fcts)
+
+    def max_fct(self) -> float:
+        fcts = [r.fct for r in self.records.values() if r.completed]
+        if not fcts:
+            raise ExperimentError("no completed flows")
+        return max(fcts)
+
+    def fct_by_fid(self) -> Dict[int, float]:
+        return {
+            fid: r.fct for fid, r in self.records.items() if r.completed
+        }
+
+    def unfinished(self) -> List[FlowRecord]:
+        return [
+            r for r in self.records.values()
+            if not r.completed and not r.terminated
+        ]

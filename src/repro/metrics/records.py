@@ -1,0 +1,50 @@
+"""Per-flow outcome record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.workload.flow import FlowSpec
+
+
+@dataclass
+class FlowRecord:
+    """Everything we measure about one flow.
+
+    ``completion_time`` is the instant the receiver holds the last payload
+    byte (the paper's FCT convention); ``terminated`` marks flows killed by
+    Early Termination / quenching before finishing.
+    """
+
+    spec: FlowSpec
+    start_time: Optional[float] = None
+    completion_time: Optional[float] = None
+    terminated: bool = False
+    termination_time: Optional[float] = None
+    termination_reason: str = ""
+    bytes_delivered: int = 0
+    retransmissions: int = 0
+    probes_sent: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.completion_time is not None
+
+    @property
+    def fct(self) -> Optional[float]:
+        """Flow completion time measured from flow arrival."""
+        if self.completion_time is None:
+            return None
+        return self.completion_time - self.spec.arrival
+
+    @property
+    def met_deadline(self) -> bool:
+        """Deadline satisfied? (False for no-deadline flows asked anyway.)"""
+        deadline = self.spec.absolute_deadline
+        if deadline is None:
+            return False
+        return (
+            self.completion_time is not None
+            and self.completion_time <= deadline + 1e-12
+        )

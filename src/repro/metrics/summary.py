@@ -1,0 +1,55 @@
+"""Aggregate summaries for experiment reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.metrics.collector import MetricsCollector
+from repro.utils.stats import mean, percentile
+
+
+@dataclass(frozen=True)
+class SummaryStats:
+    """One-line summary of a run, as printed by the benchmark harness."""
+
+    n_flows: int
+    n_completed: int
+    n_terminated: int
+    mean_fct: Optional[float]
+    p95_fct: Optional[float]
+    max_fct: Optional[float]
+    application_throughput: Optional[float]
+    total_retransmissions: int
+
+    @classmethod
+    def from_collector(cls, collector: MetricsCollector) -> "SummaryStats":
+        records = collector.all_records()
+        fcts: List[float] = [r.fct for r in records if r.completed]
+        has_deadlines = any(r.spec.has_deadline for r in records)
+        return cls(
+            n_flows=len(records),
+            n_completed=sum(1 for r in records if r.completed),
+            n_terminated=sum(1 for r in records if r.terminated),
+            mean_fct=mean(fcts) if fcts else None,
+            p95_fct=percentile(fcts, 95) if fcts else None,
+            max_fct=max(fcts) if fcts else None,
+            application_throughput=(
+                collector.application_throughput() if has_deadlines else None
+            ),
+            total_retransmissions=sum(r.retransmissions for r in records),
+        )
+
+    def describe(self) -> str:
+        parts = [
+            f"flows={self.n_flows}",
+            f"completed={self.n_completed}",
+            f"terminated={self.n_terminated}",
+        ]
+        if self.mean_fct is not None:
+            parts.append(f"mean_fct={self.mean_fct * 1e3:.3f}ms")
+        if self.max_fct is not None:
+            parts.append(f"max_fct={self.max_fct * 1e3:.3f}ms")
+        if self.application_throughput is not None:
+            parts.append(f"app_tput={self.application_throughput * 100:.1f}%")
+        return " ".join(parts)

@@ -1,0 +1,119 @@
+"""Unidirectional store-and-forward link with a FIFO tail-drop queue.
+
+Delay model per the paper's Figure 2: transmission delay = size/rate,
+fixed propagation delay, and a per-hop processing delay charged at the
+receiving node. Random wire loss (Fig 9) is applied after transmission,
+independently in each direction.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.events.simulator import Simulator
+from repro.net.packet import Packet
+from repro.net.queues import DropTailQueue
+from repro.units import tx_time
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.net.node import Node
+
+
+class Link:
+    """One direction of a cable. Created in pairs; ``reverse`` points at the
+    opposite direction."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        src: "Node",
+        dst: "Node",
+        rate_bps: float,
+        prop_delay: float,
+        buffer_bytes: int,
+        link_id: int,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"link rate must be positive, got {rate_bps}")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.rate_bps = rate_bps
+        self.prop_delay = prop_delay
+        self.queue = DropTailQueue(buffer_bytes)
+        self.link_id = link_id
+        self.reverse: Optional["Link"] = None
+
+        # random wire loss (Fig 9); set via Network.set_loss
+        self.loss_rate: float = 0.0
+        self._loss_rng: Optional[np.random.Generator] = None
+        self.wire_losses = 0
+
+        # statistics
+        self.bytes_sent = 0
+        self.packets_sent = 0
+        self.busy_time = 0.0
+
+        self._transmitting = False
+
+    # -- configuration ---------------------------------------------------------
+
+    def set_loss(self, rate: float, rng: np.random.Generator) -> None:
+        """Drop each transmitted packet with probability ``rate``."""
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"loss rate must be in [0, 1], got {rate}")
+        self.loss_rate = rate
+        self._loss_rng = rng
+
+    # -- data path ---------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> bool:
+        """Accept a packet for transmission; False means it was tail-dropped."""
+        if not self.queue.offer(packet):
+            return False
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    def _start_next(self) -> None:
+        packet = self.queue.pop()
+        if packet is None:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        delay = tx_time(packet.size, self.rate_bps)
+        self.busy_time += delay
+        self.sim.schedule(delay, lambda p=packet: self._finish(p))
+
+    def _finish(self, packet: Packet) -> None:
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        lost = (
+            self.loss_rate > 0.0
+            and self._loss_rng is not None
+            and self._loss_rng.random() < self.loss_rate
+        )
+        if lost:
+            self.wire_losses += 1
+        else:
+            delay = self.prop_delay + self.dst.processing_delay
+            self.sim.schedule(delay, lambda p=packet: self.dst.receive(p, self))
+        self._start_next()
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return f"{self.src.name}->{self.dst.name}"
+
+    def utilization(self, since: float, now: float, busy_at_since: float) -> float:
+        """Fraction of [since, now] the link spent transmitting, given the
+        ``busy_time`` snapshot taken at ``since``."""
+        if now <= since:
+            return 0.0
+        return (self.busy_time - busy_at_since) / (now - since)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Link {self.name} {self.rate_bps/1e9:.1f}Gbps q={self.queue.bytes}B>"

@@ -1,0 +1,78 @@
+"""Time-series monitors for links (utilization and queue occupancy).
+
+Used by the Fig 6 / Fig 7 dynamics experiments, which plot bottleneck
+utilization and queue length over time.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.events.simulator import Simulator
+from repro.events.timers import PeriodicTimer
+from repro.net.link import Link
+
+
+class LinkMonitor:
+    """Samples a link every ``interval`` seconds.
+
+    Produces two series: ``utilization`` (fraction of the interval the link
+    was transmitting) and ``queue_packets`` / ``queue_bytes`` (instantaneous
+    occupancy at the sample instant).
+    """
+
+    def __init__(self, sim: Simulator, link: Link, interval: float):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.link = link
+        self.interval = interval
+        self.samples: List[Tuple[float, float, int, int]] = []
+        self._last_busy = link.busy_time
+        self._last_time = sim.now
+        self._timer = PeriodicTimer(sim, interval, self._sample)
+
+    def start(self) -> None:
+        self._last_busy = self.link.busy_time
+        self._last_time = self.sim.now
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        now = self.sim.now
+        elapsed = now - self._last_time
+        if elapsed <= 0:
+            return
+        busy = self.link.busy_time - self._last_busy
+        utilization = min(1.0, busy / elapsed)
+        self.samples.append(
+            (now, utilization, len(self.link.queue), self.link.queue.bytes)
+        )
+        self._last_busy = self.link.busy_time
+        self._last_time = now
+
+    # -- series accessors -----------------------------------------------------
+
+    @property
+    def utilization(self) -> List[Tuple[float, float]]:
+        return [(t, u) for t, u, _, _ in self.samples]
+
+    @property
+    def queue_packets(self) -> List[Tuple[float, int]]:
+        return [(t, q) for t, _, q, _ in self.samples]
+
+    @property
+    def queue_bytes(self) -> List[Tuple[float, int]]:
+        return [(t, b) for t, _, _, b in self.samples]
+
+    def mean_utilization(self, start: float = 0.0, end: float = float("inf")) -> float:
+        window = [u for t, u, _, _ in self.samples if start <= t <= end]
+        if not window:
+            return 0.0
+        return sum(window) / len(window)
+
+    def max_queue_packets(self, start: float = 0.0, end: float = float("inf")) -> int:
+        window = [q for t, _, q, _ in self.samples if start <= t <= end]
+        return max(window) if window else 0

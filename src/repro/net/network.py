@@ -1,0 +1,200 @@
+"""Network assembly: topology + protocol stack -> runnable simulation.
+
+Builds hosts/switches/links from a :class:`~repro.topology.base.Topology`,
+wires per-switch protocol state, pins flow paths, and launches flows from
+:class:`~repro.workload.flow.FlowSpec` lists into the event simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import TopologyError
+from repro.events.simulator import Simulator
+from repro.metrics.collector import MetricsCollector
+from repro.net.link import Link
+from repro.net.monitors import LinkMonitor
+from repro.net.node import Host, Node, Switch
+from repro.net.routing import Router
+from repro.topology.base import Topology
+from repro.units import MBYTE, USEC, tx_time
+from repro.utils.rng import spawn_rng
+from repro.workload.flow import FlowSpec
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Paper §5.1 defaults: 4 MB switch buffers, 0.1 us propagation and
+    25 us per-hop processing delay, FIFO tail-drop queues."""
+
+    buffer_bytes: int = 4 * MBYTE
+    prop_delay: float = 0.1 * USEC
+    processing_delay: float = 25 * USEC
+    rto_min: float = 2e-3  # small RTOmin per §5.1 (alleviates incast)
+    receiver_rate_limits: Optional[Dict[str, float]] = None
+
+
+class Network:
+    """One simulated network running one protocol stack."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        stack,
+        sim: Optional[Simulator] = None,
+        config: Optional[NetworkConfig] = None,
+        metrics: Optional[MetricsCollector] = None,
+    ):
+        self.topology = topology
+        self.stack = stack
+        self.sim = sim or Simulator()
+        self.config = config or NetworkConfig()
+        self.metrics = metrics or MetricsCollector()
+
+        self.nodes: List[Node] = []
+        self._by_name: Dict[str, Node] = {}
+        self.links: List[Link] = []
+        self._link_by_pair: Dict[Tuple[int, int], Link] = {}
+        self._build_nodes_and_links()
+        self.router = Router(self.nodes, self.links)
+        self._attach_switch_protocols()
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_nodes_and_links(self) -> None:
+        graph = self.topology.graph
+        for node_id, name in enumerate(sorted(graph.nodes())):
+            kind = graph.nodes[name]["kind"]
+            cls = Host if kind == "host" else Switch
+            node = cls(self.sim, node_id, name, self.config.processing_delay)
+            self.nodes.append(node)
+            self._by_name[name] = node
+        link_id = 0
+        for a, b, data in sorted(graph.edges(data=True)):
+            rate = data["rate_bps"]
+            na, nb = self._by_name[a], self._by_name[b]
+            fwd = Link(self.sim, na, nb, rate, self.config.prop_delay,
+                       self.config.buffer_bytes, link_id)
+            rev = Link(self.sim, nb, na, rate, self.config.prop_delay,
+                       self.config.buffer_bytes, link_id + 1)
+            link_id += 2
+            fwd.reverse, rev.reverse = rev, fwd
+            self.links.extend((fwd, rev))
+            self._link_by_pair[(na.id, nb.id)] = fwd
+            self._link_by_pair[(nb.id, na.id)] = rev
+
+    def _attach_switch_protocols(self) -> None:
+        # every node runs the protocol's forwarding-plane logic: switches
+        # always, hosts because server-centric topologies (BCube) relay
+        # through them and their NICs need flow control too
+        for node in self.nodes:
+            node.protocol = self.stack.make_switch_protocol(self, node)
+
+    # -- lookups --------------------------------------------------------------------
+
+    def node(self, name: str) -> Node:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise TopologyError(f"unknown node {name!r}") from None
+
+    def host(self, name: str) -> Host:
+        node = self.node(name)
+        if not isinstance(node, Host):
+            raise TopologyError(f"{name!r} is not a host")
+        return node
+
+    def link_between(self, a: str, b: str) -> Link:
+        try:
+            return self._link_by_pair[(self.node(a).id, self.node(b).id)]
+        except KeyError:
+            raise TopologyError(f"no link {a} -> {b}") from None
+
+    def links_for_path(self, names: Sequence[str]) -> Tuple[Link, ...]:
+        """Turn a node-name walk into the Link sequence along it (used for
+        source-routed paths, e.g. BCube address-based routing)."""
+        if len(names) < 2:
+            raise TopologyError("path needs at least two nodes")
+        return tuple(
+            self.link_between(a, b) for a, b in zip(names, names[1:])
+        )
+
+    def receiver_rate_limit(self, host_name: str) -> float:
+        limits = self.config.receiver_rate_limits
+        if limits and host_name in limits:
+            return limits[host_name]
+        return float("inf")
+
+    # -- configuration helpers ----------------------------------------------------------
+
+    def set_loss(self, a: str, b: str, loss_rate: float, seed: int = 0,
+                 both_directions: bool = True) -> None:
+        """Random wire loss on the a->b link (and b->a, per Fig 9)."""
+        fwd = self.link_between(a, b)
+        fwd.set_loss(loss_rate, spawn_rng(seed, f"loss:{fwd.link_id}"))
+        if both_directions:
+            rev = fwd.reverse
+            rev.set_loss(loss_rate, spawn_rng(seed, f"loss:{rev.link_id}"))
+
+    def monitor(self, a: str, b: str, interval: float) -> LinkMonitor:
+        monitor = LinkMonitor(self.sim, self.link_between(a, b), interval)
+        monitor.start()
+        return monitor
+
+    def estimate_rtt(self, fwd_path: Tuple[Link, ...],
+                     control_bytes: Optional[int] = None) -> float:
+        """Unloaded round-trip estimate along a pinned path (control-sized
+        packets both ways), used to seed sender RTT estimators."""
+        size = control_bytes or self.stack.header_bytes
+        total = 0.0
+        for link in fwd_path:
+            total += (tx_time(size, link.rate_bps) + link.prop_delay
+                      + link.dst.processing_delay)
+            rev = link.reverse
+            total += (tx_time(size, rev.rate_bps) + rev.prop_delay
+                      + rev.dst.processing_delay)
+        return total
+
+    # -- flow launching ---------------------------------------------------------------------
+
+    def launch(self, flows: Iterable[FlowSpec]) -> None:
+        for spec in flows:
+            record = self.metrics.register(spec)
+            self.sim.schedule_at(
+                spec.arrival, lambda s=spec, r=record: self._start_flow(s, r)
+            )
+
+    def _start_flow(self, spec: FlowSpec, record) -> None:
+        src = self.host(spec.src)
+        dst = self.host(spec.dst)
+        fwd = self.router.flow_path(spec.fid, src.id, dst.id)
+        rev = self.router.reverse_path(fwd)
+        sender, receiver = self.stack.make_endpoints(self, spec, record, fwd, rev)
+        sender.start()
+
+    # -- execution --------------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> None:
+        self.sim.run(until=until, max_events=max_events)
+
+    def run_until_quiet(self, deadline: float, max_events: int = 50_000_000) -> None:
+        """Run until all flows resolved (completed or terminated) or the
+        simulated ``deadline`` passes."""
+        step = deadline / 20.0
+        while self.sim.now < deadline:
+            if not self.metrics.unfinished():
+                break
+            self.sim.run(until=min(deadline, self.sim.now + step),
+                         max_events=max_events)
+            if not self.sim.pending():
+                break
+
+    # -- diagnostics ---------------------------------------------------------------------------
+
+    def total_drops(self) -> int:
+        return sum(link.queue.drops for link in self.links)
+
+    def total_wire_losses(self) -> int:
+        return sum(link.wire_losses for link in self.links)

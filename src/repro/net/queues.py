@@ -1,0 +1,55 @@
+"""FIFO tail-drop queue with a byte-bounded buffer.
+
+PDQ's whole point is to need nothing fancier than this at switches
+(paper §1: "lightweight, using only FIFO tail-drop queues").
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.net.packet import Packet
+
+
+class DropTailQueue:
+    """Byte-limited FIFO. ``offer`` refuses (tail-drops) packets that would
+    overflow the buffer."""
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_bytes}")
+        self.capacity_bytes = capacity_bytes
+        self._queue: deque[Packet] = deque()
+        self._bytes = 0
+        self.drops = 0
+        self.dropped_bytes = 0
+        self.peak_bytes = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def bytes(self) -> int:
+        """Bytes currently waiting (excludes any packet in transmission)."""
+        return self._bytes
+
+    def offer(self, packet: Packet) -> bool:
+        """Append if it fits; returns False (and counts a drop) otherwise."""
+        if self._bytes + packet.size > self.capacity_bytes:
+            self.drops += 1
+            self.dropped_bytes += packet.size
+            return False
+        self._queue.append(packet)
+        self._bytes += packet.size
+        if self._bytes > self.peak_bytes:
+            self.peak_bytes = self._bytes
+        return True
+
+    def pop(self) -> Optional[Packet]:
+        """Remove and return the head packet, or None when empty."""
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        return packet

@@ -1,0 +1,101 @@
+"""Omniscient optimal bounds for the Fig 3 experiments.
+
+Deadline case: the paper's "optimal" first sorts by EDF, then discards the
+minimum number of flows that cannot meet their deadlines (Pinedo, Alg
+3.3.1 -- the Moore-Hodgson algorithm). On a single bottleneck with
+simultaneous arrivals this maximizes the number of on-time flows.
+
+No-deadline case: SJF order on a single bottleneck minimizes mean
+completion time for simultaneous arrivals (SRPT generalizes to staggered
+arrivals); completion times are prefix sums of transmission times.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import List, Sequence, Tuple
+
+
+def max_ontime_subset(jobs: Sequence[Tuple[float, float]]) -> List[int]:
+    """Moore-Hodgson: indexes of a maximum on-time subset.
+
+    ``jobs`` are (processing_time, deadline) pairs, all released at time 0
+    on one unit-speed machine. Returns indices of kept (on-time) jobs; the
+    rest are the discarded tardy jobs.
+    """
+    order = sorted(range(len(jobs)), key=lambda i: (jobs[i][1], jobs[i][0]))
+    kept: List[Tuple[float, int]] = []  # max-heap by processing time (neg)
+    elapsed = 0.0
+    for i in order:
+        processing, deadline = jobs[i]
+        if processing < 0:
+            raise ValueError(f"negative processing time for job {i}")
+        heapq.heappush(kept, (-processing, i))
+        elapsed += processing
+        if elapsed > deadline + 1e-12:
+            # drop the longest job scheduled so far
+            longest, _ = heapq.heappop(kept)
+            elapsed += longest  # longest is negative
+    return sorted(i for _, i in kept)
+
+
+def optimal_application_throughput(
+    sizes: Sequence[float], deadlines: Sequence[float], rate_bps: float
+) -> float:
+    """Fraction of flows an omniscient scheduler completes on time when
+    they share one bottleneck of ``rate_bps`` and arrive together."""
+    if len(sizes) != len(deadlines):
+        raise ValueError("sizes and deadlines must align")
+    if not sizes:
+        raise ValueError("no flows")
+    jobs = [(s * 8.0 / rate_bps, d) for s, d in zip(sizes, deadlines)]
+    return len(max_ontime_subset(jobs)) / len(sizes)
+
+
+def sjf_completion_times(sizes: Sequence[float], rate_bps: float) -> List[float]:
+    """Completion times under shortest-job-first on one bottleneck,
+    simultaneous arrivals; returned in the input order of ``sizes``."""
+    order = sorted(range(len(sizes)), key=lambda i: (sizes[i], i))
+    completions = [0.0] * len(sizes)
+    elapsed = 0.0
+    for i in order:
+        elapsed += sizes[i] * 8.0 / rate_bps
+        completions[i] = elapsed
+    return completions
+
+
+def srpt_mean_fct(
+    flows: Sequence[Tuple[float, float]], rate_bps: float
+) -> float:
+    """Mean completion time under preemptive SRPT on one bottleneck.
+
+    ``flows`` are (arrival_time, size_bytes) pairs. SRPT is optimal for
+    mean flow completion time on a single link, making this the Fig 3d/3e
+    normalization baseline.
+    """
+    if not flows:
+        raise ValueError("no flows")
+    pending = sorted(flows)  # by arrival
+    remaining: List[Tuple[float, float]] = []  # heap of (remaining_time, arrival)
+    now = 0.0
+    total = 0.0
+    i = 0
+    n = len(pending)
+    while i < n or remaining:
+        if not remaining:
+            now = max(now, pending[i][0])
+        while i < n and pending[i][0] <= now + 1e-15:
+            arrival, size = pending[i]
+            heapq.heappush(remaining, (size * 8.0 / rate_bps, arrival))
+            i += 1
+        if not remaining:
+            continue
+        work, arrival = heapq.heappop(remaining)
+        next_arrival = pending[i][0] if i < n else float("inf")
+        if now + work <= next_arrival + 1e-15:
+            now += work
+            total += now - arrival
+        else:
+            heapq.heappush(remaining, (work - (next_arrival - now), arrival))
+            now = next_arrival
+    return total / n

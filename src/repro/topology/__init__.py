@@ -1,0 +1,24 @@
+"""Data-center topologies used in the paper's evaluation.
+
+* :class:`SingleBottleneck` -- Fig 2b, N senders through one switch.
+* :class:`SingleRootedTree` -- Fig 2a, the default 17-node two-level tree.
+* :class:`FatTree` -- §5.5, 2-stage Clos [Al-Fares et al.].
+* :class:`BCube` -- §5.5/§6, server-centric modular network.
+* :class:`Jellyfish` -- §5.5, random regular graph of switches.
+"""
+
+from repro.topology.base import Topology
+from repro.topology.bcube import BCube
+from repro.topology.fattree import FatTree
+from repro.topology.jellyfish import Jellyfish
+from repro.topology.single_bottleneck import SingleBottleneck
+from repro.topology.single_rooted import SingleRootedTree
+
+__all__ = [
+    "Topology",
+    "SingleBottleneck",
+    "SingleRootedTree",
+    "FatTree",
+    "BCube",
+    "Jellyfish",
+]

@@ -1,0 +1,82 @@
+"""Topology base class.
+
+A topology is an undirected networkx graph whose nodes carry a ``kind``
+attribute (``"host"`` or ``"switch"``) and whose edges carry ``rate_bps``.
+The packet-level :class:`~repro.net.network.Network` instantiates one
+:class:`~repro.net.link.Link` per direction per edge; the flow-level
+simulator consumes the same graph directly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import networkx as nx
+
+from repro.errors import TopologyError
+from repro.units import GBPS
+
+
+class Topology:
+    """Base topology; subclasses populate :attr:`graph` in ``_build``."""
+
+    def __init__(self, default_rate_bps: float = 1 * GBPS):
+        self.default_rate_bps = default_rate_bps
+        self.graph = nx.Graph()
+
+    # -- construction helpers (used by subclasses) ------------------------------
+
+    def add_host(self, name: str) -> str:
+        self.graph.add_node(name, kind="host")
+        return name
+
+    def add_switch(self, name: str) -> str:
+        self.graph.add_node(name, kind="switch")
+        return name
+
+    def add_link(self, a: str, b: str, rate_bps: float | None = None) -> None:
+        if a not in self.graph or b not in self.graph:
+            raise TopologyError(f"link endpoints must exist: {a}, {b}")
+        self.graph.add_edge(a, b, rate_bps=rate_bps or self.default_rate_bps)
+
+    # -- accessors ----------------------------------------------------------------
+
+    @property
+    def hosts(self) -> List[str]:
+        return sorted(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "host"
+        )
+
+    @property
+    def switches(self) -> List[str]:
+        return sorted(
+            n for n, d in self.graph.nodes(data=True) if d["kind"] == "switch"
+        )
+
+    def edge_rate(self, a: str, b: str) -> float:
+        return self.graph.edges[a, b]["rate_bps"]
+
+    def degree_of(self, name: str) -> int:
+        return self.graph.degree[name]
+
+    def validate(self) -> None:
+        """Sanity checks shared by all topologies."""
+        if not self.hosts:
+            raise TopologyError("topology has no hosts")
+        if not nx.is_connected(self.graph):
+            raise TopologyError("topology is not connected")
+        for _, _, data in self.graph.edges(data=True):
+            if data["rate_bps"] <= 0:
+                raise TopologyError("non-positive link rate")
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hosts": len(self.hosts),
+            "switches": len(self.switches),
+            "links": self.graph.number_of_edges(),
+        }
+
+    def host_pairs(self) -> List[Tuple[str, str]]:
+        """All ordered host pairs (diagnostic helper)."""
+        hosts = self.hosts
+        return [(a, b) for a in hosts for b in hosts if a != b]

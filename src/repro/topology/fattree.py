@@ -1,0 +1,59 @@
+"""k-ary fat-tree (Al-Fares et al., SIGCOMM 2008), used in §5.5.
+
+For even ``k``: k pods, each with k/2 edge and k/2 aggregation switches;
+(k/2)^2 core switches; k/2 hosts per edge switch; k^3/4 hosts total.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.units import GBPS
+
+
+class FatTree(Topology):
+    """Standard k-ary fat-tree. ``k`` must be even and >= 2."""
+
+    def __init__(self, k: int = 4, rate_bps: float = 1 * GBPS):
+        if k < 2 or k % 2 != 0:
+            raise TopologyError(f"fat-tree arity must be even and >= 2, got {k}")
+        super().__init__(default_rate_bps=rate_bps)
+        self.k = k
+        self._build()
+        self.validate()
+
+    def _build(self) -> None:
+        k = self.k
+        half = k // 2
+        # core switches, indexed (i, j) on a half x half grid
+        cores = [
+            [self.add_switch(f"core{i}_{j}") for j in range(half)]
+            for i in range(half)
+        ]
+        host_index = 0
+        for pod in range(k):
+            aggs = [self.add_switch(f"agg{pod}_{a}") for a in range(half)]
+            edges = [self.add_switch(f"edge{pod}_{e}") for e in range(half)]
+            for a, agg in enumerate(aggs):
+                # agg switch a in each pod connects to core row a
+                for j in range(half):
+                    self.add_link(agg, cores[a][j])
+                for edge in edges:
+                    self.add_link(agg, edge)
+            for edge in edges:
+                for _ in range(half):
+                    host = self.add_host(f"h{host_index}")
+                    host_index += 1
+                    self.add_link(edge, host)
+
+    @property
+    def n_servers(self) -> int:
+        return self.k ** 3 // 4
+
+    @classmethod
+    def for_servers(cls, n_servers: int, rate_bps: float = 1 * GBPS) -> "FatTree":
+        """Smallest fat-tree with at least ``n_servers`` hosts."""
+        k = 2
+        while k ** 3 // 4 < n_servers:
+            k += 2
+        return cls(k=k, rate_bps=rate_bps)

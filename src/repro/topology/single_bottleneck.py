@@ -1,0 +1,44 @@
+"""Single-bottleneck topology (paper Fig 2b).
+
+N sending servers connect through one switch to a single receiving server;
+the switch->receiver link is the bottleneck that all flows share.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.units import GBPS
+
+
+class SingleBottleneck(Topology):
+    """``n_senders`` hosts -> 1 switch -> 1 receiver host."""
+
+    def __init__(self, n_senders: int, rate_bps: float = 1 * GBPS):
+        if n_senders < 1:
+            raise TopologyError(f"need at least one sender, got {n_senders}")
+        super().__init__(default_rate_bps=rate_bps)
+        self.n_senders = n_senders
+        self._build()
+        self.validate()
+
+    def _build(self) -> None:
+        switch = self.add_switch("sw0")
+        receiver = self.add_host("recv")
+        self.add_link(switch, receiver)
+        for i in range(self.n_senders):
+            sender = self.add_host(f"send{i}")
+            self.add_link(sender, switch)
+
+    @property
+    def receiver(self) -> str:
+        return "recv"
+
+    @property
+    def senders(self) -> list[str]:
+        return [f"send{i}" for i in range(self.n_senders)]
+
+    @property
+    def bottleneck(self) -> tuple[str, str]:
+        """The (switch, receiver) edge every flow crosses."""
+        return ("sw0", "recv")

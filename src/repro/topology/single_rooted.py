@@ -1,0 +1,53 @@
+"""Two-level single-rooted tree (paper Fig 2a).
+
+The paper's default topology: 12 servers under 4 top-of-rack switches
+(3 servers each), all ToRs connected to a single root switch; every link
+1 Gbps. 17 nodes total.
+"""
+
+from __future__ import annotations
+
+from repro.errors import TopologyError
+from repro.topology.base import Topology
+from repro.units import GBPS
+
+
+class SingleRootedTree(Topology):
+    """``n_tors`` racks of ``servers_per_tor`` servers under one root."""
+
+    def __init__(
+        self,
+        n_tors: int = 4,
+        servers_per_tor: int = 3,
+        rate_bps: float = 1 * GBPS,
+    ):
+        if n_tors < 1 or servers_per_tor < 1:
+            raise TopologyError("need at least one ToR and one server per ToR")
+        super().__init__(default_rate_bps=rate_bps)
+        self.n_tors = n_tors
+        self.servers_per_tor = servers_per_tor
+        self._build()
+        self.validate()
+
+    def _build(self) -> None:
+        root = self.add_switch("root")
+        for t in range(self.n_tors):
+            tor = self.add_switch(f"tor{t}")
+            self.add_link(root, tor)
+            for s in range(self.servers_per_tor):
+                host = self.add_host(f"h{t * self.servers_per_tor + s}")
+                self.add_link(tor, host)
+
+    @property
+    def n_servers(self) -> int:
+        return self.n_tors * self.servers_per_tor
+
+    def rack_of(self, host: str) -> int:
+        """Rack index of a host name like ``h7``."""
+        index = int(host[1:])
+        if not 0 <= index < self.n_servers:
+            raise TopologyError(f"unknown host {host}")
+        return index // self.servers_per_tor
+
+    def same_rack(self, a: str, b: str) -> bool:
+        return self.rack_of(a) == self.rack_of(b)

@@ -1,0 +1,16 @@
+"""Transport endpoints: shared machinery plus the paper's baselines.
+
+* :mod:`repro.transport.base` -- protocol-stack interface, paced
+  explicit-rate sender with selective per-packet acknowledgment and
+  timeout retransmission, generic receiver.
+* :mod:`repro.transport.tcp` -- TCP Reno with a small RTOmin (§5.1).
+* :mod:`repro.transport.rcp` -- RCP with exact flow counting (§5.1).
+* :mod:`repro.transport.d3` -- D3 with the non-negative fair-share fix (§5.1).
+"""
+
+from repro.transport.base import ProtocolStack
+from repro.transport.d3 import D3Stack
+from repro.transport.rcp import RcpStack
+from repro.transport.tcp import TcpStack
+
+__all__ = ["ProtocolStack", "TcpStack", "RcpStack", "D3Stack"]

@@ -1,0 +1,17 @@
+"""Small shared utilities: EWMA estimators, seeded RNG plumbing, sorted
+containers and basic statistics helpers."""
+
+from repro.utils.ewma import Ewma, RttEstimator
+from repro.utils.rng import spawn_rng
+from repro.utils.sortedlist import SortedFlowList
+from repro.utils.stats import cdf_points, mean, percentile
+
+__all__ = [
+    "Ewma",
+    "RttEstimator",
+    "spawn_rng",
+    "SortedFlowList",
+    "cdf_points",
+    "mean",
+    "percentile",
+]

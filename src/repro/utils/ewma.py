@@ -1,0 +1,72 @@
+"""Exponentially-weighted moving averages.
+
+PDQ senders estimate RTT "by an exponential decay" (paper §3.1); switches
+keep a per-link average of the RTTs observed in scheduling headers to time
+the rate controller (every 2 RTTs) and the dampening window.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Ewma:
+    """Plain EWMA: ``value <- (1-alpha)*value + alpha*sample``.
+
+    Before the first sample :attr:`value` is ``default`` (may be None).
+    """
+
+    __slots__ = ("alpha", "_value", "samples")
+
+    def __init__(self, alpha: float = 0.125, default: Optional[float] = None):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = default
+        self.samples = 0
+
+    @property
+    def value(self) -> Optional[float]:
+        return self._value
+
+    def update(self, sample: float) -> float:
+        """Fold one sample in and return the new average."""
+        if self._value is None or self.samples == 0:
+            self._value = sample
+        else:
+            self._value = (1.0 - self.alpha) * self._value + self.alpha * sample
+        self.samples += 1
+        return self._value
+
+    def value_or(self, fallback: float) -> float:
+        return self._value if self._value is not None else fallback
+
+
+class RttEstimator:
+    """RFC6298-style smoothed RTT + variance, used for retransmission timers.
+
+    ``rto()`` is clamped to ``[rto_min, rto_max]``.
+    """
+
+    def __init__(self, rto_min: float = 2e-3, rto_max: float = 1.0,
+                 initial_rtt: Optional[float] = None):
+        self.rto_min = rto_min
+        self.rto_max = rto_max
+        self.srtt: Optional[float] = initial_rtt
+        self.rttvar: float = (initial_rtt / 2.0) if initial_rtt else 0.0
+
+    def update(self, sample: float) -> None:
+        if sample < 0:
+            raise ValueError(f"negative RTT sample {sample}")
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2.0
+        else:
+            self.rttvar = 0.75 * self.rttvar + 0.25 * abs(self.srtt - sample)
+            self.srtt = 0.875 * self.srtt + 0.125 * sample
+
+    def rto(self) -> float:
+        if self.srtt is None:
+            return self.rto_max
+        rto = self.srtt + max(4.0 * self.rttvar, 1e-6)
+        return min(self.rto_max, max(self.rto_min, rto))

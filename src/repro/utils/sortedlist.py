@@ -1,0 +1,82 @@
+"""A small list kept sorted by a key function.
+
+PDQ switches keep per-link flow lists ordered by flow criticality
+(paper §3.3.1). The lists are tiny -- O(2*kappa) entries, typically well
+under a hundred -- so a plain Python list with linear insertion beats any
+fancier structure and keeps the code obvious.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generic, Iterator, List, Optional, TypeVar
+
+T = TypeVar("T")
+K = TypeVar("K")
+
+
+class SortedFlowList(Generic[T]):
+    """List sorted ascending by ``key`` (smaller key = more critical)."""
+
+    def __init__(self, key: Callable[[T], K]):
+        self._key = key
+        self._items: List[T] = []
+
+    # -- container protocol ----------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._items)
+
+    def __getitem__(self, index: int) -> T:
+        return self._items[index]
+
+    def __contains__(self, item: T) -> bool:
+        return item in self._items
+
+    # -- operations -------------------------------------------------------------
+
+    def insert(self, item: T) -> int:
+        """Insert keeping order; returns the index it landed at.
+
+        Equal keys insert *after* existing equal-key entries so earlier
+        arrivals keep their (more critical) position -- a stable order.
+        """
+        key = self._key(item)
+        lo, hi = 0, len(self._items)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._key(self._items[mid]) <= key:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._items.insert(lo, item)
+        return lo
+
+    def remove(self, item: T) -> bool:
+        """Remove ``item`` if present; returns whether it was there."""
+        try:
+            self._items.remove(item)
+            return True
+        except ValueError:
+            return False
+
+    def pop_least_critical(self) -> T:
+        """Remove and return the entry with the largest key."""
+        return self._items.pop()
+
+    def least_critical(self) -> Optional[T]:
+        return self._items[-1] if self._items else None
+
+    def index_of(self, item: T) -> int:
+        """Index of ``item`` (its criticality rank); raises ValueError if
+        absent."""
+        return self._items.index(item)
+
+    def resort(self) -> None:
+        """Re-establish order after keys changed in place."""
+        self._items.sort(key=self._key)
+
+    def as_list(self) -> List[T]:
+        return list(self._items)

@@ -1,0 +1,48 @@
+"""Tiny statistics helpers shared by metrics and experiment reports."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def mean(values: Iterable[float]) -> float:
+    """Arithmetic mean; raises ValueError on an empty input (an empty
+    experiment is a bug we want to hear about, not a NaN)."""
+    values = list(values)
+    if not values:
+        raise ValueError("mean of empty sequence")
+    return sum(values) / len(values)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile, q in [0, 100]."""
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"q must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = q / 100.0 * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    value = ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+    # interpolation can drift a few ulps outside the sample range
+    return min(max(value, ordered[0]), ordered[-1])
+
+
+def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+    """Empirical CDF as (value, fraction <= value) points, one per sample."""
+    if not values:
+        return []
+    ordered = sorted(values)
+    n = len(ordered)
+    return [(v, (i + 1) / n) for i, v in enumerate(ordered)]
+
+
+def fraction_at_most(values: Sequence[float], threshold: float) -> float:
+    """Fraction of samples <= threshold (0.0 for empty input)."""
+    if not values:
+        return 0.0
+    return sum(1 for v in values if v <= threshold) / len(values)

@@ -1,0 +1,34 @@
+"""Flow arrival processes."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.utils.rng import SeedLike, spawn_rng
+
+
+def simultaneous_arrivals(n: int, at: float = 0.0) -> List[float]:
+    """All flows arrive at the same instant (query aggregation, §5.2)."""
+    if n < 0:
+        raise WorkloadError(f"n must be >= 0, got {n}")
+    return [at] * n
+
+
+def poisson_arrivals(rate_per_sec: float, duration: float,
+                     rng: SeedLike = None, start: float = 0.0) -> List[float]:
+    """Poisson process arrivals over [start, start + duration) (§5.3's flow
+    arrival rate sweeps)."""
+    if rate_per_sec <= 0:
+        raise WorkloadError(f"rate must be positive, got {rate_per_sec}")
+    if duration <= 0:
+        raise WorkloadError(f"duration must be positive, got {duration}")
+    gen = spawn_rng(rng, "arrivals:poisson")
+    arrivals = []
+    t = start
+    while True:
+        t += float(gen.exponential(1.0 / rate_per_sec))
+        if t >= start + duration:
+            break
+        arrivals.append(t)
+    return arrivals

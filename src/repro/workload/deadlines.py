@@ -1,0 +1,29 @@
+"""Flow-deadline distributions (§5.1).
+
+"The flow deadline is drawn from an exponential distribution with mean
+20 ms, as suggested by [D3]. ... we impose a lower bound on deadlines, and
+we set it to 3 ms in our experiments."
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import WorkloadError
+from repro.units import MSEC
+from repro.utils.rng import SeedLike, spawn_rng
+
+DEFAULT_MEAN = 20 * MSEC
+DEFAULT_FLOOR = 3 * MSEC
+
+
+def exponential_deadlines(n: int, mean: float = DEFAULT_MEAN,
+                          floor: float = DEFAULT_FLOOR,
+                          rng: SeedLike = None) -> List[float]:
+    """Exponential deadlines (relative to flow arrival) with a floor."""
+    if mean <= 0:
+        raise WorkloadError(f"mean deadline must be positive, got {mean}")
+    if floor < 0:
+        raise WorkloadError(f"deadline floor must be >= 0, got {floor}")
+    gen = spawn_rng(rng, "deadlines:exp")
+    return [max(floor, float(gen.exponential(mean))) for _ in range(n)]

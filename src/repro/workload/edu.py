@@ -1,0 +1,72 @@
+"""Synthetic stand-in for the EDU1 university-datacenter workload
+(Benson et al. [6], used in §5.3 / Fig 5c).
+
+Benson et al. characterize university datacenter traffic as ON/OFF at the
+packet level with lognormal inter-arrivals and predominantly small flows.
+We generate a synthetic packet trace with those properties and run it
+through the same Bro-like summarization (:mod:`repro.workload.trace`) the
+paper used, yielding flow summaries for the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import KBYTE
+from repro.utils.rng import SeedLike, spawn_rng
+from repro.workload.flow import FlowSpec
+from repro.workload.trace import TracePacket, flows_from_trace
+
+
+def edu1_packet_trace(hosts: Sequence[str], duration: float,
+                      flows_per_second: float, rng: SeedLike = None,
+                      mean_packets_per_flow: float = 10.0,
+                      packet_bytes: int = 1_000) -> List[TracePacket]:
+    """Generate an EDU1-like synthetic packet trace.
+
+    Flow starts follow a Poisson process; within a flow, packets arrive in
+    an ON burst with lognormal inter-arrival gaps; flow lengths (in
+    packets) are geometric, so most flows are a handful of packets with a
+    heavy-ish tail.
+    """
+    if len(hosts) < 2:
+        raise WorkloadError("need >= 2 hosts")
+    if duration <= 0 or flows_per_second <= 0:
+        raise WorkloadError("duration and rate must be positive")
+    gen = spawn_rng(rng, "edu1:trace")
+    packets: List[TracePacket] = []
+    t = 0.0
+    key = 0
+    p_stop = 1.0 / mean_packets_per_flow
+    while True:
+        t += float(gen.exponential(1.0 / flows_per_second))
+        if t >= duration:
+            break
+        src_i = int(gen.integers(len(hosts)))
+        dst_i = int(gen.integers(len(hosts) - 1))
+        if dst_i >= src_i:
+            dst_i += 1
+        n_packets = 1 + int(gen.geometric(p_stop))
+        when = t
+        for _ in range(n_packets):
+            packets.append(TracePacket(
+                time=when, src=hosts[src_i], dst=hosts[dst_i],
+                key=key, size_bytes=packet_bytes,
+            ))
+            # lognormal ON-period gap (Benson et al.), ~100 us median
+            when += float(gen.lognormal(mean=np.log(1e-4), sigma=1.0))
+        key += 1
+    packets.sort(key=lambda p: p.time)
+    return packets
+
+
+def edu1_flow_summaries(hosts: Sequence[str], duration: float,
+                        flows_per_second: float, rng: SeedLike = None,
+                        fid_start: int = 0) -> List[FlowSpec]:
+    """EDU1-like workload: synthetic packet trace -> Bro-like flow
+    summaries, ready for either simulator."""
+    trace = edu1_packet_trace(hosts, duration, flows_per_second, rng)
+    return flows_from_trace(trace, idle_timeout=0.1, fid_start=fid_start)

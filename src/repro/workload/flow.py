@@ -1,0 +1,51 @@
+"""Flow specification shared by the packet-level and flow-level simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class FlowSpec:
+    """One flow to simulate.
+
+    ``deadline`` is *relative* to ``arrival`` (the paper draws "time until
+    deadline" distributions); ``absolute_deadline`` converts. ``criticality``
+    optionally overrides the comparator input (used by the Random criticality
+    scheme of §5.6); None means "derive from deadline/size as usual".
+    """
+
+    fid: int
+    src: str
+    dst: str
+    size_bytes: int
+    arrival: float = 0.0
+    deadline: Optional[float] = None
+    criticality: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise WorkloadError(f"flow {self.fid}: size must be positive")
+        if self.arrival < 0:
+            raise WorkloadError(f"flow {self.fid}: negative arrival time")
+        if self.deadline is not None and self.deadline <= 0:
+            raise WorkloadError(f"flow {self.fid}: deadline must be positive")
+        if self.src == self.dst:
+            raise WorkloadError(f"flow {self.fid}: src == dst ({self.src})")
+
+    @property
+    def has_deadline(self) -> bool:
+        return self.deadline is not None
+
+    @property
+    def absolute_deadline(self) -> Optional[float]:
+        if self.deadline is None:
+            return None
+        return self.arrival + self.deadline
+
+    def with_(self, **changes) -> "FlowSpec":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **changes)

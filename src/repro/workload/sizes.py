@@ -1,0 +1,47 @@
+"""Flow-size distributions used in the evaluation (§5.1, §5.6)."""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.units import KBYTE
+from repro.utils.rng import SeedLike, spawn_rng
+
+#: the paper's deadline-flow size interval: uniform on [2 KB, 198 KB]
+DEADLINE_SIZE_LO = 2 * KBYTE
+DEADLINE_SIZE_HI = 198 * KBYTE
+
+
+def uniform_sizes(n: int, mean_bytes: float, rng: SeedLike = None,
+                  min_bytes: int = 2 * KBYTE) -> List[int]:
+    """Uniform sizes with the given mean: U[min, 2*mean - min] (the paper
+    draws sizes "uniformly from an interval with a mean of 100/1000 KByte",
+    matching U[2 KB, 198 KB] for the 100 KB case)."""
+    if mean_bytes <= min_bytes:
+        raise WorkloadError(
+            f"mean {mean_bytes} must exceed the minimum size {min_bytes}"
+        )
+    gen = spawn_rng(rng, "sizes:uniform")
+    hi = 2.0 * mean_bytes - min_bytes
+    return [int(gen.uniform(min_bytes, hi)) for _ in range(n)]
+
+
+def pareto_sizes(n: int, mean_bytes: float, rng: SeedLike = None,
+                 tail_index: float = 1.1, min_bytes: int = 1 * KBYTE) -> List[int]:
+    """Heavy-tailed Pareto sizes with the given mean and tail index
+    (Fig 10 uses tail index 1.1)."""
+    if tail_index <= 1.0:
+        raise WorkloadError(
+            f"tail index must be > 1 for a finite mean, got {tail_index}"
+        )
+    gen = spawn_rng(rng, "sizes:pareto")
+    # Pareto mean = alpha * xm / (alpha - 1); solve for xm given the mean
+    xm = mean_bytes * (tail_index - 1.0) / tail_index
+    sizes = []
+    for _ in range(n):
+        size = xm * (1.0 + gen.pareto(tail_index))
+        sizes.append(max(min_bytes, int(size)))
+    return sizes

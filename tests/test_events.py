@@ -1,0 +1,207 @@
+"""Tests for the discrete-event simulation core."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.events import PeriodicTimer, Simulator, Timer
+
+
+class TestSimulator:
+    def test_starts_at_time_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_runs_single_event(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [0.5]
+
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        for t in [0.5, 0.1, 0.9, 0.3]:
+            sim.schedule(t, lambda t=t: fired.append(t))
+        sim.run()
+        assert fired == [0.1, 0.3, 0.5, 0.9]
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, lambda i=i: fired.append(i))
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(1.0000001, lambda: fired.append("b"))
+        sim.run(until=1.0)
+        assert fired == ["a"]
+        assert sim.now == 1.0
+
+    def test_run_resumes_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("late"))
+        sim.run(until=1.0)
+        assert fired == []
+        sim.run(until=3.0)
+        assert fired == ["late"]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().schedule(-1.0, lambda: None)
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: sim.schedule_at(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append("x"))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_stop_halts_processing(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: sim.schedule(1.0, lambda: fired.append(sim.now)))
+        sim.run()
+        assert fired == [2.0]
+
+    def test_max_events_limit(self):
+        sim = Simulator()
+        count = [0]
+
+        def loop():
+            count[0] += 1
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        sim.run(max_events=5)
+        assert count[0] == 5
+
+    def test_pending_counts_live_events(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.pending() == 1
+
+    def test_peek_time_skips_cancelled(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        assert sim.peek_time() == 2.0
+
+    def test_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def nested():
+            try:
+                sim.run()
+            except SimulationError as exc:
+                errors.append(exc)
+
+        sim.schedule(1.0, nested)
+        sim.run()
+        assert len(errors) == 1
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_property_fires_in_nondecreasing_time(self, delays):
+        sim = Simulator()
+        times = []
+        for d in delays:
+            sim.schedule(d, lambda: times.append(sim.now))
+        sim.run()
+        assert times == sorted(times)
+        assert len(times) == len(delays)
+
+
+class TestTimer:
+    def test_fires_once(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0]
+
+    def test_restart_replaces_expiry(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.start(2.0)
+        sim.run()
+        assert fired == [2.0]
+
+    def test_cancel(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(1))
+        timer.start(1.0)
+        timer.cancel()
+        sim.run()
+        assert fired == []
+        assert not timer.armed
+
+    def test_armed_and_expiry(self):
+        sim = Simulator()
+        timer = Timer(sim, lambda: None)
+        assert not timer.armed
+        timer.start(3.0)
+        assert timer.armed
+        assert timer.expiry == 3.0
+
+
+class TestPeriodicTimer:
+    def test_fires_repeatedly(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start()
+        sim.run(until=3.5)
+        timer.stop()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_stop_from_callback(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: (fired.append(sim.now),
+                                                 timer.stop()))
+        timer.start()
+        sim.run(until=10.0)
+        assert fired == [1.0]
+
+    def test_first_delay_override(self):
+        sim = Simulator()
+        fired = []
+        timer = PeriodicTimer(sim, 1.0, lambda: fired.append(sim.now))
+        timer.start(first_delay=0.25)
+        sim.run(until=1.5)
+        timer.stop()
+        assert fired == [0.25, 1.25]
+
+    def test_rejects_nonpositive_period(self):
+        with pytest.raises(ValueError):
+            PeriodicTimer(Simulator(), 0.0, lambda: None)

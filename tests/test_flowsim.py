@@ -1,0 +1,247 @@
+"""Tests for the flow-level (fluid) simulator and its rate models."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flowsim import D3Model, FlowLevelSimulation, PdqModel, RcpModel
+from repro.flowsim.progress import FlowProgress
+from repro.flowsim.rcp_model import max_min_rates
+from repro.topology import SingleBottleneck, SingleRootedTree
+from repro.units import GBPS, KBYTE, MBYTE, MSEC
+from repro.workload.flow import FlowSpec
+
+
+def _progress(fid, path, max_rate=1 * GBPS, size=100 * KBYTE):
+    spec = FlowSpec(fid=fid, src="a", dst="b", size_bytes=size)
+    return FlowProgress(spec, path, max_rate, rtt=150e-6,
+                        wire_size=float(size), transfer_start=0.0)
+
+
+class TestMaxMinRates:
+    def test_single_bottleneck_even_split(self):
+        caps = {("a", "b"): 1 * GBPS}
+        flows = [_progress(i, [("a", "b")]) for i in range(4)]
+        rates = max_min_rates(flows, caps)
+        for rate in rates.values():
+            assert rate == pytest.approx(0.25 * GBPS)
+
+    def test_respects_flow_max_rate(self):
+        caps = {("a", "b"): 1 * GBPS}
+        flows = [
+            _progress(0, [("a", "b")], max_rate=0.1 * GBPS),
+            _progress(1, [("a", "b")]),
+        ]
+        rates = max_min_rates(flows, caps)
+        assert rates[0] == pytest.approx(0.1 * GBPS)
+        assert rates[1] == pytest.approx(0.9 * GBPS)
+
+    def test_multi_bottleneck(self):
+        # classic: flow A on links 1+2, flow B on link 1, flow C on link 2
+        caps = {("x", "y"): 1 * GBPS, ("y", "z"): 1 * GBPS}
+        a = _progress(0, [("x", "y"), ("y", "z")])
+        b = _progress(1, [("x", "y")])
+        c = _progress(2, [("y", "z")])
+        rates = max_min_rates([a, b, c], caps)
+        assert rates[0] == pytest.approx(0.5 * GBPS, rel=1e-6)
+        assert rates[1] == pytest.approx(0.5 * GBPS, rel=1e-6)
+        assert rates[2] == pytest.approx(0.5 * GBPS, rel=1e-6)
+
+    @given(st.lists(st.floats(min_value=1e6, max_value=1e9), min_size=1,
+                    max_size=12))
+    @settings(max_examples=50)
+    def test_property_no_link_oversubscribed(self, max_rates):
+        caps = {("a", "b"): 1 * GBPS, ("b", "c"): 0.5 * GBPS}
+        flows = [
+            _progress(i, [("a", "b"), ("b", "c")], max_rate=m)
+            for i, m in enumerate(max_rates)
+        ]
+        rates = max_min_rates(flows, caps)
+        assert sum(rates.values()) <= 0.5 * GBPS * (1 + 1e-6)
+        for i, m in enumerate(max_rates):
+            assert rates[i] <= m * (1 + 1e-9)
+
+
+class TestPdqModel:
+    def test_most_critical_gets_full_rate(self):
+        caps = {("a", "b"): 1 * GBPS}
+        small = _progress(0, [("a", "b")], size=10 * KBYTE)
+        big = _progress(1, [("a", "b")], size=1 * MBYTE)
+        rates = PdqModel().allocate([big, small], caps, now=0.0)
+        assert rates[0] == pytest.approx(1 * GBPS)
+        assert rates[1] == 0.0
+
+    def test_deadline_beats_size(self):
+        caps = {("a", "b"): 1 * GBPS}
+        sized = _progress(0, [("a", "b")], size=10 * KBYTE)
+        urgent_spec = FlowSpec(fid=1, src="a", dst="b",
+                               size_bytes=1 * MBYTE, deadline=5 * MSEC)
+        urgent = FlowProgress(urgent_spec, [("a", "b")], 1 * GBPS, 150e-6,
+                              float(1 * MBYTE), 0.0)
+        rates = PdqModel().allocate([sized, urgent], caps, now=0.0)
+        assert rates[1] == pytest.approx(1 * GBPS)
+        assert rates[0] == 0.0
+
+    def test_crumb_rule_pauses_sliver_grants(self):
+        caps = {("a", "b"): 1 * GBPS}
+        a = _progress(0, [("a", "b")], size=10 * KBYTE,
+                      max_rate=0.99 * GBPS)
+        b = _progress(1, [("a", "b")], size=1 * MBYTE)
+        rates = PdqModel().allocate([a, b], caps, now=0.0)
+        assert rates[1] == 0.0  # 1% residual is a crumb, pause
+
+    def test_et_terminates_hopeless_deadline_flow(self):
+        caps = {("a", "b"): 1 * GBPS}
+        spec = FlowSpec(fid=0, src="a", dst="b", size_bytes=10 * MBYTE,
+                        deadline=1 * MSEC)
+        flow = FlowProgress(spec, [("a", "b")], 1 * GBPS, 150e-6,
+                            float(10 * MBYTE), 0.0)
+        model = PdqModel()
+        rates = model.allocate([flow], caps, now=0.0)
+        doomed = model.terminations([flow], rates, now=0.0)
+        assert doomed and doomed[0][0] == 0
+
+    def test_aging_promotes_long_waiting_flow(self):
+        config_rates = []
+        caps = {("a", "b"): 1 * GBPS}
+        for aging in (0.0, 5.0):
+            small = _progress(0, [("a", "b")], size=10 * KBYTE)
+            big = _progress(1, [("a", "b")], size=1 * MBYTE)
+            big.waited = 1.0  # has waited 10 aging units
+            model = PdqModel(PdqModel().config.with_(aging_rate=aging))
+            rates = model.allocate([small, big], caps, now=0.0)
+            config_rates.append(rates)
+        assert config_rates[0][0] > 0  # no aging: small flow wins
+        assert config_rates[1][1] > 0  # aging: the starved big flow wins
+
+
+class TestD3Model:
+    def test_matches_rcp_without_deadlines(self):
+        caps = {("a", "b"): 1 * GBPS}
+        flows = [_progress(i, [("a", "b")]) for i in range(3)]
+        d3 = D3Model().allocate(flows, caps, now=0.0)
+        rcp = RcpModel().allocate(flows, caps, now=0.0)
+        for fid in d3:
+            assert d3[fid] == pytest.approx(rcp[fid])
+
+    def test_arrival_order_priority(self):
+        caps = {("a", "b"): 1 * GBPS}
+        early = FlowSpec(fid=0, src="a", dst="b", size_bytes=2 * MBYTE,
+                         deadline=20 * MSEC, arrival=0.0)
+        late = FlowSpec(fid=1, src="a", dst="b", size_bytes=2 * MBYTE,
+                        deadline=18 * MSEC, arrival=1 * MSEC)
+        flows = [
+            FlowProgress(s, [("a", "b")], 1 * GBPS, 150e-6,
+                         float(s.size_bytes), s.arrival)
+            for s in (early, late)
+        ]
+        rates = D3Model().allocate(flows, caps, now=2 * MSEC)
+        # the earlier arrival reserves first even though the later flow has
+        # the tighter deadline (Fig 1's criticism)
+        assert rates[0] > rates[1]
+
+    def test_quenching(self):
+        caps = {("a", "b"): 1 * GBPS}
+        spec = FlowSpec(fid=0, src="a", dst="b", size_bytes=1 * MBYTE,
+                        deadline=1 * MSEC)
+        flow = FlowProgress(spec, [("a", "b")], 1 * GBPS, 150e-6,
+                            float(1 * MBYTE), 0.0)
+        model = D3Model()
+        doomed = model.terminations([flow], {}, now=2 * MSEC)
+        assert doomed and "quenching" in doomed[0][1]
+
+
+class TestFlowLevelEngine:
+    def test_serial_sjf_completions(self):
+        topo = SingleBottleneck(5)
+        flows = [FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                          size_bytes=1 * MBYTE + i * 1000) for i in range(5)]
+        metrics = FlowLevelSimulation(topo, PdqModel()).run(flows)
+        fcts = sorted(r.fct for r in metrics.all_records())
+        # ~8.4ms serial spacing (wire bytes at 1Gbps)
+        for i, fct in enumerate(fcts):
+            assert fct == pytest.approx(0.0084 * (i + 1), rel=0.05)
+
+    def test_rcp_flows_finish_together(self):
+        topo = SingleBottleneck(3)
+        flows = [FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                          size_bytes=1 * MBYTE) for i in range(3)]
+        metrics = FlowLevelSimulation(topo, RcpModel()).run(flows)
+        fcts = [r.fct for r in metrics.all_records()]
+        assert max(fcts) - min(fcts) < 1e-3
+
+    def test_staggered_arrivals(self):
+        topo = SingleBottleneck(2)
+        flows = [
+            FlowSpec(fid=0, src="send0", dst="recv", size_bytes=1 * MBYTE),
+            FlowSpec(fid=1, src="send1", dst="recv", size_bytes=100 * KBYTE,
+                     arrival=2 * MSEC),
+        ]
+        metrics = FlowLevelSimulation(topo, PdqModel()).run(flows)
+        # the late short flow preempts: finishes ~1ms after its arrival
+        assert metrics.record(1).fct < 2 * MSEC
+
+    def test_deadline_metrics(self):
+        topo = SingleBottleneck(2)
+        flows = [
+            FlowSpec(fid=0, src="send0", dst="recv", size_bytes=100 * KBYTE,
+                     deadline=20 * MSEC),
+            FlowSpec(fid=1, src="send1", dst="recv", size_bytes=10 * MBYTE,
+                     deadline=5 * MSEC),  # hopeless
+        ]
+        metrics = FlowLevelSimulation(topo, PdqModel()).run(flows)
+        assert metrics.record(0).met_deadline
+        assert metrics.record(1).terminated
+        assert metrics.application_throughput() == 0.5
+
+    def test_header_overhead_modeled(self):
+        topo = SingleBottleneck(1)
+        flows = [FlowSpec(fid=0, src="send0", dst="recv",
+                          size_bytes=1 * MBYTE)]
+        fct_56 = FlowLevelSimulation(topo, PdqModel(), header_bytes=56).run(
+            flows).record(0).fct
+        fct_0 = FlowLevelSimulation(topo, PdqModel(), header_bytes=1).run(
+            flows).record(0).fct
+        assert fct_56 > fct_0
+
+    def test_multihop_tree(self):
+        topo = SingleRootedTree()
+        flows = [FlowSpec(fid=i, src=f"h{i}", dst=f"h{(i + 3) % 12}",
+                          size_bytes=100 * KBYTE) for i in range(12)]
+        metrics = FlowLevelSimulation(topo, PdqModel()).run(flows)
+        assert len(metrics.completed_records()) == 12
+
+
+class TestCrossValidation:
+    """Fig 8's packet-vs-flow-level agreement on small scenarios."""
+
+    def test_pdq_serial_schedule_agrees(self):
+        from repro.core.stack import PdqStack
+        from repro.net.network import Network
+
+        topo = SingleBottleneck(5)
+        flows = [FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                          size_bytes=1 * MBYTE + i * 1000) for i in range(5)]
+        net = Network(topo, PdqStack())
+        net.launch(flows)
+        net.run_until_quiet(deadline=0.2)
+        pkt = net.metrics.mean_fct()
+        flow = FlowLevelSimulation(
+            SingleBottleneck(5), PdqModel()
+        ).run(flows).mean_fct()
+        assert pkt == pytest.approx(flow, rel=0.10)
+
+    def test_rcp_fair_share_agrees(self):
+        from repro.net.network import Network
+        from repro.transport import RcpStack
+
+        topo = SingleBottleneck(3)
+        flows = [FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                          size_bytes=1 * MBYTE) for i in range(3)]
+        net = Network(topo, RcpStack())
+        net.launch(flows)
+        net.run_until_quiet(deadline=0.3)
+        pkt = net.metrics.mean_fct()
+        flow = FlowLevelSimulation(
+            SingleBottleneck(3), RcpModel(), header_bytes=44
+        ).run(flows).mean_fct()
+        assert pkt == pytest.approx(flow, rel=0.15)

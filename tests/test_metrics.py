@@ -1,0 +1,128 @@
+"""Tests for metrics collection and summaries."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics import FlowRecord, MetricsCollector, SummaryStats
+from repro.workload.flow import FlowSpec
+
+
+def _spec(fid=0, deadline=None, arrival=0.0):
+    return FlowSpec(fid=fid, src="a", dst="b", size_bytes=1000,
+                    arrival=arrival, deadline=deadline)
+
+
+class TestFlowRecord:
+    def test_fct_relative_to_arrival(self):
+        record = FlowRecord(spec=_spec(arrival=1.0))
+        record.completion_time = 1.5
+        assert record.fct == pytest.approx(0.5)
+
+    def test_met_deadline(self):
+        record = FlowRecord(spec=_spec(deadline=1.0))
+        record.completion_time = 0.9
+        assert record.met_deadline
+        record.completion_time = 1.1
+        assert not record.met_deadline
+
+    def test_no_deadline_never_met(self):
+        record = FlowRecord(spec=_spec())
+        record.completion_time = 0.1
+        assert not record.met_deadline
+
+    def test_incomplete_flow(self):
+        record = FlowRecord(spec=_spec(deadline=1.0))
+        assert record.fct is None
+        assert not record.met_deadline
+
+
+class TestCollector:
+    def test_register_and_complete(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        collector.on_start(1, 0.0)
+        collector.on_bytes(1, 1000)
+        collector.on_complete(1, 0.25)
+        record = collector.record(1)
+        assert record.completed
+        assert record.bytes_delivered == 1000
+
+    def test_double_registration_rejected(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        with pytest.raises(ExperimentError):
+            collector.register(_spec(fid=1))
+
+    def test_first_completion_wins(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        collector.on_complete(1, 0.25)
+        collector.on_complete(1, 0.50)
+        assert collector.record(1).completion_time == 0.25
+
+    def test_termination_after_completion_ignored(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        collector.on_complete(1, 0.25)
+        collector.on_terminated(1, 0.30, "late")
+        assert not collector.record(1).terminated
+
+    def test_application_throughput(self):
+        collector = MetricsCollector()
+        for fid, (deadline, done_at) in enumerate(
+            [(1.0, 0.5), (1.0, 2.0), (1.0, None)]
+        ):
+            collector.register(_spec(fid=fid, deadline=deadline))
+            if done_at is not None:
+                collector.on_complete(fid, done_at)
+        assert collector.application_throughput() == pytest.approx(1 / 3)
+
+    def test_application_throughput_needs_deadline_flows(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        with pytest.raises(ExperimentError):
+            collector.application_throughput()
+
+    def test_mean_fct_subset(self):
+        collector = MetricsCollector()
+        for fid, done in [(1, 0.1), (2, 0.3), (3, 0.5)]:
+            collector.register(_spec(fid=fid))
+            collector.on_complete(fid, done)
+        assert collector.mean_fct(only=[1, 3]) == pytest.approx(0.3)
+
+    def test_mean_fct_empty_raises(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        with pytest.raises(ExperimentError):
+            collector.mean_fct()
+
+    def test_unfinished_excludes_terminated(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        collector.register(_spec(fid=2))
+        collector.on_terminated(1, 0.1, "reason")
+        assert [r.spec.fid for r in collector.unfinished()] == [2]
+
+
+class TestSummary:
+    def test_summary_from_collector(self):
+        collector = MetricsCollector()
+        for fid, done in [(1, 0.1), (2, 0.2)]:
+            collector.register(_spec(fid=fid, deadline=0.15))
+            collector.on_complete(fid, done)
+        collector.register(_spec(fid=3, deadline=0.15))
+        collector.on_terminated(3, 0.05, "early_termination")
+        summary = SummaryStats.from_collector(collector)
+        assert summary.n_flows == 3
+        assert summary.n_completed == 2
+        assert summary.n_terminated == 1
+        assert summary.mean_fct == pytest.approx(0.15)
+        assert summary.application_throughput == pytest.approx(1 / 3)
+
+    def test_describe_renders(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1))
+        collector.on_complete(1, 0.1)
+        text = SummaryStats.from_collector(collector).describe()
+        assert "flows=1" in text
+        assert "mean_fct" in text

@@ -1,0 +1,257 @@
+"""Unit tests for the PDQ switch (Algorithms 1-3, §3.3)."""
+
+import pytest
+
+from repro.core.config import PdqConfig
+from repro.core.stack import PdqStack
+from repro.net.headers import PdqHeader
+from repro.net.network import Network
+from repro.net.packet import Packet, PacketKind
+from repro.topology import SingleBottleneck
+from repro.units import GBPS, USEC
+
+
+def make_env(n_senders=4, **cfg):
+    """A switch protocol instance with one egress link under test."""
+    net = Network(SingleBottleneck(n_senders), PdqStack(PdqConfig.full(**cfg)))
+    switch = net.node("sw0")
+    link = net.link_between("sw0", "recv")
+    return net, switch.protocol, link
+
+
+def fwd_packet(fid, kind=PacketKind.SYN, rate=1 * GBPS, pauseby=None,
+               deadline=None, expected_tx=1e-3, rtt=150 * USEC):
+    header = PdqHeader(rate=rate, pauseby=pauseby, deadline=deadline,
+                       expected_tx=expected_tx, rtt=rtt)
+    return Packet(fid=fid, src=0, dst=1, kind=kind, size=56, sched=header)
+
+
+class TestAlgorithm1:
+    def test_first_flow_accepted_at_full_rate(self):
+        net, proto, link = make_env()
+        pkt = fwd_packet(1)
+        proto.process(pkt, link)
+        assert pkt.sched.pauseby is None
+        assert pkt.sched.rate == pytest.approx(1 * GBPS)
+
+    def test_second_flow_dampened_in_window(self):
+        net, proto, link = make_env()
+        proto.process(fwd_packet(1, expected_tx=1e-3), link)
+        pkt2 = fwd_packet(2, expected_tx=2e-3)
+        proto.process(pkt2, link)
+        assert pkt2.sched.pauseby == proto.switch_id
+        assert pkt2.sched.rate == 0.0
+
+    def test_flow_paused_when_more_critical_committed(self):
+        net, proto, link = make_env()
+        state = proto.state_for(link)
+        pkt1 = fwd_packet(1, expected_tx=1e-3)
+        proto.process(pkt1, link)
+        # commit flow 1's rate via the reverse path
+        ack1 = Packet(fid=1, src=1, dst=0, kind=PacketKind.ACK, size=56,
+                      sched=pkt1.sched)
+        proto.process(ack1, link.reverse)
+        assert state.flows.get(1).rate == pytest.approx(1 * GBPS)
+        # dampening window over
+        net.sim.run(until=1e-3)
+        pkt2 = fwd_packet(2, expected_tx=2e-3)
+        proto.process(pkt2, link)
+        assert pkt2.sched.pauseby == proto.switch_id
+
+    def test_more_critical_flow_preempts_committed(self):
+        net, proto, link = make_env()
+        pkt1 = fwd_packet(1, expected_tx=2e-3)
+        proto.process(pkt1, link)
+        ack1 = Packet(fid=1, src=1, dst=0, kind=PacketKind.ACK, size=56,
+                      sched=pkt1.sched)
+        proto.process(ack1, link.reverse)
+        net.sim.run(until=1e-3)
+        # a more critical flow gets the full rate (preemption: availbw only
+        # counts flows more critical than the prober)
+        pkt2 = fwd_packet(2, expected_tx=0.5e-3)
+        proto.process(pkt2, link)
+        assert pkt2.sched.pauseby is None
+        assert pkt2.sched.rate > 0
+
+    def test_paused_by_other_switch_removes_state(self):
+        net, proto, link = make_env()
+        proto.process(fwd_packet(1), link)
+        assert proto.state_for(link).flows.get(1) is not None
+        proto.process(fwd_packet(1, kind=PacketKind.DATA, pauseby=999), link)
+        assert proto.state_for(link).flows.get(1) is None
+
+    def test_term_removes_state(self):
+        net, proto, link = make_env()
+        proto.process(fwd_packet(1), link)
+        proto.process(fwd_packet(1, kind=PacketKind.TERM), link)
+        assert proto.state_for(link).flows.get(1) is None
+
+    def test_rcp_fallback_for_overflow_flows(self):
+        net, proto, link = make_env(min_list_capacity=2, hard_flow_limit=2,
+                                    dampening=False)
+        state = proto.state_for(link)
+        for fid, tx in [(1, 1e-3), (2, 2e-3)]:
+            pkt = fwd_packet(fid, expected_tx=tx)
+            proto.process(pkt, link)
+            ack = Packet(fid=fid, src=1, dst=0, kind=PacketKind.ACK,
+                         size=56, sched=pkt.sched)
+            proto.process(ack, link.reverse)
+        # flow 3 is less critical than both: no list room -> RCP fallback.
+        # the two listed flows hold the whole link, so it is paused.
+        pkt3 = fwd_packet(3, expected_tx=5e-3)
+        proto.process(pkt3, link)
+        assert state.flows.get(3) is None
+        assert pkt3.sched.pauseby == proto.switch_id
+        assert 3 in state.outside
+
+    def test_receiver_limited_rate_clamps_grant(self):
+        net, proto, link = make_env()
+        pkt = fwd_packet(1, rate=0.2 * GBPS)  # sender/receiver limited
+        proto.process(pkt, link)
+        assert pkt.sched.rate == pytest.approx(0.2 * GBPS)
+
+
+class TestAlgorithm2:
+    def test_availbw_subtracts_committed_rates(self):
+        net, proto, link = make_env(early_start=False)
+        state = proto.state_for(link)
+        pkt1 = fwd_packet(1, expected_tx=1e-3)
+        proto.process(pkt1, link)
+        state.flows.get(1).rate = 0.6 * GBPS
+        pkt2 = fwd_packet(2, expected_tx=2e-3)
+        proto.process(pkt2, link)
+        available, more_critical = state.availbw(state.flows.index_of(2))
+        assert more_critical == pytest.approx(0.6 * GBPS)
+        assert available == pytest.approx(0.4 * GBPS)
+
+    def test_early_start_ignores_nearly_completed(self):
+        net, proto, link = make_env(K=2.0)
+        state = proto.state_for(link)
+        # flow 1 sending, nearly completed (T < K*RTT)
+        pkt1 = fwd_packet(1, expected_tx=100 * USEC, rtt=150 * USEC)
+        proto.process(pkt1, link)
+        state.flows.get(1).rate = 1 * GBPS
+        available, _ = state.availbw(1)
+        assert available == pytest.approx(1 * GBPS)
+
+    def test_early_start_budget_bounded_by_k(self):
+        net, proto, link = make_env(K=2.0, dampening=False)
+        state = proto.state_for(link)
+        # three nearly-completed senders of 1 RTT each: only K=2 fit the
+        # budget; the third contributes its rate
+        for fid in (1, 2, 3):
+            pkt = fwd_packet(fid, expected_tx=150 * USEC, rtt=150 * USEC)
+            proto.process(pkt, link)
+            state.flows.get(fid).rate = 0.33 * GBPS
+        available, _ = state.availbw(3)
+        assert available == pytest.approx((1 - 0.33) * GBPS, rel=1e-6)
+
+    def test_basic_variant_has_no_early_start(self):
+        net, proto, link = make_env(early_start=False)
+        state = proto.state_for(link)
+        pkt1 = fwd_packet(1, expected_tx=100 * USEC, rtt=150 * USEC)
+        proto.process(pkt1, link)
+        state.flows.get(1).rate = 1 * GBPS
+        available, _ = state.availbw(1)
+        assert available == 0.0
+
+
+class TestAlgorithm3:
+    def test_reverse_commits_acceptance(self):
+        net, proto, link = make_env()
+        pkt = fwd_packet(1)
+        proto.process(pkt, link)
+        ack = Packet(fid=1, src=1, dst=0, kind=PacketKind.ACK, size=56,
+                     sched=pkt.sched)
+        proto.process(ack, link.reverse)
+        entry = proto.state_for(link).flows.get(1)
+        assert entry.rate == pytest.approx(1 * GBPS)
+        assert entry.pauseby is None
+
+    def test_reverse_zeroes_rate_when_paused(self):
+        net, proto, link = make_env()
+        pkt = fwd_packet(1)
+        proto.process(pkt, link)
+        header = pkt.sched
+        header.pauseby = proto.switch_id  # pretend we paused it downstream? no: by us
+        ack = Packet(fid=1, src=1, dst=0, kind=PacketKind.ACK, size=56,
+                     sched=header)
+        proto.process(ack, link.reverse)
+        assert header.rate == 0.0
+        assert proto.state_for(link).flows.get(1).pauseby == proto.switch_id
+
+    def test_reverse_paused_by_other_removes_state(self):
+        net, proto, link = make_env()
+        pkt = fwd_packet(1)
+        proto.process(pkt, link)
+        header = pkt.sched
+        header.pauseby = 999
+        ack = Packet(fid=1, src=1, dst=0, kind=PacketKind.ACK, size=56,
+                     sched=header)
+        proto.process(ack, link.reverse)
+        assert proto.state_for(link).flows.get(1) is None
+        assert header.rate == 0.0
+
+    def test_suppressed_probing_raises_interval_with_index(self):
+        net, proto, link = make_env(dampening=False)
+        state = proto.state_for(link)
+        headers = {}
+        for fid, tx in [(1, 1e-3), (2, 2e-3), (3, 3e-3)]:
+            pkt = fwd_packet(fid, expected_tx=tx)
+            proto.process(pkt, link)
+            headers[fid] = pkt.sched
+        ack3 = Packet(fid=3, src=1, dst=0, kind=PacketKind.ACK, size=56,
+                      sched=headers[3])
+        proto.process(ack3, link.reverse)
+        assert headers[3].inter_probe == pytest.approx(
+            max(1.0, 0.2 * 2)
+        )
+
+    def test_no_suppressed_probing_when_disabled(self):
+        net, proto, link = make_env(suppressed_probing=False,
+                                    dampening=False)
+        headers = {}
+        for fid, tx in [(1, 1e-3), (2, 2e-3), (3, 3e-3)]:
+            pkt = fwd_packet(fid, expected_tx=tx)
+            proto.process(pkt, link)
+            headers[fid] = pkt.sched
+        ack = Packet(fid=3, src=1, dst=0, kind=PacketKind.ACK, size=56,
+                     sched=headers[3])
+        proto.process(ack, link.reverse)
+        assert headers[3].inter_probe == 1.0
+
+
+class TestRateController:
+    def test_capacity_drops_with_queue(self):
+        net, proto, link = make_env()
+        state = proto.state_for(link)
+        controller = state.rate_controller
+        # stuff the queue and force an update
+        from repro.net.packet import Packet as P
+
+        for _ in range(20):
+            link.queue.offer(P(fid=0, src=0, dst=1, kind=PacketKind.DATA,
+                               size=1500, payload=1444))
+        controller.start()
+        net.sim.run(until=1e-3)
+        assert controller.capacity < link.rate_bps
+
+    def test_capacity_restores_when_queue_drains(self):
+        net, proto, link = make_env()
+        controller = proto.state_for(link).rate_controller
+        controller.start()
+        net.sim.run(until=2e-3)
+        assert controller.capacity == pytest.approx(link.rate_bps)
+
+    def test_r_pdq_slicing(self):
+        net, proto, link = make_env()
+        controller = proto.state_for(link).rate_controller
+        controller.set_pdq_rate(0.5 * GBPS)
+        controller.start()
+        net.sim.run(until=2e-3)
+        assert controller.capacity == pytest.approx(0.5 * GBPS)
+
+    def test_rejects_negative_r_pdq(self):
+        net, proto, link = make_env()
+        with pytest.raises(ValueError):
+            proto.state_for(link).rate_controller.set_pdq_rate(-1.0)

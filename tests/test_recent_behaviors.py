@@ -1,0 +1,151 @@
+"""Tests for behaviours added while calibrating against the paper's
+dynamics: BCube address-based routing, source-routed paths, search
+capping, elephant truncation, D3 allocation ordering, feedback floors."""
+
+import pytest
+
+from repro.core.stack import PdqStack
+from repro.errors import TopologyError
+from repro.experiments.search import binary_search_max
+from repro.net.network import Network
+from repro.topology import BCube, SingleBottleneck
+from repro.transport.rcp import FEEDBACK_RTTS, floor_rate
+from repro.units import GBPS, KBYTE, MBYTE
+from repro.workload.vl2 import vl2_flow_sizes
+
+
+class TestBCubeDisjointPaths:
+    def test_full_hamming_distance_gives_k_plus_1_paths(self):
+        topo = BCube(2, 3)
+        paths = topo.disjoint_paths("h0", "h15")
+        assert len(paths) == 4
+
+    def test_paths_are_node_disjoint_except_endpoints(self):
+        topo = BCube(2, 3)
+        paths = topo.disjoint_paths("h0", "h15")
+        interiors = [set(p[1:-1]) for p in paths]
+        for i in range(len(interiors)):
+            for j in range(i + 1, len(interiors)):
+                assert not (interiors[i] & interiors[j])
+
+    def test_paths_start_and_end_correctly(self):
+        topo = BCube(2, 3)
+        for path in topo.disjoint_paths("h3", "h12"):
+            assert path[0] == "h3"
+            assert path[-1] == "h12"
+
+    def test_paths_follow_existing_links(self):
+        topo = BCube(2, 3)
+        for path in topo.disjoint_paths("h1", "h14"):
+            for a, b in zip(path, path[1:]):
+                assert topo.graph.has_edge(a, b), (a, b)
+
+    def test_partial_hamming_distance(self):
+        topo = BCube(2, 3)
+        # h0 (0000) -> h1 (0001): one differing digit, one path
+        assert len(topo.disjoint_paths("h0", "h1")) == 1
+
+    def test_same_server_rejected(self):
+        with pytest.raises(TopologyError):
+            BCube(2, 3).disjoint_paths("h0", "h0")
+
+
+class TestLinksForPath:
+    def test_resolves_named_walk(self):
+        net = Network(BCube(2, 2), PdqStack())
+        names = BCube(2, 2).disjoint_paths("h0", "h7")[0]
+        links = net.links_for_path(names)
+        assert len(links) == len(names) - 1
+        assert links[0].src.name == "h0"
+        assert links[-1].dst.name == "h7"
+
+    def test_rejects_trivial_path(self):
+        net = Network(SingleBottleneck(1), PdqStack())
+        with pytest.raises(TopologyError):
+            net.links_for_path(["recv"])
+
+
+class TestSearchCapping:
+    def test_grow_false_caps_at_hi(self):
+        assert binary_search_max(lambda n: True, lo=1, hi=8,
+                                 grow=False) == 8
+
+    def test_grow_false_still_searches_below_hi(self):
+        assert binary_search_max(lambda n: n <= 5, lo=1, hi=8,
+                                 grow=False) == 5
+
+
+class TestVl2Cap:
+    def test_cap_truncates_elephants(self):
+        sizes = vl2_flow_sizes(5000, rng=1, cap_bytes=1 * MBYTE)
+        assert max(sizes) <= 1 * MBYTE
+
+    def test_cap_preserves_mice(self):
+        capped = vl2_flow_sizes(2000, rng=2, cap_bytes=1 * MBYTE)
+        free = vl2_flow_sizes(2000, rng=2)
+        assert sum(1 for s in capped if s < 40 * KBYTE) == sum(
+            1 for s in free if s < 40 * KBYTE
+        )
+
+
+class TestFeedbackFloor:
+    def test_floor_bounds_feedback_latency(self):
+        rtt = 150e-6
+        rate = floor_rate(rtt)
+        gap = 1500 * 8 / rate  # pacing gap at the floor
+        assert gap <= FEEDBACK_RTTS * rtt * 1.001
+
+    def test_floor_scales_inversely_with_rtt(self):
+        assert floor_rate(150e-6) > floor_rate(300e-6)
+
+
+class TestD3AllocationTable:
+    def _state(self):
+        from repro.transport.d3 import D3LinkState, D3Stack
+
+        net = Network(SingleBottleneck(4), D3Stack())
+        link = net.link_between("sw0", "recv")
+        return D3LinkState(net.node("sw0").protocol, link)
+
+    def test_arrival_order_wins(self):
+        state = self._state()
+        # flow 1 arrives first wanting 0.9G; flow 2 arrives later wanting
+        # 0.9G: only the first is satisfiable
+        state.flows = {
+            1: (0.0, 1.0, 0.9 * GBPS),
+            2: (0.5, 1.0, 0.9 * GBPS),
+        }
+        state._allocate()
+        assert state.grants[1] >= 0.9 * GBPS
+        assert state.grants[2] < 0.3 * GBPS
+
+    def test_fair_share_added_on_top(self):
+        state = self._state()
+        state.fair_share = 0.1 * GBPS
+        state.flows = {1: (0.0, 1.0, 0.0), 2: (0.1, 1.0, 0.0)}
+        state._allocate()
+        assert state.grants[1] == pytest.approx(0.1 * GBPS)
+        assert state.grants[2] == pytest.approx(0.1 * GBPS)
+
+    def test_grants_never_below_floor(self):
+        state = self._state()
+        state.fair_share = 0.0
+        state.flows = {i: (float(i), 1.0, 1 * GBPS) for i in range(5)}
+        state._allocate()
+        assert all(g > 0 for g in state.grants.values())
+
+
+class TestMpdqSourceRouting:
+    def test_subflows_use_disjoint_first_hops(self):
+        from repro.core.multipath import MpdqStack
+        from repro.workload.flow import FlowSpec
+
+        net = Network(BCube(2, 3), MpdqStack(n_subflows=4))
+        spec = FlowSpec(fid=0, src="h0", dst="h15", size_bytes=400 * KBYTE)
+        record = net.metrics.register(spec)
+        src = net.host("h0")
+        fwd = net.router.flow_path(0, src.id, net.host("h15").id)
+        rev = net.router.reverse_path(fwd)
+        coordinator, _ = net.stack.make_endpoints(net, spec, record, fwd, rev)
+        first_hops = {s.path[0].dst.name for s in coordinator.senders}
+        assert len(first_hops) == 4  # one NIC per subflow

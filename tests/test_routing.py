@@ -1,0 +1,127 @@
+"""Tests for ECMP routing, path pinning, and packet/flow-level agreement."""
+
+import pytest
+
+from repro.core.stack import PdqStack
+from repro.errors import RoutingError
+from repro.flowsim.paths import GraphRouter
+from repro.net.network import Network
+from repro.net.routing import ecmp_hash
+from repro.topology import BCube, FatTree, SingleRootedTree
+
+
+@pytest.fixture(scope="module")
+def fattree_net():
+    return Network(FatTree(4), PdqStack())
+
+
+class TestEcmpHash:
+    def test_deterministic(self):
+        assert ecmp_hash(42, 7) == ecmp_hash(42, 7)
+
+    def test_varies_with_flow(self):
+        values = {ecmp_hash(fid, 3) % 4 for fid in range(64)}
+        assert len(values) > 1
+
+    def test_nonnegative(self):
+        for fid in range(100):
+            assert ecmp_hash(fid, fid * 3) >= 0
+
+
+class TestRouter:
+    def test_path_connects_endpoints(self, fattree_net):
+        net = fattree_net
+        src, dst = net.node("h0"), net.node("h15")
+        path = net.router.flow_path(1, src.id, dst.id)
+        assert path[0].src is src
+        assert path[-1].dst is dst
+        for a, b in zip(path, path[1:]):
+            assert a.dst is b.src
+
+    def test_path_is_shortest(self, fattree_net):
+        net = fattree_net
+        src, dst = net.node("h0"), net.node("h15")
+        # inter-pod in a fat-tree: host-edge-agg-core-agg-edge-host = 6 links
+        assert len(net.router.flow_path(1, src.id, dst.id)) == 6
+        assert net.router.hop_count(src.id, dst.id) == 6
+
+    def test_path_pinned_per_flow(self, fattree_net):
+        net = fattree_net
+        src, dst = net.node("h0"), net.node("h15")
+        assert net.router.flow_path(5, src.id, dst.id) is net.router.flow_path(
+            5, src.id, dst.id
+        )
+
+    def test_different_flows_spread_over_paths(self, fattree_net):
+        net = fattree_net
+        src, dst = net.node("h0"), net.node("h15")
+        cores = set()
+        for fid in range(64):
+            path = net.router.flow_path(fid, src.id, dst.id)
+            cores.add(path[2].dst.name)  # the core switch
+        assert len(cores) > 1  # ECMP actually uses the path diversity
+
+    def test_reverse_path_is_exact_mirror(self, fattree_net):
+        net = fattree_net
+        src, dst = net.node("h0"), net.node("h15")
+        fwd = net.router.flow_path(9, src.id, dst.id)
+        rev = net.router.reverse_path(fwd)
+        assert [l.reverse for l in rev] == list(reversed(fwd))
+
+    def test_no_route_to_self(self, fattree_net):
+        net = fattree_net
+        h0 = net.node("h0")
+        with pytest.raises(RoutingError):
+            net.router.flow_path(1, h0.id, h0.id)
+
+    def test_bcube_paths_may_relay_through_hosts(self):
+        net = Network(BCube(2, 3), PdqStack())
+        src, dst = net.node("h0"), net.node("h3")
+        # h0 (0000) to h3 (0011) differ in two digits: 4-link path via a
+        # relay server
+        path = net.router.flow_path(1, src.id, dst.id)
+        assert len(path) == 4
+        relay_names = {link.dst.name for link in path[:-1]}
+        assert any(name.startswith("h") for name in relay_names)
+
+
+class TestGraphRouterAgreement:
+    """The flow-level GraphRouter must pick the same paths as the
+    packet-level Router (Fig 8's cross-validation relies on it)."""
+
+    @pytest.mark.parametrize("topo_factory", [
+        lambda: FatTree(4),
+        lambda: SingleRootedTree(),
+        lambda: BCube(2, 2),
+    ])
+    def test_same_paths_both_levels(self, topo_factory):
+        topo = topo_factory()
+        net = Network(topo, PdqStack())
+        graph_router = GraphRouter(topo)
+        hosts = topo.hosts
+        for fid, (src, dst) in enumerate(
+            [(hosts[0], hosts[-1]), (hosts[1], hosts[2]),
+             (hosts[0], hosts[len(hosts) // 2])]
+        ):
+            if src == dst:
+                continue
+            pkt_path = net.router.flow_path(
+                fid, net.node(src).id, net.node(dst).id
+            )
+            pkt_names = [(l.src.name, l.dst.name) for l in pkt_path]
+            flow_path = graph_router.flow_path(fid, src, dst)
+            assert pkt_names == list(flow_path)
+
+    def test_hop_count_agrees(self):
+        topo = FatTree(4)
+        net = Network(topo, PdqStack())
+        graph_router = GraphRouter(topo)
+        assert graph_router.hop_count("h0", "h15") == net.router.hop_count(
+            net.node("h0").id, net.node("h15").id
+        )
+
+    def test_capacities_cover_all_directed_edges(self):
+        topo = SingleRootedTree()
+        caps = GraphRouter(topo).capacities()
+        assert len(caps) == 2 * topo.graph.number_of_edges()
+        assert all(v > 0 for v in caps.values())

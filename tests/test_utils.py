@@ -1,0 +1,153 @@
+"""Tests for shared utilities: EWMA, RNG plumbing, sorted list, stats."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.ewma import Ewma, RttEstimator
+from repro.utils.rng import spawn_rng
+from repro.utils.sortedlist import SortedFlowList
+from repro.utils.stats import cdf_points, fraction_at_most, mean, percentile
+
+
+class TestEwma:
+    def test_first_sample_is_value(self):
+        e = Ewma(alpha=0.5)
+        assert e.update(10.0) == 10.0
+
+    def test_decay(self):
+        e = Ewma(alpha=0.5)
+        e.update(10.0)
+        assert e.update(20.0) == pytest.approx(15.0)
+
+    def test_default_value(self):
+        e = Ewma(default=42.0)
+        assert e.value == 42.0
+        assert e.value_or(0.0) == 42.0
+
+    def test_default_replaced_by_first_sample(self):
+        e = Ewma(alpha=0.5, default=42.0)
+        assert e.update(10.0) == 10.0
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            Ewma(alpha=0.0)
+        with pytest.raises(ValueError):
+            Ewma(alpha=1.5)
+
+    @given(st.lists(st.floats(min_value=1.0, max_value=100.0), min_size=1))
+    def test_property_stays_within_sample_range(self, samples):
+        e = Ewma(alpha=0.3)
+        for s in samples:
+            e.update(s)
+        assert min(samples) - 1e-9 <= e.value <= max(samples) + 1e-9
+
+
+class TestRttEstimator:
+    def test_rto_respects_min(self):
+        est = RttEstimator(rto_min=0.01)
+        est.update(1e-4)
+        assert est.rto() == 0.01
+
+    def test_rto_without_samples_is_max(self):
+        est = RttEstimator(rto_min=0.001, rto_max=2.0)
+        assert est.rto() == 2.0
+
+    def test_srtt_converges(self):
+        est = RttEstimator(rto_min=1e-6)
+        for _ in range(100):
+            est.update(0.002)
+        assert est.srtt == pytest.approx(0.002, rel=1e-3)
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().update(-1.0)
+
+
+class TestSpawnRng:
+    def test_same_seed_same_stream(self):
+        a, b = spawn_rng(7), spawn_rng(7)
+        assert a.integers(1 << 30) == b.integers(1 << 30)
+
+    def test_streams_are_independent(self):
+        a = spawn_rng(7, "one")
+        b = spawn_rng(7, "two")
+        assert [a.integers(1 << 30) for _ in range(4)] != [
+            b.integers(1 << 30) for _ in range(4)
+        ]
+
+    def test_generator_passthrough(self):
+        gen = spawn_rng(3)
+        assert spawn_rng(gen) is gen
+
+
+class TestSortedFlowList:
+    def test_insert_keeps_order(self):
+        lst = SortedFlowList(key=lambda x: x)
+        for v in [5, 1, 3, 2, 4]:
+            lst.insert(v)
+        assert lst.as_list() == [1, 2, 3, 4, 5]
+
+    def test_insert_returns_index(self):
+        lst = SortedFlowList(key=lambda x: x)
+        assert lst.insert(5) == 0
+        assert lst.insert(1) == 0
+        assert lst.insert(3) == 1
+
+    def test_equal_keys_stable(self):
+        lst = SortedFlowList(key=lambda pair: pair[0])
+        lst.insert((1, "first"))
+        lst.insert((1, "second"))
+        assert lst.as_list() == [(1, "first"), (1, "second")]
+
+    def test_remove(self):
+        lst = SortedFlowList(key=lambda x: x)
+        lst.insert(1)
+        assert lst.remove(1) is True
+        assert lst.remove(1) is False
+
+    def test_least_critical(self):
+        lst = SortedFlowList(key=lambda x: x)
+        assert lst.least_critical() is None
+        lst.insert(2)
+        lst.insert(9)
+        assert lst.least_critical() == 9
+        assert lst.pop_least_critical() == 9
+
+    @given(st.lists(st.integers(), min_size=1, max_size=100))
+    def test_property_matches_sorted(self, values):
+        lst = SortedFlowList(key=lambda x: x)
+        for v in values:
+            lst.insert(v)
+        assert lst.as_list() == sorted(values)
+
+
+class TestStats:
+    def test_mean(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+
+    def test_mean_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_percentile_bounds(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == pytest.approx(2.5)
+
+    def test_percentile_invalid_q(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    def test_cdf_points(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+    def test_fraction_at_most(self):
+        assert fraction_at_most([1, 2, 3, 4], 2) == 0.5
+        assert fraction_at_most([], 1) == 0.0
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=1))
+    def test_property_percentile_within_range(self, values):
+        p = percentile(values, 37.5)
+        assert min(values) <= p <= max(values)
