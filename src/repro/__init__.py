@@ -12,7 +12,10 @@ The package provides:
 * a flow-level equilibrium simulator (:mod:`repro.flowsim`) for large
   scales;
 * topologies, workloads, metrics and the per-figure experiment harness
-  (:mod:`repro.experiments`) regenerating every evaluation figure.
+  (:mod:`repro.experiments`) regenerating every evaluation figure;
+* a campaign layer (:mod:`repro.campaign`): declarative scenario specs
+  with content-hash keys, a parallel runner with a persistent result
+  store, and the ``python -m repro`` CLI (``run-fig``, ``sweep``, ``ls``).
 
 Quickstart::
 
@@ -28,6 +31,16 @@ Quickstart::
     print(net.metrics.mean_fct())
 """
 
+from repro.campaign import (
+    CampaignRunner,
+    ResultStore,
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    expand_grid,
+    run_scenarios,
+    use_runner,
+)
 from repro.core import MpdqStack, PdqConfig, PdqStack
 from repro.events import Simulator
 from repro.metrics import FlowRecord, MetricsCollector, SummaryStats
@@ -43,10 +56,11 @@ from repro.topology import (
 from repro.transport import D3Stack, RcpStack, TcpStack
 from repro.workload import FlowSpec
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BCube",
+    "CampaignRunner",
     "D3Stack",
     "FatTree",
     "FlowRecord",
@@ -59,10 +73,17 @@ __all__ = [
     "PdqConfig",
     "PdqStack",
     "RcpStack",
+    "ResultStore",
+    "ScenarioSpec",
     "Simulator",
     "SingleBottleneck",
     "SingleRootedTree",
     "SummaryStats",
     "TcpStack",
+    "TopologySpec",
+    "WorkloadSpec",
     "__version__",
+    "expand_grid",
+    "run_scenarios",
+    "use_runner",
 ]

@@ -1,0 +1,338 @@
+"""``python -m repro`` — drive figure reproductions and scenario sweeps.
+
+Subcommands::
+
+    repro run-fig N [--jobs J] [--cache DIR | --no-cache] [--dry-run]
+        Reproduce every panel of paper figure N at reduced scale, routing
+        all scenario grids through a (parallel, cached) campaign runner.
+
+    repro sweep [--protocols ...] [--patterns ...] [--jobs J] ...
+        Run a Fig-4-style protocol x pattern x seed grid through the
+        campaign runner and print one summary row per scenario.
+
+    repro ls [--cache DIR]
+        List the cached scenario results.
+"""
+
+from __future__ import annotations
+
+import argparse
+import importlib
+import json
+import os
+import sys
+import time
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.runner import CampaignRunner, ScenarioOutcome
+from repro.campaign.spec import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    expand_grid,
+)
+from repro.campaign.store import ResultStore
+from repro.campaign.context import use_runner
+from repro.errors import CampaignError, ReproError
+
+DEFAULT_CACHE = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
+
+#: figure number -> [(panel label, "module:function", kwargs)]
+FIGURES: Dict[int, List[Tuple[str, str, Dict[str, Any]]]] = {
+    1: [("fig1", "repro.experiments.fig1:run", {})],
+    3: [
+        ("fig3a", "repro.experiments.fig3:run_fig3a", {}),
+        ("fig3b", "repro.experiments.fig3:run_fig3b", {}),
+        ("fig3c", "repro.experiments.fig3:run_fig3c", {}),
+        ("fig3d", "repro.experiments.fig3:run_fig3d", {}),
+        ("fig3e", "repro.experiments.fig3:run_fig3e", {}),
+    ],
+    4: [
+        ("fig4a", "repro.experiments.fig4:run_fig4a", {}),
+        ("fig4b", "repro.experiments.fig4:run_fig4b", {}),
+    ],
+    5: [
+        ("fig5a", "repro.experiments.fig5:run_fig5a", {}),
+        ("fig5b", "repro.experiments.fig5:run_fig5b", {}),
+        ("fig5c", "repro.experiments.fig5:run_fig5c", {}),
+    ],
+    6: [("fig6", "repro.experiments.fig6:run_fig6", {})],
+    7: [("fig7", "repro.experiments.fig7:run_fig7", {})],
+    8: [
+        ("fig8a", "repro.experiments.fig8:run_fig8a", {}),
+        ("fig8b", "repro.experiments.fig8:run_fct_vs_size",
+         {"family": "fattree"}),
+        ("fig8c", "repro.experiments.fig8:run_fct_vs_size",
+         {"family": "bcube"}),
+        ("fig8d", "repro.experiments.fig8:run_fct_vs_size",
+         {"family": "jellyfish"}),
+        ("fig8e", "repro.experiments.fig8:run_fig8e", {}),
+    ],
+    9: [
+        ("fig9a", "repro.experiments.fig9:run_fig9a", {}),
+        ("fig9b", "repro.experiments.fig9:run_fig9b", {}),
+    ],
+    10: [("fig10", "repro.experiments.fig10:run_fig10", {})],
+    11: [
+        ("fig11a", "repro.experiments.fig11:run_fig11a", {}),
+        ("fig11b", "repro.experiments.fig11:run_fig11b", {}),
+        ("fig11c", "repro.experiments.fig11:run_fig11c", {}),
+    ],
+    12: [("fig12", "repro.experiments.fig12:run_fig12", {})],
+}
+
+SWEEP_PATTERNS = ("Aggregation", "Stride(1)")
+SWEEP_PROTOCOLS = ("PDQ(Full)", "RCP", "TCP")
+
+
+def _resolve(target: str) -> Callable:
+    module_name, _, attr = target.partition(":")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def _print_progress(outcome: ScenarioOutcome, done: int, total: int) -> None:
+    status = "cached" if outcome.cached else (
+        "ok" if outcome.ok else f"FAILED ({outcome.error})"
+    )
+    timing = "" if outcome.cached else f" {outcome.elapsed:.2f}s"
+    print(f"  [{done}/{total}] {outcome.spec.describe()}: {status}{timing}",
+          flush=True)
+
+
+def _make_runner(args: argparse.Namespace, verbose: bool) -> CampaignRunner:
+    store = None
+    if not getattr(args, "no_cache", False):
+        store = ResultStore(args.cache)
+    return CampaignRunner(
+        max_workers=args.jobs,
+        store=store,
+        timeout=args.timeout,
+        retries=args.retries,
+        progress=_print_progress if verbose else None,
+    )
+
+
+# -- run-fig ------------------------------------------------------------------------
+
+
+def sweep_specs(
+    protocols: Sequence[str] = SWEEP_PROTOCOLS,
+    patterns: Sequence[str] = SWEEP_PATTERNS,
+    n_flows: int = 6,
+    seeds: Sequence[int] = (1,),
+    mean_deadline: Optional[float] = None,
+    sim_deadline: float = 2.0,
+) -> List[ScenarioSpec]:
+    """The default multi-protocol Fig-4-style sweep grid."""
+    base = ScenarioSpec(
+        protocol=protocols[0],
+        topology=TopologySpec("single_rooted"),
+        workload=WorkloadSpec("fig4.pattern", {
+            "pattern": patterns[0],
+            "n_flows": n_flows,
+            "mean_deadline": mean_deadline,
+        }),
+        engine="packet",
+        sim_deadline=sim_deadline,
+    )
+    return expand_grid(
+        base,
+        **{
+            "workload.pattern": list(patterns),
+            "protocol": list(protocols),
+            "seed": list(seeds),
+        },
+    )
+
+
+def _cmd_run_fig(args: argparse.Namespace) -> int:
+    panels = FIGURES.get(args.figure)
+    if not panels:
+        known = ", ".join(str(n) for n in sorted(FIGURES))
+        print(f"unknown figure {args.figure}; known figures: {known}",
+              file=sys.stderr)
+        return 2
+    if args.dry_run:
+        print(f"figure {args.figure}: {len(panels)} panel(s)")
+        for label, target, kwargs in panels:
+            extra = f" {kwargs}" if kwargs else ""
+            print(f"  {label}: {target}{extra}")
+        print("dry run: no scenarios executed")
+        return 0
+    with _make_runner(args, verbose=True) as runner:
+        for label, target, kwargs in panels:
+            func = _resolve(target)
+            print(f"== {label} ==", flush=True)
+            started = time.perf_counter()
+            with use_runner(runner):
+                result = func(**kwargs)
+            elapsed = time.perf_counter() - started
+            print(json.dumps(result, indent=2, default=str))
+            print(f"-- {label} done in {elapsed:.1f}s", flush=True)
+    return 0
+
+
+# -- sweep --------------------------------------------------------------------------
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+    from repro.units import MSEC
+
+    mean_deadline = (
+        args.deadline_ms * MSEC if args.deadline_ms is not None else None
+    )
+    specs = sweep_specs(
+        protocols=args.protocols,
+        patterns=args.patterns,
+        n_flows=args.flows,
+        seeds=args.seeds,
+        mean_deadline=mean_deadline,
+        sim_deadline=args.sim_deadline,
+    )
+    if args.dry_run:
+        print(f"sweep: {len(specs)} scenario(s)")
+        for spec in specs:
+            print(f"  {spec.key[:12]}  {spec.describe()}")
+        print("dry run: no scenarios executed")
+        return 0
+    with _make_runner(args, verbose=True) as runner:
+        result = runner.run(specs)
+    rows = []
+    for outcome in result.outcomes:
+        spec = outcome.spec
+        if outcome.ok:
+            from repro.metrics.summary import SummaryStats
+
+            summary = SummaryStats.from_collector(outcome.collector)
+            mean_fct = (
+                f"{summary.mean_fct * 1e3:.3f}" if summary.mean_fct else "-"
+            )
+            row_status = "cached" if outcome.cached else "ran"
+            rows.append([
+                spec.workload.params.get("pattern", spec.workload.kind),
+                spec.protocol, spec.seed, summary.n_completed,
+                summary.n_flows, mean_fct, row_status,
+            ])
+        else:
+            rows.append([
+                spec.workload.params.get("pattern", spec.workload.kind),
+                spec.protocol, spec.seed, "-", "-", "-",
+                f"FAILED: {outcome.error}",
+            ])
+    print(format_table(
+        ["pattern", "protocol", "seed", "done", "flows", "mean_fct_ms",
+         "status"],
+        rows, title="sweep results",
+    ))
+    print(
+        f"executed={result.executed_count} cached={result.cached_count} "
+        f"failed={len(result.failures)}"
+    )
+    return 1 if result.failures else 0
+
+
+# -- ls -----------------------------------------------------------------------------
+
+
+def _cmd_ls(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+
+    store = ResultStore(args.cache)
+    entries = store.entries()
+    if not entries:
+        print(f"no cached results under {store.root}")
+        return 0
+    rows = []
+    for entry in entries:
+        summary = entry.summary
+        mean_fct = summary.get("mean_fct")
+        rows.append([
+            entry.key[:12],
+            entry.describe(),
+            summary.get("n_completed", "-"),
+            summary.get("n_flows", "-"),
+            f"{mean_fct * 1e3:.3f}" if mean_fct else "-",
+            f"{entry.elapsed:.2f}",
+        ])
+    print(format_table(
+        ["key", "scenario", "done", "flows", "mean_fct_ms", "run_s"],
+        rows, title=f"{len(entries)} cached result(s) under {store.root}",
+    ))
+    return 0
+
+
+# -- entry point --------------------------------------------------------------------
+
+
+def _add_runner_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=2,
+                        help="worker processes (0/1 = run in-process)")
+    parser.add_argument("--cache", default=DEFAULT_CACHE,
+                        help="result-store directory (default %(default)s)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the result store")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-scenario wall-clock budget in seconds")
+    parser.add_argument("--retries", type=int, default=0,
+                        help="extra attempts for failed scenarios")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print what would run without executing")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="PDQ reproduction campaign runner (SIGCOMM 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_fig = sub.add_parser(
+        "run-fig", help="reproduce one paper figure at reduced scale"
+    )
+    run_fig.add_argument("figure", type=int)
+    _add_runner_args(run_fig)
+    run_fig.set_defaults(func=_cmd_run_fig)
+
+    sweep = sub.add_parser(
+        "sweep", help="run a protocol x pattern x seed scenario grid"
+    )
+    sweep.add_argument("--protocols", nargs="+", default=list(SWEEP_PROTOCOLS))
+    sweep.add_argument("--patterns", nargs="+", default=list(SWEEP_PATTERNS))
+    sweep.add_argument("--flows", type=int, default=6,
+                       help="flows per scenario")
+    sweep.add_argument("--seeds", nargs="+", type=int, default=[1])
+    sweep.add_argument("--deadline-ms", type=float, default=None,
+                       help="mean flow deadline (ms); omit for no deadlines")
+    sweep.add_argument("--sim-deadline", type=float, default=2.0,
+                       help="simulated-time horizon per scenario (s)")
+    _add_runner_args(sweep)
+    sweep.set_defaults(func=_cmd_sweep)
+
+    ls = sub.add_parser("ls", help="list cached scenario results")
+    ls.add_argument("--cache", default=DEFAULT_CACHE)
+    ls.set_defaults(func=_cmd_ls)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    except CampaignError as exc:
+        print(f"campaign error: {exc}", file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # stdout went away (e.g. `repro ls | head`); exit quietly
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+    except KeyboardInterrupt:
+        print("interrupted", file=sys.stderr)
+        return 130

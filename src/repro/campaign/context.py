@@ -1,0 +1,54 @@
+"""Ambient campaign runner for the experiment harness.
+
+Figure modules declare their grids as :class:`ScenarioSpec` lists and
+execute them through :func:`run_scenarios`. By default that is a serial,
+uncached in-process runner — calling any ``run_figN`` function behaves
+exactly as before the campaign layer existed. The CLI (and any caller)
+can wrap figure calls in :func:`use_runner` to route the same grids
+through a parallel, cached :class:`CampaignRunner` without the figure
+code changing.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import ScenarioSpec
+from repro.metrics.collector import MetricsCollector
+
+_default_runner: Optional[CampaignRunner] = None
+_runner_stack: List[CampaignRunner] = []
+
+
+def default_runner() -> CampaignRunner:
+    """The serial, uncached in-process runner."""
+    global _default_runner
+    if _default_runner is None:
+        _default_runner = CampaignRunner(max_workers=0)
+    return _default_runner
+
+
+def current_runner() -> CampaignRunner:
+    return _runner_stack[-1] if _runner_stack else default_runner()
+
+
+@contextmanager
+def use_runner(runner: CampaignRunner) -> Iterator[CampaignRunner]:
+    """Route :func:`run_scenarios` calls through ``runner`` inside the
+    ``with`` block (re-entrant; nested uses restore the previous runner)."""
+    _runner_stack.append(runner)
+    try:
+        yield runner
+    finally:
+        _runner_stack.pop()
+
+
+def run_scenarios(specs: Iterable[ScenarioSpec]) -> List[MetricsCollector]:
+    """Execute specs through the ambient runner; collectors in spec order."""
+    return current_runner().collectors(list(specs))
+
+
+def run_one(spec: ScenarioSpec) -> MetricsCollector:
+    return run_scenarios([spec])[0]

@@ -1,0 +1,129 @@
+"""Registries resolving spec *kind* names to builder callables.
+
+Topology builders take keyword parameters and return a
+:class:`~repro.topology.base.Topology`. Workload builders take
+``(topology, seed, **params)`` and return a list of
+:class:`~repro.workload.flow.FlowSpec`.
+
+Builtin topology kinds are registered below. Figure-specific workload
+kinds are registered by the :mod:`repro.experiments` modules that define
+them; those modules import this package, so they are imported lazily on
+first resolution rather than here (which would create an import cycle).
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, List, Mapping
+
+from repro.errors import CampaignError
+from repro.topology.bcube import BCube
+from repro.topology.fattree import FatTree
+from repro.topology.jellyfish import Jellyfish
+from repro.topology.single_bottleneck import SingleBottleneck
+from repro.topology.single_rooted import SingleRootedTree
+
+_TOPOLOGIES: Dict[str, Callable[..., Any]] = {}
+_WORKLOADS: Dict[str, Callable[..., Any]] = {}
+
+#: experiment modules that register workload kinds on import
+_EXPERIMENT_MODULES = tuple(
+    f"repro.experiments.fig{n}" for n in (3, 4, 5, 8, 9, 10, 11, 12)
+)
+_experiments_loaded = False
+
+
+def register_topology(kind: str) -> Callable:
+    """Decorator: register a topology builder under ``kind``."""
+
+    def decorate(builder: Callable) -> Callable:
+        _TOPOLOGIES[kind] = builder
+        return builder
+
+    return decorate
+
+
+def register_workload(kind: str) -> Callable:
+    """Decorator: register a workload builder under ``kind``."""
+
+    def decorate(builder: Callable) -> Callable:
+        _WORKLOADS[kind] = builder
+        return builder
+
+    return decorate
+
+
+def _load_experiment_workloads() -> None:
+    global _experiments_loaded
+    if _experiments_loaded:
+        return
+    for module in _EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    # only after every import succeeded: a transient failure above must
+    # surface again on the next call, not decay into "unknown kind"
+    _experiments_loaded = True
+
+
+def topology_kinds() -> List[str]:
+    return sorted(_TOPOLOGIES)
+
+
+def workload_kinds() -> List[str]:
+    _load_experiment_workloads()
+    return sorted(_WORKLOADS)
+
+
+def build_topology(kind: str, params: Mapping[str, Any]):
+    builder = _TOPOLOGIES.get(kind)
+    if builder is None:
+        raise CampaignError(
+            f"unknown topology kind {kind!r}; known: {topology_kinds()}"
+        )
+    return builder(**params)
+
+
+def build_workload(kind: str, topology, seed: int,
+                   params: Mapping[str, Any]):
+    builder = _WORKLOADS.get(kind)
+    if builder is None:
+        _load_experiment_workloads()
+        builder = _WORKLOADS.get(kind)
+    if builder is None:
+        raise CampaignError(
+            f"unknown workload kind {kind!r}; known: {workload_kinds()}"
+        )
+    return builder(topology, seed, **params)
+
+
+# -- builtin topology kinds ---------------------------------------------------------
+
+
+@register_topology("single_rooted")
+def _single_rooted(n_tors: int = 4, servers_per_tor: int = 3):
+    return SingleRootedTree(n_tors=n_tors, servers_per_tor=servers_per_tor)
+
+
+@register_topology("single_bottleneck")
+def _single_bottleneck(n_senders: int):
+    return SingleBottleneck(n_senders)
+
+
+@register_topology("fattree")
+def _fattree(n_servers: int):
+    return FatTree.for_servers(n_servers)
+
+
+@register_topology("bcube")
+def _bcube(n: int = 2, k: int = None, n_servers: int = None):
+    if k is None:
+        if n_servers is None:
+            raise CampaignError("bcube needs either k or n_servers")
+        k = 1
+        while n ** (k + 1) < n_servers:
+            k += 1
+    return BCube(n=n, k=k)
+
+
+@register_topology("jellyfish")
+def _jellyfish(n_servers: int, seed: int = 1):
+    return Jellyfish.for_servers(n_servers, seed=seed)

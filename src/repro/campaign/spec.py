@@ -1,0 +1,250 @@
+"""Declarative scenario specifications with stable content-hash keys.
+
+A :class:`ScenarioSpec` names everything a simulation run depends on —
+protocol, topology, workload, seed, engine, and engine options — as plain
+data. Two specs describing the same run canonicalize to the same JSON and
+therefore the same SHA-256 key, which the :class:`~repro.campaign.store.
+ResultStore` uses as its cache key: re-running a campaign only executes
+scenarios whose keys are not yet stored.
+
+Topology and workload builders are referenced by registered *kind* names
+(see :mod:`repro.campaign.registry`) so specs stay picklable, hashable,
+and executable in worker processes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CampaignError
+
+#: simulation engines a spec may select
+ENGINES = ("packet", "flow")
+
+
+def _plain(value: Any) -> Any:
+    """Normalize to JSON-safe plain data (tuples become lists)."""
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (str, int, float)):
+        return value
+    raise CampaignError(f"spec values must be plain data, got {value!r}")
+
+
+def canonical_json(data: Any) -> str:
+    """Deterministic JSON used for content hashing (sorted keys, no ws)."""
+    return json.dumps(_plain(data), sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A topology by registered kind name plus constructor parameters."""
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": _plain(self.params)}
+
+    def __hash__(self) -> int:
+        # the params dict defeats the generated frozen-dataclass hash
+        return hash(canonical_json(self.canonical()))
+
+    def build(self):
+        from repro.campaign.registry import build_topology
+
+        return build_topology(self.kind, self.params)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "TopologySpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A workload by registered kind name plus builder parameters.
+
+    The builder receives the constructed topology and the scenario seed,
+    so the same workload kind scales with whatever topology it runs on.
+    """
+
+    kind: str
+    params: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "params", dict(self.params))
+
+    def canonical(self) -> Dict[str, Any]:
+        return {"kind": self.kind, "params": _plain(self.params)}
+
+    def __hash__(self) -> int:
+        return hash(canonical_json(self.canonical()))
+
+    def build(self, topology, seed: int):
+        from repro.campaign.registry import build_workload
+
+        return build_workload(self.kind, topology, seed, self.params)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "WorkloadSpec":
+        return cls(kind=data["kind"], params=data.get("params", {}))
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One simulation run: protocol x topology x workload x seed x engine.
+
+    ``sim_deadline=None`` means "use the engine's own default horizon".
+    ``loss`` is the packet engine's (node_a, node_b, rate, seed) random
+    wire-loss tuple. ``options`` carries engine/protocol keyword options
+    (``n_subflows``, PDQ config overrides like ``aging_rate`` or
+    ``criticality_mode``).
+    """
+
+    protocol: str
+    topology: TopologySpec
+    workload: WorkloadSpec
+    engine: str = "packet"
+    seed: int = 1
+    sim_deadline: Optional[float] = None
+    loss: Optional[Tuple[str, str, float, int]] = None
+    options: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise CampaignError(
+                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+            )
+        if not isinstance(self.topology, TopologySpec):
+            raise CampaignError("topology must be a TopologySpec")
+        if not isinstance(self.workload, WorkloadSpec):
+            raise CampaignError("workload must be a WorkloadSpec")
+        object.__setattr__(self, "options", dict(self.options))
+        if self.loss is not None:
+            if self.engine != "packet":
+                raise CampaignError(
+                    "loss injection only exists in the packet engine"
+                )
+            loss = tuple(self.loss)
+            if len(loss) != 4:
+                raise CampaignError(
+                    "loss must be (node_a, node_b, rate, seed)"
+                )
+            object.__setattr__(self, "loss", loss)
+
+    # -- identity -----------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        """Plain-data form; equal runs canonicalize identically."""
+        return {
+            "protocol": self.protocol,
+            "topology": self.topology.canonical(),
+            "workload": self.workload.canonical(),
+            "engine": self.engine,
+            "seed": self.seed,
+            "sim_deadline": self.sim_deadline,
+            "loss": list(self.loss) if self.loss is not None else None,
+            "options": _plain(self.options),
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable content hash of the canonical form (cache key)."""
+        # computed lazily once: the runner reads it on every cache probe
+        cached = self.__dict__.get("_key")
+        if cached is None:
+            text = canonical_json(self.canonical())
+            cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            object.__setattr__(self, "_key", cached)
+        return cached
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    def describe(self) -> str:
+        workload_params = ",".join(
+            f"{k}={v}" for k, v in sorted(self.workload.params.items())
+            if v is not None
+        )
+        workload = self.workload.kind + (
+            f"({workload_params})" if workload_params else ""
+        )
+        extras = "".join(
+            f" {k}={v}" for k, v in sorted(self.options.items())
+        )
+        return (
+            f"{self.protocol} x {workload} on {self.topology.kind}"
+            f" [engine={self.engine} seed={self.seed}{extras}]"
+        )
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ScenarioSpec":
+        loss = data.get("loss")
+        return cls(
+            protocol=data["protocol"],
+            topology=TopologySpec.from_dict(data["topology"]),
+            workload=WorkloadSpec.from_dict(data["workload"]),
+            engine=data.get("engine", "packet"),
+            seed=data.get("seed", 1),
+            sim_deadline=data.get("sim_deadline"),
+            loss=tuple(loss) if loss is not None else None,
+            options=data.get("options", {}),
+        )
+
+    # -- functional updates -------------------------------------------------------
+
+    def with_(self, **changes: Any) -> "ScenarioSpec":
+        """Functional update. Dotted names reach into the nested specs:
+        ``workload.n_flows``, ``topology.n_servers``, ``options.aging_rate``.
+        """
+        spec = self
+        flat: Dict[str, Any] = {}
+        for name, value in changes.items():
+            if "." not in name:
+                flat[name] = value
+                continue
+            head, _, param = name.partition(".")
+            if head == "workload":
+                spec = replace(spec, workload=WorkloadSpec(
+                    spec.workload.kind, {**spec.workload.params, param: value}
+                ))
+            elif head == "topology":
+                spec = replace(spec, topology=TopologySpec(
+                    spec.topology.kind, {**spec.topology.params, param: value}
+                ))
+            elif head == "options":
+                spec = replace(spec, options={**spec.options, param: value})
+            else:
+                raise CampaignError(f"unknown spec axis {name!r}")
+        return replace(spec, **flat) if flat else spec
+
+
+def expand_grid(base: ScenarioSpec,
+                **axes: Sequence[Any]) -> List[ScenarioSpec]:
+    """Cartesian product of spec axes around a base spec.
+
+    Axis names are :class:`ScenarioSpec` field names or dotted paths
+    (see :meth:`ScenarioSpec.with_`); axis values are sequences. Later
+    axes vary fastest::
+
+        expand_grid(base, protocol=["PDQ(Full)", "RCP"], seed=[1, 2, 3])
+    """
+    names = list(axes)
+    for name in names:
+        if not axes[name]:
+            raise CampaignError(f"empty grid axis {name!r}")
+    specs = []
+    for combo in itertools.product(*(axes[name] for name in names)):
+        specs.append(base.with_(**dict(zip(names, combo))))
+    return specs

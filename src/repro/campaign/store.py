@@ -1,0 +1,154 @@
+"""Persistent scenario-result cache keyed by scenario content hash.
+
+One JSON file per scenario under the store root, named ``<key>.json``.
+Each file holds the canonical spec (for provenance / ``repro ls``), the
+one-line summary, and the full serialized
+:class:`~repro.metrics.collector.MetricsCollector`, so any paper metric
+can be recomputed from a cache hit without re-simulating.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.campaign.spec import ScenarioSpec
+from repro.errors import ReproError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import SummaryStats
+
+STORE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """Metadata for one cached scenario (``repro ls`` row)."""
+
+    key: str
+    spec: Dict[str, Any]
+    summary: Dict[str, Any]
+    created_at: float
+    elapsed: float
+
+    def describe(self) -> str:
+        spec = ScenarioSpec.from_dict(self.spec)
+        return spec.describe()
+
+
+class ResultStore:
+    """Filesystem-backed result cache."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- paths --------------------------------------------------------------------
+
+    def path_for(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    @staticmethod
+    def _key_of(spec_or_key: Union[ScenarioSpec, str]) -> str:
+        if isinstance(spec_or_key, ScenarioSpec):
+            return spec_or_key.key
+        return spec_or_key
+
+    # -- cache protocol -----------------------------------------------------------
+
+    def __contains__(self, spec_or_key: Union[ScenarioSpec, str]) -> bool:
+        return self.path_for(self._key_of(spec_or_key)).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*.json"))
+
+    def get(self, spec_or_key: Union[ScenarioSpec, str]
+            ) -> Optional[MetricsCollector]:
+        """Restored collector for a spec, or None on miss / corrupt file."""
+        payload = self._load(self._key_of(spec_or_key))
+        if payload is None:
+            return None
+        try:
+            return MetricsCollector.from_dict(payload["collector"])
+        except (KeyError, TypeError, ValueError, ReproError):
+            # truncated/drifted payloads must degrade to a cache miss,
+            # not abort the campaign
+            return None
+
+    def put(self, spec: ScenarioSpec, collector: MetricsCollector,
+            elapsed: float = 0.0) -> Path:
+        """Persist one result atomically (write temp file, then rename)."""
+        path = self.path_for(spec.key)
+        payload = {
+            "version": STORE_VERSION,
+            "key": spec.key,
+            "spec": spec.canonical(),
+            "summary": SummaryStats.from_collector(collector).to_dict(),
+            "collector": collector.to_dict(),
+            "created_at": time.time(),
+            "elapsed": elapsed,
+        }
+        fd, tmp = tempfile.mkstemp(dir=str(self.root), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def discard(self, spec_or_key: Union[ScenarioSpec, str]) -> bool:
+        path = self.path_for(self._key_of(spec_or_key))
+        if path.exists():
+            path.unlink()
+            return True
+        return False
+
+    def clear(self) -> int:
+        n = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            n += 1
+        return n
+
+    # -- inspection ---------------------------------------------------------------
+
+    def entries(self) -> List[StoreEntry]:
+        """All cached entries, oldest first."""
+        out: List[StoreEntry] = []
+        for path in self.root.glob("*.json"):
+            payload = self._load(path.stem)
+            if payload is None:
+                continue
+            out.append(StoreEntry(
+                key=payload["key"],
+                spec=payload["spec"],
+                summary=payload.get("summary", {}),
+                created_at=payload.get("created_at", 0.0),
+                elapsed=payload.get("elapsed", 0.0),
+            ))
+        return sorted(out, key=lambda e: e.created_at)
+
+    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+        path = self.path_for(key)
+        if not path.exists():
+            return None
+        try:
+            with path.open() as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            # ValueError covers JSONDecodeError and UnicodeDecodeError
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("version") != STORE_VERSION:
+            return None
+        if payload.get("key") != key:
+            return None
+        return payload

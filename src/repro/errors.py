@@ -29,3 +29,9 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Raised when an experiment is configured inconsistently."""
+
+
+class CampaignError(ExperimentError):
+    """Raised for invalid scenario specs, cache corruption, or failed
+    campaign runs (subclasses :class:`ExperimentError` so experiment-level
+    callers can catch either)."""

@@ -8,6 +8,7 @@ return plain dictionaries the benchmark layer formats into tables.
 
 from repro.experiments.scenario import (
     available_protocols,
+    execute_spec,
     make_stack,
     run_flow_level,
     run_packet_level,
@@ -16,6 +17,7 @@ from repro.experiments.search import binary_search_max
 
 __all__ = [
     "available_protocols",
+    "execute_spec",
     "make_stack",
     "run_packet_level",
     "run_flow_level",

@@ -14,8 +14,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.experiments.scenario import run_flow_level
-from repro.topology.single_bottleneck import SingleBottleneck
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
 from repro.units import KBYTE
 from repro.utils.rng import spawn_rng
 from repro.utils.stats import mean
@@ -25,6 +30,15 @@ from repro.workload.sizes import pareto_sizes, uniform_sizes
 
 SCHEMES = ("PDQ perfect", "PDQ random", "PDQ estimation", "RCP")
 N_SENDERS = 10
+TOPOLOGY = TopologySpec("single_bottleneck", {"n_senders": N_SENDERS})
+
+#: scheme name -> (protocol, engine options)
+_SCHEME_RUNS = {
+    "PDQ perfect": ("PDQ(Full)", {}),
+    "PDQ random": ("PDQ(Full)", {"criticality_mode": "random"}),
+    "PDQ estimation": ("PDQ(Full)", {"criticality_mode": "estimate"}),
+    "RCP": ("RCP", {}),
+}
 
 
 def _workload(dist: str, n_flows: int, seed: int,
@@ -40,21 +54,30 @@ def _workload(dist: str, n_flows: int, seed: int,
     return aggregation_flows(senders, "recv", sizes, rng=rng)
 
 
-def _run_scheme(scheme: str, flows: Sequence[FlowSpec]) -> float:
-    topo = SingleBottleneck(N_SENDERS)
-    if scheme == "PDQ perfect":
-        metrics = run_flow_level(topo, "PDQ(Full)", flows)
-    elif scheme == "PDQ random":
-        metrics = run_flow_level(topo, "PDQ(Full)", flows,
-                                 criticality_mode="random")
-    elif scheme == "PDQ estimation":
-        metrics = run_flow_level(topo, "PDQ(Full)", flows,
-                                 criticality_mode="estimate")
-    elif scheme == "RCP":
-        metrics = run_flow_level(topo, "RCP", flows)
-    else:
-        raise ValueError(f"unknown scheme {scheme!r}")
-    return metrics.mean_fct()
+@register_workload("fig10.aggregation")
+def _build_workload(topology, seed: int, dist: str, n_flows: int,
+                    mean_size: float) -> List[FlowSpec]:
+    return _workload(dist, n_flows, seed, mean_size)
+
+
+def _scheme_spec(scheme: str, dist: str, n_flows: int, seed: int,
+                 mean_size: float) -> ScenarioSpec:
+    try:
+        protocol, options = _SCHEME_RUNS[scheme]
+    except KeyError:
+        raise ValueError(f"unknown scheme {scheme!r}") from None
+    return ScenarioSpec(
+        protocol=protocol,
+        topology=TOPOLOGY,
+        workload=WorkloadSpec("fig10.aggregation", {
+            "dist": dist,
+            "n_flows": n_flows,
+            "mean_size": mean_size,
+        }),
+        engine="flow",
+        seed=seed,
+        options=options,
+    )
 
 
 def run_fig10(distributions: Sequence[str] = ("uniform", "pareto"),
@@ -63,12 +86,18 @@ def run_fig10(distributions: Sequence[str] = ("uniform", "pareto"),
               n_flows: int = 10,
               mean_size: float = 100 * KBYTE) -> Dict[str, Dict[str, float]]:
     """Mean FCT (seconds) per scheme per size distribution."""
+    grid = [(dist, scheme, s)
+            for dist in distributions for scheme in schemes for s in seeds]
+    collectors = run_scenarios(
+        _scheme_spec(scheme, dist, n_flows, s, mean_size)
+        for (dist, scheme, s) in grid
+    )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (dist, scheme, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault((dist, scheme), []).append(metrics.mean_fct())
     results: Dict[str, Dict[str, float]] = {}
     for dist in distributions:
-        results[dist] = {}
-        for scheme in schemes:
-            results[dist][scheme] = mean(
-                _run_scheme(scheme, _workload(dist, n_flows, s, mean_size))
-                for s in seeds
-            )
+        results[dist] = {
+            scheme: mean(by_cell[(dist, scheme)]) for scheme in schemes
+        }
     return results

@@ -9,7 +9,13 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.experiments.scenario import run_packet_level
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
 from repro.experiments.search import binary_search_max
 from repro.topology.bcube import BCube
 from repro.units import KBYTE, MSEC
@@ -20,14 +26,17 @@ from repro.workload.flow import FlowSpec
 from repro.workload.sizes import uniform_sizes
 
 
+TOPOLOGY = TopologySpec("bcube", {"n": 2, "k": 3})
+
+
 def _bcube() -> BCube:
     return BCube(n=2, k=3)  # 16 servers, 4 NICs each (§6)
 
 
 def _permutation_subset(load: float, seed: int, mean_size: float,
-                        mean_deadline=None) -> List[FlowSpec]:
+                        mean_deadline=None, topo=None) -> List[FlowSpec]:
     """Random permutation over a ``load`` fraction of hosts."""
-    topo = _bcube()
+    topo = topo if topo is not None else _bcube()
     hosts = list(topo.hosts)
     rng = spawn_rng(seed, "fig11")
     n_senders = max(2, int(round(load * len(hosts))))
@@ -50,22 +59,48 @@ def _permutation_subset(load: float, seed: int, mean_size: float,
     ]
 
 
+@register_workload("fig11.permutation_subset")
+def _build_permutation_subset(topology, seed: int, load: float,
+                              mean_size: float,
+                              mean_deadline=None) -> List[FlowSpec]:
+    return _permutation_subset(load, seed, mean_size, mean_deadline,
+                               topo=topology)
+
+
+def _subset_spec(protocol: str, load: float, seed: int, mean_size: float,
+                 n_subflows: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        protocol=protocol,
+        topology=TOPOLOGY,
+        workload=WorkloadSpec("fig11.permutation_subset", {
+            "load": load,
+            "mean_size": mean_size,
+        }),
+        engine="packet",
+        seed=seed,
+        sim_deadline=4.0,
+        options={"n_subflows": n_subflows},
+    )
+
+
 def run_fig11a(loads: Sequence[float] = (0.25, 0.5, 1.0),
                seeds: Sequence[int] = (1, 2),
                mean_size: float = 1000 * KBYTE,
                n_subflows: int = 3) -> Dict[str, Dict[float, float]]:
     """Mean FCT (seconds) vs load for PDQ and M-PDQ."""
     results: Dict[str, Dict[float, float]] = {"PDQ": {}, "M-PDQ": {}}
-    for load in loads:
-        for name, protocol in (("PDQ", "PDQ(Full)"), ("M-PDQ", "M-PDQ")):
-            results[name][load] = mean(
-                run_packet_level(
-                    _bcube(), protocol,
-                    _permutation_subset(load, s, mean_size),
-                    sim_deadline=4.0, n_subflows=n_subflows,
-                ).mean_fct()
-                for s in seeds
-            )
+    names = (("PDQ", "PDQ(Full)"), ("M-PDQ", "M-PDQ"))
+    grid = [(load, name, protocol, s)
+            for load in loads for (name, protocol) in names for s in seeds]
+    collectors = run_scenarios(
+        _subset_spec(protocol, load, s, mean_size, n_subflows)
+        for (load, _name, protocol, s) in grid
+    )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (load, name, _p, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault((name, load), []).append(metrics.mean_fct())
+    for (name, load), values in by_cell.items():
+        results[name][load] = mean(values)
     return results
 
 
@@ -74,17 +109,35 @@ def run_fig11b(subflow_counts: Sequence[int] = (1, 2, 3, 4, 6, 8),
                mean_size: float = 1000 * KBYTE) -> Dict[int, float]:
     """Mean FCT (seconds) vs number of subflows at 100 % load; 1 subflow
     means single-path PDQ."""
-    results: Dict[int, float] = {}
-    for count in subflow_counts:
-        protocol = "PDQ(Full)" if count == 1 else "M-PDQ"
-        results[count] = mean(
-            run_packet_level(
-                _bcube(), protocol, _permutation_subset(1.0, s, mean_size),
-                sim_deadline=4.0, n_subflows=count,
-            ).mean_fct()
-            for s in seeds
-        )
-    return results
+    grid = [(count, s) for count in subflow_counts for s in seeds]
+    collectors = run_scenarios(
+        _subset_spec("PDQ(Full)" if count == 1 else "M-PDQ", 1.0, s,
+                     mean_size, count)
+        for (count, s) in grid
+    )
+    by_count: Dict[int, List[float]] = {}
+    for (count, _s), metrics in zip(grid, collectors):
+        by_count.setdefault(count, []).append(metrics.mean_fct())
+    return {count: mean(values) for count, values in by_count.items()}
+
+
+@register_workload("fig11.random_pairs")
+def _build_random_pairs(topology, seed: int, n_flows: int, mean_size: float,
+                        mean_deadline: float) -> List[FlowSpec]:
+    hosts = list(topology.hosts)
+    rng = spawn_rng(seed, "fig11c")
+    sizes = uniform_sizes(n_flows, mean_size, rng=rng)
+    deadlines = exponential_deadlines(n_flows, mean=mean_deadline, rng=rng)
+    flows = []
+    for i in range(n_flows):
+        src_i = int(rng.integers(len(hosts)))
+        dst_i = int(rng.integers(len(hosts) - 1))
+        if dst_i >= src_i:
+            dst_i += 1
+        flows.append(FlowSpec(fid=i, src=hosts[src_i], dst=hosts[dst_i],
+                              size_bytes=sizes[i],
+                              deadline=deadlines[i]))
+    return flows
 
 
 def run_fig11c(subflow_counts: Sequence[int] = (1, 2, 4),
@@ -97,35 +150,29 @@ def run_fig11c(subflow_counts: Sequence[int] = (1, 2, 4),
 
     The flow count is swept by running multiple permutation rounds over a
     random host subset (more flows than hosts reuse senders)."""
-    topo = _bcube()
-    hosts = list(topo.hosts)
-
-    def flows_for(n: int, seed: int) -> List[FlowSpec]:
-        rng = spawn_rng(seed, "fig11c")
-        sizes = uniform_sizes(n, mean_size, rng=rng)
-        deadlines = exponential_deadlines(n, mean=mean_deadline, rng=rng)
-        flows = []
-        for i in range(n):
-            src_i = int(rng.integers(len(hosts)))
-            dst_i = int(rng.integers(len(hosts) - 1))
-            if dst_i >= src_i:
-                dst_i += 1
-            flows.append(FlowSpec(fid=i, src=hosts[src_i], dst=hosts[dst_i],
-                                  size_bytes=sizes[i],
-                                  deadline=deadlines[i]))
-        return flows
-
     results: Dict[int, int] = {}
     for count in subflow_counts:
         protocol = "PDQ(Full)" if count == 1 else "M-PDQ"
 
         def ok(n: int, _p=protocol, _c=count) -> bool:
-            return mean(
-                run_packet_level(
-                    topo, _p, flows_for(n, s), sim_deadline=2.0,
-                    n_subflows=_c,
-                ).application_throughput()
+            collectors = run_scenarios(
+                ScenarioSpec(
+                    protocol=_p,
+                    topology=TOPOLOGY,
+                    workload=WorkloadSpec("fig11.random_pairs", {
+                        "n_flows": n,
+                        "mean_size": mean_size,
+                        "mean_deadline": mean_deadline,
+                    }),
+                    engine="packet",
+                    seed=s,
+                    sim_deadline=2.0,
+                    options={"n_subflows": _c},
+                )
                 for s in seeds
+            )
+            return mean(
+                m.application_throughput() for m in collectors
             ) >= target
 
         results[count] = binary_search_max(ok, hi=hi)

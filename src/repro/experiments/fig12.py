@@ -18,8 +18,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
 from repro.experiments.fig8 import topology_for
-from repro.experiments.scenario import run_flow_level
 from repro.units import GBPS, KBYTE
 from repro.utils.rng import spawn_rng
 from repro.utils.stats import mean
@@ -33,7 +39,11 @@ def fig12_workload(n_servers: int, duration: float, load: float,
     """Poisson random-pair traffic at per-host offered ``load`` (fraction
     of the 1 Gbps access links)."""
     topo = topology_for("fattree", n_servers)
-    hosts = topo.hosts
+    return _poisson_pair_flows(topo.hosts, duration, load, seed, mean_size)
+
+
+def _poisson_pair_flows(hosts, duration: float, load: float, seed: int,
+                        mean_size: float) -> List[FlowSpec]:
     rng = spawn_rng(seed, "fig12")
     per_host_rate = load * (1 * GBPS) / (mean_size * 8.0)
     arrivals = poisson_arrivals(per_host_rate * len(hosts), duration, rng=rng)
@@ -49,6 +59,13 @@ def fig12_workload(n_servers: int, duration: float, load: float,
     return flows
 
 
+@register_workload("fig12.poisson_pairs")
+def _build_workload(topology, seed: int, duration: float,
+                    load: float, mean_size: float) -> List[FlowSpec]:
+    return _poisson_pair_flows(topology.hosts, duration, load, seed,
+                               mean_size)
+
+
 def run_fig12(aging_rates: Sequence[float] = (0.0, 2.0, 6.0, 10.0),
               seeds: Sequence[int] = (1, 2),
               n_servers: int = 16,
@@ -57,23 +74,44 @@ def run_fig12(aging_rates: Sequence[float] = (0.0, 2.0, 6.0, 10.0),
               mean_size: float = 100 * KBYTE,
               aging_time_unit: float = 0.01) -> Dict[str, Dict[float, float]]:
     """Max and mean FCT (seconds) vs aging rate, plus RCP references."""
-    topo = topology_for("fattree", n_servers)
     results: Dict[str, Dict[float, float]] = {
         "PDQ max": {}, "PDQ mean": {}, "RCP max": {}, "RCP mean": {},
     }
-    workloads = [
-        fig12_workload(n_servers, duration, load, seed, mean_size)
-        for seed in seeds
+
+    def _spec(protocol: str, seed: int, options: Dict) -> ScenarioSpec:
+        return ScenarioSpec(
+            protocol=protocol,
+            topology=TopologySpec("fattree", {"n_servers": n_servers}),
+            workload=WorkloadSpec("fig12.poisson_pairs", {
+                "duration": duration,
+                "load": load,
+                "mean_size": mean_size,
+            }),
+            engine="flow",
+            seed=seed,
+            sim_deadline=20.0,
+            options=options,
+        )
+
+    grid = [("RCP", None, s) for s in seeds] + [
+        ("PDQ(Full)", alpha, s) for alpha in aging_rates for s in seeds
     ]
-    rcp_runs = [run_flow_level(topo, "RCP", w, 20.0) for w in workloads]
-    rcp_max = mean(m.max_fct() for m in rcp_runs)
-    rcp_mean = mean(m.mean_fct() for m in rcp_runs)
+    collectors = run_scenarios(
+        _spec(
+            protocol, s,
+            {} if alpha is None else {"aging_rate": alpha,
+                                      "aging_time_unit": aging_time_unit},
+        )
+        for (protocol, alpha, s) in grid
+    )
+    by_cell: Dict[object, List] = {}
+    for (protocol, alpha, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault(alpha if protocol != "RCP" else "RCP",
+                           []).append(metrics)
+    rcp_max = mean(m.max_fct() for m in by_cell["RCP"])
+    rcp_mean = mean(m.mean_fct() for m in by_cell["RCP"])
     for alpha in aging_rates:
-        runs = [
-            run_flow_level(topo, "PDQ(Full)", w, 20.0, aging_rate=alpha,
-                           aging_time_unit=aging_time_unit)
-            for w in workloads
-        ]
+        runs = by_cell[alpha]
         results["PDQ max"][alpha] = mean(m.max_fct() for m in runs)
         results["PDQ mean"][alpha] = mean(m.mean_fct() for m in runs)
         results["RCP max"][alpha] = rcp_max

@@ -14,13 +14,18 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.scenario import run_packet_level
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
 from repro.experiments.search import binary_search_max
 from repro.sched.optimal import (
     optimal_application_throughput,
     sjf_completion_times,
 )
-from repro.topology.single_rooted import SingleRootedTree
 from repro.units import GBPS, KBYTE, MSEC
 from repro.utils.rng import spawn_rng
 from repro.utils.stats import mean
@@ -32,6 +37,7 @@ from repro.workload.sizes import uniform_sizes
 DEFAULT_PROTOCOLS = ("PDQ(Full)", "PDQ(ES+ET)", "PDQ(ES)", "PDQ(Basic)",
                      "D3", "RCP", "TCP")
 BOTTLENECK = 1 * GBPS  # the receiver's access link
+TOPOLOGY = TopologySpec("single_rooted")
 
 
 def _workload(n_flows: int, seed: int, mean_size: float,
@@ -50,10 +56,27 @@ def _workload(n_flows: int, seed: int, mean_size: float,
                              rng=rng)
 
 
-def _app_throughput(protocol: str, flows: Sequence[FlowSpec]) -> float:
-    metrics = run_packet_level(SingleRootedTree(), protocol, flows,
-                               sim_deadline=2.0)
-    return metrics.application_throughput()
+@register_workload("fig3.aggregation")
+def _build_workload(topology, seed: int, n_flows: int, mean_size: float,
+                    mean_deadline: Optional[float] = None,
+                    deadline_floor: float = 3 * MSEC) -> List[FlowSpec]:
+    return _workload(n_flows, seed, mean_size, mean_deadline, deadline_floor)
+
+
+def _spec(protocol: str, n_flows: int, seed: int, mean_size: float,
+          mean_deadline: Optional[float], sim_deadline: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        protocol=protocol,
+        topology=TOPOLOGY,
+        workload=WorkloadSpec("fig3.aggregation", {
+            "n_flows": n_flows,
+            "mean_size": mean_size,
+            "mean_deadline": mean_deadline,
+        }),
+        engine="packet",
+        seed=seed,
+        sim_deadline=sim_deadline,
+    )
 
 
 def _optimal_app_throughput(flows: Sequence[FlowSpec]) -> float:
@@ -72,15 +95,22 @@ def run_fig3a(flow_counts: Sequence[int] = (3, 10, 18),
     """Application throughput [0..1] per protocol per flow count."""
     results: Dict[str, Dict[int, float]] = {p: {} for p in protocols}
     results["Optimal"] = {}
+    grid = [(n, p, s) for n in flow_counts for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        _spec(p, n, s, mean_size, mean_deadline, 2.0) for (n, p, s) in grid
+    )
     for n in flow_counts:
-        workloads = [_workload(n, s, mean_size, mean_deadline) for s in seeds]
         results["Optimal"][n] = mean(
-            _optimal_app_throughput(w) for w in workloads
+            _optimal_app_throughput(_workload(n, s, mean_size, mean_deadline))
+            for s in seeds
         )
-        for protocol in protocols:
-            results[protocol][n] = mean(
-                _app_throughput(protocol, w) for w in workloads
-            )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (n, p, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault((p, n), []).append(
+            metrics.application_throughput()
+        )
+    for (p, n), values in by_cell.items():
+        results[p][n] = mean(values)
     return results
 
 
@@ -95,15 +125,25 @@ def run_fig3b(mean_sizes: Sequence[float] = (100 * KBYTE, 200 * KBYTE,
     """Application throughput per protocol per mean flow size (3 flows)."""
     results: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
     results["Optimal"] = {}
+    grid = [(size, p, s)
+            for size in mean_sizes for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        _spec(p, n_flows, s, size, mean_deadline, 2.0)
+        for (size, p, s) in grid
+    )
     for size in mean_sizes:
-        workloads = [_workload(n_flows, s, size, mean_deadline) for s in seeds]
         results["Optimal"][size] = mean(
-            _optimal_app_throughput(w) for w in workloads
+            _optimal_app_throughput(_workload(n_flows, s, size,
+                                              mean_deadline))
+            for s in seeds
         )
-        for protocol in protocols:
-            results[protocol][size] = mean(
-                _app_throughput(protocol, w) for w in workloads
-            )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (size, p, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault((p, size), []).append(
+            metrics.application_throughput()
+        )
+    for (p, size), values in by_cell.items():
+        results[p][size] = mean(values)
     return results
 
 
@@ -128,9 +168,11 @@ def run_fig3c(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
         results["Optimal"][deadline] = binary_search_max(optimal_ok, hi=hi)
         for protocol in protocols:
             def ok(n: int, _p=protocol, _d=deadline) -> bool:
+                collectors = run_scenarios(
+                    _spec(_p, n, s, mean_size, _d, 2.0) for s in seeds
+                )
                 return mean(
-                    _app_throughput(_p, _workload(n, s, mean_size, _d))
-                    for s in seeds
+                    m.application_throughput() for m in collectors
                 ) >= target
 
             results[protocol][deadline] = binary_search_max(ok, hi=hi)
@@ -139,9 +181,7 @@ def run_fig3c(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
 
 # -- Fig 3d / 3e ------------------------------------------------------------------
 
-def _normalized_fct(protocol: str, flows: Sequence[FlowSpec]) -> float:
-    metrics = run_packet_level(SingleRootedTree(), protocol, flows,
-                               sim_deadline=4.0)
+def _normalized_fct(metrics, flows: Sequence[FlowSpec]) -> float:
     measured = metrics.mean_fct()
     optimal = mean(
         sjf_completion_times([f.size_bytes for f in flows], BOTTLENECK)
@@ -156,12 +196,16 @@ def run_fig3d(flow_counts: Sequence[int] = (1, 5, 10),
               mean_size: float = 100 * KBYTE) -> Dict[str, Dict[int, float]]:
     """Mean FCT normalized to the omniscient optimal, no deadlines."""
     results: Dict[str, Dict[int, float]] = {p: {} for p in protocols}
-    for n in flow_counts:
-        workloads = [_workload(n, s, mean_size, None) for s in seeds]
-        for protocol in protocols:
-            results[protocol][n] = mean(
-                _normalized_fct(protocol, w) for w in workloads
-            )
+    grid = [(n, p, s) for n in flow_counts for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        _spec(p, n, s, mean_size, None, 4.0) for (n, p, s) in grid
+    )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (n, p, s), metrics in zip(grid, collectors):
+        flows = _workload(n, s, mean_size, None)
+        by_cell.setdefault((p, n), []).append(_normalized_fct(metrics, flows))
+    for (p, n), values in by_cell.items():
+        results[p][n] = mean(values)
     return results
 
 
@@ -173,10 +217,17 @@ def run_fig3e(mean_sizes: Sequence[float] = (100 * KBYTE, 200 * KBYTE,
               n_flows: int = 3) -> Dict[str, Dict[float, float]]:
     """Mean FCT normalized to optimal vs mean flow size (3 flows)."""
     results: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
-    for size in mean_sizes:
-        workloads = [_workload(n_flows, s, size, None) for s in seeds]
-        for protocol in protocols:
-            results[protocol][size] = mean(
-                _normalized_fct(protocol, w) for w in workloads
-            )
+    grid = [(size, p, s)
+            for size in mean_sizes for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        _spec(p, n_flows, s, size, None, 4.0) for (size, p, s) in grid
+    )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (size, p, s), metrics in zip(grid, collectors):
+        flows = _workload(n_flows, s, size, None)
+        by_cell.setdefault((p, size), []).append(
+            _normalized_fct(metrics, flows)
+        )
+    for (p, size), values in by_cell.items():
+        results[p][size] = mean(values)
     return results

@@ -12,8 +12,15 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
 from repro.errors import ExperimentError
-from repro.experiments.scenario import normalize, run_packet_level
+from repro.experiments.scenario import normalize
 from repro.experiments.search import binary_search_max
 from repro.topology.single_rooted import SingleRootedTree
 from repro.units import KBYTE, MSEC
@@ -32,6 +39,7 @@ from repro.workload.sizes import uniform_sizes
 PATTERNS = ("Aggregation", "Stride(1)", "Stride(N/2)", "Staggered(0.7)",
             "Staggered(0.3)", "RandomPermutation")
 DEFAULT_PROTOCOLS = ("PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "D3", "RCP", "TCP")
+TOPOLOGY = TopologySpec("single_rooted")
 
 
 def pattern_flows(pattern: str, n_flows: int, seed: int,
@@ -79,6 +87,30 @@ def pattern_flows(pattern: str, n_flows: int, seed: int,
     return out
 
 
+@register_workload("fig4.pattern")
+def _build_pattern(topology, seed: int, pattern: str, n_flows: int,
+                   mean_size: float = 100 * KBYTE,
+                   mean_deadline: Optional[float] = None) -> List[FlowSpec]:
+    return pattern_flows(pattern, n_flows, seed, mean_size, mean_deadline)
+
+
+def _spec(protocol: str, pattern: str, n_flows: int, seed: int,
+          mean_deadline: Optional[float],
+          sim_deadline: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        protocol=protocol,
+        topology=TOPOLOGY,
+        workload=WorkloadSpec("fig4.pattern", {
+            "pattern": pattern,
+            "n_flows": n_flows,
+            "mean_deadline": mean_deadline,
+        }),
+        engine="packet",
+        seed=seed,
+        sim_deadline=sim_deadline,
+    )
+
+
 def run_fig4a(patterns: Sequence[str] = PATTERNS,
               protocols: Sequence[str] = DEFAULT_PROTOCOLS,
               seeds: Sequence[int] = (1,),
@@ -91,13 +123,11 @@ def run_fig4a(patterns: Sequence[str] = PATTERNS,
         absolute: Dict[str, float] = {}
         for protocol in protocols:
             def ok(n: int, _p=protocol, _pat=pattern) -> bool:
-                values = []
-                for seed in seeds:
-                    flows = pattern_flows(_pat, n, seed,
-                                          mean_deadline=mean_deadline)
-                    metrics = run_packet_level(SingleRootedTree(), _p, flows,
-                                               sim_deadline=2.0)
-                    values.append(metrics.application_throughput())
+                collectors = run_scenarios(
+                    _spec(_p, _pat, n, seed, mean_deadline, 2.0)
+                    for seed in seeds
+                )
+                values = [m.application_throughput() for m in collectors]
                 return mean(values) >= target
 
             absolute[protocol] = binary_search_max(ok, hi=hi)
@@ -110,16 +140,16 @@ def run_fig4b(patterns: Sequence[str] = PATTERNS,
               seeds: Sequence[int] = (1, 2),
               n_flows: int = 12) -> Dict[str, Dict[str, float]]:
     """Mean FCT normalized to PDQ(Full), deadline-unconstrained."""
+    grid = [(pattern, p, s)
+            for pattern in patterns for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        _spec(p, pattern, n_flows, s, None, 4.0) for (pattern, p, s) in grid
+    )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (pattern, p, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault((pattern, p), []).append(metrics.mean_fct())
     results: Dict[str, Dict[str, float]] = {}
     for pattern in patterns:
-        absolute: Dict[str, float] = {}
-        for protocol in protocols:
-            values = []
-            for seed in seeds:
-                flows = pattern_flows(pattern, n_flows, seed)
-                metrics = run_packet_level(SingleRootedTree(), protocol,
-                                           flows, sim_deadline=4.0)
-                values.append(metrics.mean_fct())
-            absolute[protocol] = mean(values)
+        absolute = {p: mean(by_cell[(pattern, p)]) for p in protocols}
         results[pattern] = normalize(absolute, "PDQ(Full)")
     return results

@@ -11,7 +11,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.experiments.scenario import normalize, run_packet_level
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
+from repro.experiments.scenario import normalize
 from repro.experiments.search import binary_search_max
 from repro.topology.single_rooted import SingleRootedTree
 from repro.units import KBYTE, MSEC
@@ -24,6 +31,7 @@ from repro.workload.flow import FlowSpec
 from repro.workload.vl2 import SHORT_FLOW_CUTOFF, vl2_flow_sizes
 
 DEFAULT_PROTOCOLS = ("PDQ(Full)", "PDQ(ES)", "PDQ(Basic)", "D3", "RCP", "TCP")
+TOPOLOGY = TopologySpec("single_rooted")
 
 
 def vl2_workload(rate_per_sec: float, duration: float, seed: int,
@@ -55,6 +63,37 @@ def vl2_workload(rate_per_sec: float, duration: float, seed: int,
     return flows
 
 
+@register_workload("fig5.vl2")
+def _build_vl2(topology, seed: int, rate_per_sec: float, duration: float,
+               mean_deadline: float = 20 * MSEC, size_scale: float = 1.0,
+               cap_bytes: int = 1_000_000) -> List[FlowSpec]:
+    return vl2_workload(rate_per_sec, duration, seed, mean_deadline,
+                        size_scale, cap_bytes)
+
+
+@register_workload("fig5.edu1")
+def _build_edu1(topology, seed: int, duration: float,
+                flows_per_second: float) -> List[FlowSpec]:
+    hosts = [f"h{i}" for i in range(topology.n_servers)]
+    return edu1_flow_summaries(hosts, duration, flows_per_second, rng=seed)
+
+
+def _vl2_spec(protocol: str, rate_per_sec: float, duration: float, seed: int,
+              mean_deadline: float, sim_deadline: float) -> ScenarioSpec:
+    return ScenarioSpec(
+        protocol=protocol,
+        topology=TOPOLOGY,
+        workload=WorkloadSpec("fig5.vl2", {
+            "rate_per_sec": rate_per_sec,
+            "duration": duration,
+            "mean_deadline": mean_deadline,
+        }),
+        engine="packet",
+        seed=seed,
+        sim_deadline=sim_deadline,
+    )
+
+
 def run_fig5a(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
               protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP", "TCP"),
               seeds: Sequence[int] = (1,),
@@ -70,17 +109,19 @@ def run_fig5a(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
     for deadline in mean_deadlines:
         for protocol in protocols:
             def ok(steps: int, _p=protocol, _d=deadline) -> bool:
-                values = []
+                # building the workload is cheap; simulating it is not,
+                # so the no-deadline early exit stays driver-side
+                specs = []
                 for seed in seeds:
                     flows = vl2_workload(steps * rate_step, duration, seed,
                                          mean_deadline=_d)
                     if not any(f.has_deadline for f in flows):
                         return True
-                    metrics = run_packet_level(
-                        SingleRootedTree(), _p, flows,
-                        sim_deadline=duration + 1.0,
-                    )
-                    values.append(metrics.application_throughput())
+                    specs.append(_vl2_spec(_p, steps * rate_step, duration,
+                                           seed, _d, duration + 1.0))
+                values = [
+                    m.application_throughput() for m in run_scenarios(specs)
+                ]
                 return mean(values) >= target
 
             steps = binary_search_max(ok, hi=hi_steps, grow=False)
@@ -94,18 +135,23 @@ def run_fig5b(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
               duration: float = 0.03,
               long_cutoff: int = 100 * KBYTE) -> Dict[str, float]:
     """Long-flow mean FCT normalized to PDQ(Full) under the VL2 mix."""
-    absolute: Dict[str, float] = {}
-    for protocol in protocols:
-        values = []
-        for seed in seeds:
-            flows = vl2_workload(rate_per_sec, duration, seed)
-            long_fids = [
-                f.fid for f in flows if f.size_bytes >= long_cutoff
-            ]
-            metrics = run_packet_level(SingleRootedTree(), protocol, flows,
-                                       sim_deadline=duration + 2.0)
-            values.append(metrics.mean_fct(only=long_fids))
-        absolute[protocol] = mean(values)
+    grid = [(p, s) for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        _vl2_spec(p, rate_per_sec, duration, s, 20 * MSEC, duration + 2.0)
+        for (p, s) in grid
+    )
+    by_protocol: Dict[str, List[float]] = {}
+    for (p, _s), metrics in zip(grid, collectors):
+        # the collector carries each FlowSpec, so the long-flow subset
+        # needs no driver-side workload rebuild
+        long_fids = [
+            r.spec.fid for r in metrics.all_records()
+            if r.spec.size_bytes >= long_cutoff
+        ]
+        by_protocol.setdefault(p, []).append(
+            metrics.mean_fct(only=long_fids)
+        )
+    absolute = {p: mean(values) for p, values in by_protocol.items()}
     return normalize(absolute, "PDQ(Full)")
 
 
@@ -114,16 +160,23 @@ def run_fig5c(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
               duration: float = 0.05,
               flows_per_second: float = 2000.0) -> Dict[str, float]:
     """EDU1-like trace-driven workload: mean FCT normalized to PDQ(Full)."""
-    tree = SingleRootedTree()
-    hosts = [f"h{i}" for i in range(tree.n_servers)]
-    absolute: Dict[str, float] = {}
-    for protocol in protocols:
-        values = []
-        for seed in seeds:
-            flows = edu1_flow_summaries(hosts, duration, flows_per_second,
-                                        rng=seed)
-            metrics = run_packet_level(tree, protocol, flows,
-                                       sim_deadline=duration + 2.0)
-            values.append(metrics.mean_fct())
-        absolute[protocol] = mean(values)
+    grid = [(p, s) for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        ScenarioSpec(
+            protocol=p,
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("fig5.edu1", {
+                "duration": duration,
+                "flows_per_second": flows_per_second,
+            }),
+            engine="packet",
+            seed=s,
+            sim_deadline=duration + 2.0,
+        )
+        for (p, s) in grid
+    )
+    by_protocol: Dict[str, List[float]] = {}
+    for (p, _s), metrics in zip(grid, collectors):
+        by_protocol.setdefault(p, []).append(metrics.mean_fct())
+    absolute = {p: mean(values) for p, values in by_protocol.items()}
     return normalize(absolute, "PDQ(Full)")

@@ -10,15 +10,19 @@ flow-level cross-validation.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Dict, List, Sequence
 
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
+from repro.campaign.registry import build_topology
 from repro.errors import ExperimentError
-from repro.experiments.scenario import run_flow_level, run_packet_level
 from repro.experiments.search import binary_search_max
 from repro.topology.base import Topology
-from repro.topology.bcube import BCube
-from repro.topology.fattree import FatTree
-from repro.topology.jellyfish import Jellyfish
 from repro.units import KBYTE, MSEC
 from repro.utils.rng import spawn_rng
 from repro.utils.stats import cdf_points, fraction_at_most, mean
@@ -28,17 +32,18 @@ from repro.workload.patterns import random_permutation_flows
 from repro.workload.sizes import uniform_sizes
 
 
+FAMILIES = ("fattree", "bcube", "jellyfish")
+
+
+def _topo_spec(family: str, n_servers: int) -> TopologySpec:
+    if family not in FAMILIES:
+        raise ExperimentError(f"unknown topology family {family!r}")
+    return TopologySpec(family, {"n_servers": n_servers})
+
+
 def topology_for(family: str, n_servers: int) -> Topology:
-    if family == "fattree":
-        return FatTree.for_servers(n_servers)
-    if family == "bcube":
-        n, k = 2, 1
-        while 2 ** (k + 1) < n_servers:
-            k += 1
-        return BCube(n=2, k=k)
-    if family == "jellyfish":
-        return Jellyfish.for_servers(n_servers)
-    raise ExperimentError(f"unknown topology family {family!r}")
+    spec = _topo_spec(family, n_servers)
+    return build_topology(spec.kind, spec.params)
 
 
 def permutation_workload(topology: Topology, flows_per_server: int,
@@ -73,6 +78,20 @@ def _subset_deadline_workload(topology: Topology, n_flows: int,
     return flows
 
 
+@register_workload("fig8.permutation")
+def _build_permutation(topology, seed: int, flows_per_server: int,
+                       mean_size: float = 100 * KBYTE,
+                       mean_deadline=None) -> List[FlowSpec]:
+    return permutation_workload(topology, flows_per_server, seed, mean_size,
+                                mean_deadline)
+
+
+@register_workload("fig8.random_pairs")
+def _build_random_pairs(topology, seed: int, n_flows: int,
+                        mean_deadline: float) -> List[FlowSpec]:
+    return _subset_deadline_workload(topology, n_flows, seed, mean_deadline)
+
+
 def run_fig8a(sizes: Sequence[int] = (16, 54),
               protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP"),
               levels: Sequence[str] = ("packet", "flow"),
@@ -84,22 +103,30 @@ def run_fig8a(sizes: Sequence[int] = (16, 54),
     '<protocol>/<level>'."""
     results: Dict[str, Dict[int, int]] = {}
     for n_servers in sizes:
-        topo = topology_for("fattree", n_servers)
+        topo_spec = _topo_spec("fattree", n_servers)
         for level in levels:
             for protocol in protocols:
                 key = f"{protocol}/{level}"
                 results.setdefault(key, {})
 
                 def ok(n: int, _p=protocol, _l=level) -> bool:
-                    values = []
-                    for seed in seeds:
-                        flows = _subset_deadline_workload(
-                            topo, n, seed, mean_deadline
+                    collectors = run_scenarios(
+                        ScenarioSpec(
+                            protocol=_p,
+                            topology=topo_spec,
+                            workload=WorkloadSpec("fig8.random_pairs", {
+                                "n_flows": n,
+                                "mean_deadline": mean_deadline,
+                            }),
+                            engine=_l,
+                            seed=seed,
+                            sim_deadline=2.0,
                         )
-                        runner = (run_packet_level if _l == "packet"
-                                  else run_flow_level)
-                        metrics = runner(topo, _p, flows, 2.0)
-                        values.append(metrics.application_throughput())
+                        for seed in seeds
+                    )
+                    values = [
+                        m.application_throughput() for m in collectors
+                    ]
                     return mean(values) >= target
 
                 results[key][n_servers] = binary_search_max(ok, hi=hi)
@@ -116,34 +143,61 @@ def run_fct_vs_size(family: str,
     family; keys are '<protocol>/<level>'. TCP only exists at packet
     level."""
     results: Dict[str, Dict[int, float]] = {}
-    for n_servers in sizes:
-        topo = topology_for(family, n_servers)
-        for level in levels:
-            for protocol in protocols:
-                if level == "flow" and protocol == "TCP":
-                    continue
-                key = f"{protocol}/{level}"
-                results.setdefault(key, {})
-                values = []
-                for seed in seeds:
-                    flows = permutation_workload(topo, flows_per_server, seed)
-                    runner = (run_packet_level if level == "packet"
-                              else run_flow_level)
-                    metrics = runner(topo, protocol, flows, 4.0)
-                    values.append(metrics.mean_fct())
-                results[key][n_servers] = mean(values)
+    grid = [
+        (n_servers, level, protocol, seed)
+        for n_servers in sizes
+        for level in levels
+        for protocol in protocols
+        if not (level == "flow" and protocol == "TCP")
+        for seed in seeds
+    ]
+    collectors = run_scenarios(
+        ScenarioSpec(
+            protocol=protocol,
+            topology=_topo_spec(family, n_servers),
+            workload=WorkloadSpec("fig8.permutation", {
+                "flows_per_server": flows_per_server,
+            }),
+            engine=level,
+            seed=seed,
+            sim_deadline=4.0,
+        )
+        for (n_servers, level, protocol, seed) in grid
+    )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (n_servers, level, protocol, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault((f"{protocol}/{level}", n_servers), []).append(
+            metrics.mean_fct()
+        )
+    for (key, n_servers), values in by_cell.items():
+        results.setdefault(key, {})[n_servers] = mean(values)
     return results
 
 
 def run_fig8e(n_servers: int = 128, flows_per_server: int = 2,
               seeds: Sequence[int] = (1,)) -> Dict[str, object]:
     """CDF of per-flow RCP FCT / PDQ FCT ratios (flow level)."""
+    def spec_for(protocol: str, seed: int) -> ScenarioSpec:
+        return ScenarioSpec(
+            protocol=protocol,
+            topology=_topo_spec("fattree", n_servers),
+            workload=WorkloadSpec("fig8.permutation", {
+                "flows_per_server": flows_per_server,
+            }),
+            engine="flow",
+            seed=seed,
+            sim_deadline=10.0,
+        )
+
+    # one flat grid so all seeds' runs fan out together
+    collectors = run_scenarios(
+        spec_for(protocol, seed)
+        for seed in seeds for protocol in ("PDQ(Full)", "RCP")
+    )
     ratios: List[float] = []
-    for seed in seeds:
-        topo = topology_for("fattree", n_servers)
-        flows = permutation_workload(topo, flows_per_server, seed)
-        pdq = run_flow_level(topo, "PDQ(Full)", flows, 10.0).fct_by_fid()
-        rcp = run_flow_level(topo, "RCP", flows, 10.0).fct_by_fid()
+    for i, seed in enumerate(seeds):
+        pdq = collectors[2 * i].fct_by_fid()
+        rcp = collectors[2 * i + 1].fct_by_fid()
         for fid, pdq_fct in pdq.items():
             rcp_fct = rcp.get(fid)
             if rcp_fct is not None and pdq_fct > 0:

@@ -13,9 +13,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.experiments.scenario import run_packet_level
+from repro.campaign import (
+    ScenarioSpec,
+    TopologySpec,
+    WorkloadSpec,
+    register_workload,
+    run_scenarios,
+)
 from repro.experiments.search import binary_search_max
-from repro.topology.single_bottleneck import SingleBottleneck
 from repro.units import KBYTE, MSEC
 from repro.utils.rng import spawn_rng
 from repro.utils.stats import mean
@@ -25,6 +30,7 @@ from repro.workload.patterns import aggregation_flows
 from repro.workload.sizes import uniform_sizes
 
 N_SENDERS = 12
+TOPOLOGY = TopologySpec("single_bottleneck", {"n_senders": N_SENDERS})
 
 
 def _workload(n_flows: int, seed: int, deadline_constrained: bool,
@@ -40,9 +46,26 @@ def _workload(n_flows: int, seed: int, deadline_constrained: bool,
                              deadlines=deadlines, rng=rng)
 
 
-def _run(protocol: str, flows, loss_rate: float, seed: int):
-    return run_packet_level(
-        SingleBottleneck(N_SENDERS), protocol, flows,
+@register_workload("fig9.aggregation")
+def _build_workload(topology, seed: int, n_flows: int,
+                    deadline_constrained: bool,
+                    mean_size: float = 100 * KBYTE,
+                    mean_deadline: float = 20 * MSEC) -> List[FlowSpec]:
+    return _workload(n_flows, seed, deadline_constrained, mean_size,
+                     mean_deadline)
+
+
+def _spec(protocol: str, n_flows: int, deadline_constrained: bool,
+          loss_rate: float, seed: int) -> ScenarioSpec:
+    return ScenarioSpec(
+        protocol=protocol,
+        topology=TOPOLOGY,
+        workload=WorkloadSpec("fig9.aggregation", {
+            "n_flows": n_flows,
+            "deadline_constrained": deadline_constrained,
+        }),
+        engine="packet",
+        seed=seed,
         sim_deadline=4.0,
         loss=("sw0", "recv", loss_rate, seed) if loss_rate > 0 else None,
     )
@@ -58,10 +81,11 @@ def run_fig9a(loss_rates: Sequence[float] = (0.0, 0.01, 0.03),
     for loss in loss_rates:
         for protocol in protocols:
             def ok(n: int, _p=protocol, _l=loss) -> bool:
+                collectors = run_scenarios(
+                    _spec(_p, n, True, _l, s) for s in seeds
+                )
                 return mean(
-                    _run(_p, _workload(n, s, True), _l, s)
-                    .application_throughput()
-                    for s in seeds
+                    m.application_throughput() for m in collectors
                 ) >= target
 
             results[protocol][loss] = binary_search_max(ok, hi=hi)
@@ -74,13 +98,16 @@ def run_fig9b(loss_rates: Sequence[float] = (0.0, 0.01, 0.03),
               n_flows: int = 8) -> Dict[str, Dict[float, float]]:
     """Mean FCT normalized to PDQ(Full) at zero loss."""
     raw: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
-    for loss in loss_rates:
-        for protocol in protocols:
-            raw[protocol][loss] = mean(
-                _run(protocol, _workload(n_flows, s, False), loss, s)
-                .mean_fct()
-                for s in seeds
-            )
+    grid = [(loss, p, s)
+            for loss in loss_rates for p in protocols for s in seeds]
+    collectors = run_scenarios(
+        _spec(p, n_flows, False, loss, s) for (loss, p, s) in grid
+    )
+    by_cell: Dict[tuple, List[float]] = {}
+    for (loss, p, _s), metrics in zip(grid, collectors):
+        by_cell.setdefault((p, loss), []).append(metrics.mean_fct())
+    for (p, loss), values in by_cell.items():
+        raw[p][loss] = mean(values)
     base = raw["PDQ(Full)"][0.0]
     return {
         p: {l: v / base for l, v in series.items()}

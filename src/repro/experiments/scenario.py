@@ -112,6 +112,29 @@ def run_flow_level(
     return sim.run(flows, deadline=sim_deadline)
 
 
+def execute_spec(spec) -> MetricsCollector:
+    """Run one declarative :class:`~repro.campaign.spec.ScenarioSpec`.
+
+    This is the campaign runner's single entry point into the simulators:
+    it builds the topology and workload from their registered kinds and
+    dispatches on the spec's engine. Keyword options ride in
+    ``spec.options`` (``n_subflows`` plus any PDQ config overrides); a
+    spec without ``sim_deadline`` runs at the engine's default horizon.
+    """
+    topology = spec.topology.build()
+    flows = spec.workload.build(topology, spec.seed)
+    options = dict(spec.options)
+    if spec.sim_deadline is not None:
+        options["sim_deadline"] = spec.sim_deadline
+    if spec.engine == "packet":
+        return run_packet_level(
+            topology, spec.protocol, flows,
+            loss=spec.loss,
+            **options,
+        )
+    return run_flow_level(topology, spec.protocol, flows, **options)
+
+
 def mean_fct_by(collector: MetricsCollector,
                 fids: Sequence[int]) -> float:
     return collector.mean_fct(only=fids)

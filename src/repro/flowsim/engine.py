@@ -127,10 +127,16 @@ class FlowLevelSimulation:
 
     def _promote(self, waiting: List[FlowProgress],
                  active: List[FlowProgress]) -> None:
-        started = [f for f in waiting if f.transfer_start <= self.now + 1e-12]
-        for flow in started:
-            waiting.remove(flow)
-            active.append(flow)
+        # single pass: repeated list.remove would be quadratic at scale
+        cutoff = self.now + 1e-12
+        still_waiting: List[FlowProgress] = []
+        for flow in waiting:
+            if flow.transfer_start <= cutoff:
+                active.append(flow)
+            else:
+                still_waiting.append(flow)
+        if len(still_waiting) != len(waiting):
+            waiting[:] = still_waiting
 
     def _apply_rates(self, active: List[FlowProgress],
                      rates: Dict[int, float]) -> None:
@@ -147,11 +153,14 @@ class FlowLevelSimulation:
     def _terminate_flows(self, active: List[FlowProgress],
                          rates: Dict[int, float]) -> bool:
         doomed = self.model.terminations(active, rates, self.now)
+        if not doomed:
+            return False
+        doomed_fids = set()
         for fid, reason in doomed:
-            flow = next(f for f in active if f.fid == fid)
-            active.remove(flow)
+            doomed_fids.add(fid)
             self.metrics.on_terminated(fid, self.now, reason)
-        return bool(doomed)
+        active[:] = [f for f in active if f.fid not in doomed_fids]
+        return True
 
     def _next_event_time(self, waiting: List[FlowProgress],
                          active: List[FlowProgress], deadline: float) -> float:
@@ -168,7 +177,11 @@ class FlowLevelSimulation:
 
     def _complete_finished(self, active: List[FlowProgress]) -> None:
         finished = [f for f in active if f.remaining_wire <= 1e-6]
+        if not finished:
+            return
+        done_fids = set()
         for flow in finished:
-            active.remove(flow)
+            done_fids.add(flow.fid)
             self.metrics.on_bytes(flow.fid, flow.spec.size_bytes)
             self.metrics.on_complete(flow.fid, self.now)
+        active[:] = [f for f in active if f.fid not in done_fids]

@@ -48,6 +48,27 @@ class MetricsCollector:
     def on_probe(self, fid: int) -> None:
         self.records[fid].probes_sent += 1
 
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe), inverse of :meth:`from_dict`.
+
+        Round-tripping preserves every per-flow record exactly, so any
+        paper metric can be recomputed from a restored collector."""
+        return {
+            "records": [
+                self.records[fid].to_dict() for fid in sorted(self.records)
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "MetricsCollector":
+        collector = cls()
+        for item in data["records"]:
+            record = FlowRecord.from_dict(item)
+            collector.records[record.spec.fid] = record
+        return collector
+
     # -- queries ------------------------------------------------------------------
 
     def __len__(self) -> int:

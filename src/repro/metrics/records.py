@@ -38,6 +38,34 @@ class FlowRecord:
             return None
         return self.completion_time - self.spec.arrival
 
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe), inverse of :meth:`from_dict`."""
+        return {
+            "spec": self.spec.to_dict(),
+            "start_time": self.start_time,
+            "completion_time": self.completion_time,
+            "terminated": self.terminated,
+            "termination_time": self.termination_time,
+            "termination_reason": self.termination_reason,
+            "bytes_delivered": self.bytes_delivered,
+            "retransmissions": self.retransmissions,
+            "probes_sent": self.probes_sent,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowRecord":
+        return cls(
+            spec=FlowSpec.from_dict(data["spec"]),
+            start_time=data.get("start_time"),
+            completion_time=data.get("completion_time"),
+            terminated=data.get("terminated", False),
+            termination_time=data.get("termination_time"),
+            termination_reason=data.get("termination_reason", ""),
+            bytes_delivered=data.get("bytes_delivered", 0),
+            retransmissions=data.get("retransmissions", 0),
+            probes_sent=data.get("probes_sent", 0),
+        )
+
     @property
     def met_deadline(self) -> bool:
         """Deadline satisfied? (False for no-deadline flows asked anyway.)"""

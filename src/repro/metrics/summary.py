@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional
 
 from repro.metrics.collector import MetricsCollector
@@ -38,6 +38,23 @@ class SummaryStats:
                 collector.application_throughput() if has_deadlines else None
             ),
             total_retransmissions=sum(r.retransmissions for r in records),
+        )
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe), inverse of :meth:`from_dict`."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SummaryStats":
+        return cls(
+            n_flows=data["n_flows"],
+            n_completed=data["n_completed"],
+            n_terminated=data["n_terminated"],
+            mean_fct=data.get("mean_fct"),
+            p95_fct=data.get("p95_fct"),
+            max_fct=data.get("max_fct"),
+            application_throughput=data.get("application_throughput"),
+            total_retransmissions=data.get("total_retransmissions", 0),
         )
 
     def describe(self) -> str:

@@ -49,3 +49,27 @@ class FlowSpec:
     def with_(self, **changes) -> "FlowSpec":
         """Functional update (frozen dataclass)."""
         return replace(self, **changes)
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe), inverse of :meth:`from_dict`."""
+        return {
+            "fid": self.fid,
+            "src": self.src,
+            "dst": self.dst,
+            "size_bytes": self.size_bytes,
+            "arrival": self.arrival,
+            "deadline": self.deadline,
+            "criticality": self.criticality,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FlowSpec":
+        return cls(
+            fid=data["fid"],
+            src=data["src"],
+            dst=data["dst"],
+            size_bytes=data["size_bytes"],
+            arrival=data.get("arrival", 0.0),
+            deadline=data.get("deadline"),
+            criticality=data.get("criticality"),
+        )

@@ -126,3 +126,54 @@ class TestSummary:
         text = SummaryStats.from_collector(collector).describe()
         assert "flows=1" in text
         assert "mean_fct" in text
+
+
+class TestSerialization:
+    def _full_collector(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=1, deadline=0.15, arrival=0.01))
+        collector.on_start(1, 0.01)
+        collector.on_bytes(1, 1000)
+        collector.on_complete(1, 0.12)
+        collector.register(_spec(fid=2, deadline=0.15))
+        collector.on_terminated(2, 0.05, "early_termination")
+        collector.on_retransmit(2)
+        collector.register(_spec(fid=3))
+        collector.on_probe(3)
+        return collector
+
+    def test_flow_spec_roundtrip(self):
+        spec = _spec(fid=7, deadline=0.2, arrival=0.3)
+        assert FlowSpec.from_dict(spec.to_dict()) == spec
+
+    def test_record_roundtrip(self):
+        record = FlowRecord(spec=_spec(fid=1, deadline=0.1))
+        record.completion_time = 0.05
+        record.bytes_delivered = 1000
+        restored = FlowRecord.from_dict(record.to_dict())
+        assert restored == record
+        assert restored.met_deadline
+
+    def test_collector_roundtrip_preserves_metrics(self):
+        collector = self._full_collector()
+        restored = MetricsCollector.from_dict(collector.to_dict())
+        assert restored.to_dict() == collector.to_dict()
+        assert restored.mean_fct() == collector.mean_fct()
+        assert (restored.application_throughput()
+                == collector.application_throughput())
+        assert [r.spec.fid for r in restored.all_records()] == [1, 2, 3]
+        assert restored.record(2).terminated
+        assert restored.record(2).termination_reason == "early_termination"
+
+    def test_collector_roundtrip_through_json(self):
+        import json
+
+        collector = self._full_collector()
+        payload = json.loads(json.dumps(collector.to_dict()))
+        restored = MetricsCollector.from_dict(payload)
+        assert restored.to_dict() == collector.to_dict()
+
+    def test_summary_roundtrip(self):
+        collector = self._full_collector()
+        summary = SummaryStats.from_collector(collector)
+        assert SummaryStats.from_dict(summary.to_dict()) == summary
