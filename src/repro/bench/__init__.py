@@ -1,0 +1,25 @@
+"""Flow-level engine performance harness (``python -m repro bench``).
+
+Times canonical scenarios on the optimized
+:class:`~repro.flowsim.engine.FlowLevelSimulation`, optionally re-runs
+them on the frozen
+:class:`~repro.flowsim.naive.NaiveFlowLevelSimulation` baseline to report
+speedups (asserting bit-identical metrics in passing), and writes the
+results to ``BENCH_flowsim.json`` so the repo accumulates a performance
+trajectory across PRs.
+"""
+
+from repro.bench.harness import (
+    BenchResult,
+    run_bench,
+    write_report,
+)
+from repro.bench.scenarios import SCENARIOS, BenchScenario
+
+__all__ = [
+    "BenchResult",
+    "BenchScenario",
+    "SCENARIOS",
+    "run_bench",
+    "write_report",
+]

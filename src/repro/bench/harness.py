@@ -1,0 +1,163 @@
+"""Timing harness for the flow-level benchmark scenarios.
+
+Each scenario is run on the optimized engine and (unless disabled) on the
+frozen naive baseline; the baseline run doubles as a live parity check —
+a metrics mismatch is a hard error, not a statistic.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ExperimentError
+from repro.flowsim.engine import FlowLevelSimulation
+from repro.flowsim.naive import NaiveFlowLevelSimulation, naive_model_for
+from repro.bench.scenarios import SCENARIOS, BenchScenario
+
+DEFAULT_REPORT = "BENCH_flowsim.json"
+
+
+@dataclass
+class BenchResult:
+    name: str
+    description: str
+    params: Dict
+    elapsed_s: float
+    iterations: int
+    recomputations: int
+    flows: int
+    completed: int
+    terminated: int
+    baseline_elapsed_s: Optional[float] = None
+    baseline_parity: Optional[bool] = None
+    extras: Dict = field(default_factory=dict)
+
+    @property
+    def events_per_sec(self) -> float:
+        return self.iterations / self.elapsed_s if self.elapsed_s > 0 else 0.0
+
+    @property
+    def allocate_calls_per_sec(self) -> float:
+        return (self.recomputations / self.elapsed_s
+                if self.elapsed_s > 0 else 0.0)
+
+    @property
+    def speedup(self) -> Optional[float]:
+        if self.baseline_elapsed_s is None or self.elapsed_s <= 0:
+            return None
+        return self.baseline_elapsed_s / self.elapsed_s
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "description": self.description,
+            "params": self.params,
+            "elapsed_s": self.elapsed_s,
+            "iterations": self.iterations,
+            "recomputations": self.recomputations,
+            "events_per_sec": self.events_per_sec,
+            "allocate_calls_per_sec": self.allocate_calls_per_sec,
+            "flows": self.flows,
+            "completed": self.completed,
+            "terminated": self.terminated,
+            "baseline_elapsed_s": self.baseline_elapsed_s,
+            "speedup": self.speedup,
+            "baseline_parity": self.baseline_parity,
+            **({"extras": self.extras} if self.extras else {}),
+        }
+
+
+def _timed_run(engine_cls, scenario: BenchScenario, quick: bool, repeat: int,
+               model_transform=None):
+    """Best-of-``repeat`` wall time; returns (elapsed, sim, metrics)."""
+    best = None
+    for _ in range(max(1, repeat)):
+        topology, model, flows, sim_deadline = scenario.build(quick)
+        if model_transform is not None:
+            model = model_transform(model)
+        sim = engine_cls(topology, model)
+        started = time.perf_counter()
+        metrics = sim.run(flows, deadline=sim_deadline)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, sim, metrics)
+    return best
+
+
+def run_scenario(scenario: BenchScenario, quick: bool = False,
+                 baseline: bool = True, repeat: int = 1) -> BenchResult:
+    elapsed, sim, metrics = _timed_run(
+        FlowLevelSimulation, scenario, quick, repeat
+    )
+    records = metrics.all_records()
+    result = BenchResult(
+        name=scenario.name,
+        description=scenario.description,
+        params=scenario.params(quick),
+        elapsed_s=elapsed,
+        iterations=sim.iterations,
+        recomputations=sim.recomputations,
+        flows=len(records),
+        completed=sum(1 for r in records if r.completed),
+        terminated=sum(1 for r in records if r.terminated),
+    )
+    if baseline:
+        # the baseline pairs the frozen engine with the frozen models, so
+        # speedups measure the whole pre-PR hot path, not just the engine
+        base_elapsed, _, base_metrics = _timed_run(
+            NaiveFlowLevelSimulation, scenario, quick, repeat,
+            model_transform=naive_model_for,
+        )
+        result.baseline_elapsed_s = base_elapsed
+        result.baseline_parity = metrics.to_dict() == base_metrics.to_dict()
+        if not result.baseline_parity:
+            raise ExperimentError(
+                f"benchmark {scenario.name!r}: optimized engine diverged "
+                "from the naive baseline (metrics mismatch)"
+            )
+    return result
+
+
+def run_bench(only: Optional[Sequence[str]] = None, quick: bool = False,
+              baseline: bool = True, repeat: int = 1,
+              scenarios: Optional[Sequence[BenchScenario]] = None,
+              ) -> List[BenchResult]:
+    pool = list(scenarios if scenarios is not None else SCENARIOS)
+    if only:
+        wanted = set(only)
+        known = {s.name for s in pool}
+        unknown = wanted - known
+        if unknown:
+            raise ExperimentError(
+                f"unknown benchmark(s) {sorted(unknown)}; "
+                f"known: {sorted(known)}"
+            )
+        pool = [s for s in pool if s.name in wanted]
+    return [
+        run_scenario(s, quick=quick, baseline=baseline, repeat=repeat)
+        for s in pool
+    ]
+
+
+def write_report(results: Sequence[BenchResult], path: str = DEFAULT_REPORT,
+                 quick: bool = False) -> Dict:
+    """Write ``BENCH_flowsim.json`` and return the report dict."""
+    report = {
+        "schema": 1,
+        "suite": "flowsim",
+        "quick": quick,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+        "benchmarks": [r.to_dict() for r in results],
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return report

@@ -1,0 +1,153 @@
+"""Canonical flow-level benchmark scenarios.
+
+Each scenario builds fresh topology/model/flows per call (engines and the
+PDQ key cache are stateful), deterministically from a fixed seed, at one
+of two scales: ``full`` (the numbers recorded in BENCH_flowsim.json) and
+``quick`` (CI smoke: same shape, small enough to finish in seconds).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Tuple
+
+from repro.flowsim.d3_model import D3Model
+from repro.flowsim.pdq_model import PdqModel
+from repro.flowsim.rcp_model import RcpModel
+from repro.topology.base import Topology
+from repro.topology.fattree import FatTree
+from repro.topology.single_bottleneck import SingleBottleneck
+from repro.units import KBYTE, MSEC
+from repro.utils.rng import spawn_rng
+from repro.workload.arrivals import poisson_arrivals
+from repro.workload.flow import FlowSpec
+from repro.workload.patterns import random_permutation_flows
+from repro.workload.sizes import uniform_sizes
+
+#: (topology, model, flows, sim_deadline)
+Built = Tuple[Topology, object, List[FlowSpec], float]
+
+
+@dataclass(frozen=True)
+class BenchScenario:
+    name: str
+    description: str
+    build: Callable[[bool], Built]  # build(quick) -> Built
+    params: Callable[[bool], Dict]  # the knobs that sized the run
+
+
+def _single_bottleneck(quick: bool) -> Built:
+    """Many flows contending for one bottleneck link under PDQ: the
+    centralized water-filling recomputes at every completion, so this is
+    the allocate()/sort hot path the ISSUE's >= 3x target measures."""
+    n_flows = 150 if quick else 1000
+    n_senders = 40
+    rng = spawn_rng(20120813, "bench:single_bottleneck")
+    sizes = uniform_sizes(n_flows, 80 * KBYTE, rng=rng)
+    arrivals = poisson_arrivals(n_flows / 0.2, 0.2, rng=rng)
+    flows = [
+        FlowSpec(fid=i, src=f"send{i % n_senders}", dst="recv",
+                 size_bytes=sizes[i],
+                 arrival=arrivals[i] if i < len(arrivals) else 0.2)
+        for i in range(n_flows)
+    ]
+    return (SingleBottleneck(n_senders), PdqModel(), flows, 30.0)
+
+
+def _single_bottleneck_params(quick: bool) -> Dict:
+    return {"n_flows": 150 if quick else 1000, "n_senders": 40,
+            "protocol": "PDQ(Full)"}
+
+
+def _fig8_scale(quick: bool) -> Built:
+    """Fig-8-style scale sweep cell: permutation traffic on a fat-tree
+    under PDQ, deadline flows included (exercises early termination and
+    the deadline-boundary horizon)."""
+    n_servers = 16 if quick else 54
+    flows_per_server = 2
+    from repro.experiments.fig8 import permutation_workload, topology_for
+    topo = topology_for("fattree", n_servers)
+    flows = permutation_workload(topo, flows_per_server, seed=1,
+                                 mean_deadline=20 * MSEC)
+    return (topo, PdqModel(), flows, 4.0)
+
+
+def _fig8_scale_params(quick: bool) -> Dict:
+    return {"family": "fattree", "n_servers": 16 if quick else 54,
+            "flows_per_server": 2, "protocol": "PDQ(Full)",
+            "mean_deadline_ms": 20}
+
+
+def _fattree_multipath(quick: bool) -> Built:
+    """Max-min fairness over many multi-hop ECMP paths: RCP's progressive
+    filling touches every edge of every path, so this cell measures the
+    edge-interning win on long paths."""
+    n_servers = 16
+    rounds = 2 if quick else 6
+    topo = FatTree.for_servers(n_servers)
+    hosts = topo.hosts
+    rng = spawn_rng(20120813, "bench:fattree_multipath")
+    flows: List[FlowSpec] = []
+    fid = 0
+    for r in range(rounds):
+        sizes = uniform_sizes(len(hosts), 100 * KBYTE, rng=rng)
+        for spec in random_permutation_flows(hosts, sizes, rng=rng):
+            flows.append(spec.with_(fid=fid, arrival=r * 2 * MSEC))
+            fid += 1
+    return (topo, RcpModel(), flows, 10.0)
+
+
+def _fattree_multipath_params(quick: bool) -> Dict:
+    return {"n_servers": 16, "permutation_rounds": 2 if quick else 6,
+            "protocol": "RCP"}
+
+
+def _d3_reservations(quick: bool) -> Built:
+    """D3 first-come-first-reserve with deadline flows on one bottleneck:
+    per-recomputation reservation sweeps plus leftover max-min."""
+    n_flows = 80 if quick else 300
+    n_senders = 20
+    rng = spawn_rng(20120813, "bench:d3")
+    sizes = uniform_sizes(n_flows, 60 * KBYTE, rng=rng)
+    arrivals = poisson_arrivals(n_flows / 0.2, 0.2, rng=rng)
+    flows = [
+        FlowSpec(fid=i, src=f"send{i % n_senders}", dst="recv",
+                 size_bytes=sizes[i],
+                 arrival=arrivals[i] if i < len(arrivals) else 0.2,
+                 deadline=(20 + 5 * (i % 9)) * MSEC)
+        for i in range(n_flows)
+    ]
+    return (SingleBottleneck(n_senders), D3Model(), flows, 30.0)
+
+
+def _d3_reservations_params(quick: bool) -> Dict:
+    return {"n_flows": 80 if quick else 300, "n_senders": 20,
+            "protocol": "D3"}
+
+
+SCENARIOS: List[BenchScenario] = [
+    BenchScenario(
+        name="single-bottleneck",
+        description="many PDQ flows on one bottleneck (allocate/sort hot path)",
+        build=_single_bottleneck,
+        params=_single_bottleneck_params,
+    ),
+    BenchScenario(
+        name="fig8-scale",
+        description="fig8-style fat-tree permutation sweep cell (PDQ, deadlines)",
+        build=_fig8_scale,
+        params=_fig8_scale_params,
+    ),
+    BenchScenario(
+        name="fattree-multipath",
+        description="RCP max-min over multi-hop ECMP paths (edge interning)",
+        build=_fattree_multipath,
+        params=_fattree_multipath_params,
+    ),
+    BenchScenario(
+        name="d3-reservations",
+        description="D3 reservation sweeps with deadline flows",
+        build=_d3_reservations,
+        params=_d3_reservations_params,
+    ),
+]

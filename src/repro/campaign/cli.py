@@ -12,6 +12,10 @@ Subcommands::
 
     repro ls [--cache DIR]
         List the cached scenario results.
+
+    repro bench [--quick] [--only NAME ...] [--no-baseline] [--repeat N]
+        Time the flow-level engine on canonical scenarios, compare against
+        the frozen naive baseline, and write BENCH_flowsim.json.
 """
 
 from __future__ import annotations
@@ -262,6 +266,52 @@ def _cmd_ls(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- bench --------------------------------------------------------------------------
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import SCENARIOS, run_bench, write_report
+    from repro.experiments.tables import format_table
+
+    if args.list:
+        for scenario in SCENARIOS:
+            print(f"  {scenario.name}: {scenario.description}")
+        return 0
+    known = {s.name for s in SCENARIOS}
+    unknown = set(args.only or ()) - known
+    if unknown:
+        print(f"unknown benchmark(s) {sorted(unknown)}; "
+              f"known: {sorted(known)}", file=sys.stderr)
+        return 2
+    pool = [s for s in SCENARIOS if not args.only or s.name in set(args.only)]
+    results = []
+    # run one at a time so progress is visible on slow scenarios
+    for scenario in pool:
+        got = run_bench(only=[scenario.name], quick=args.quick,
+                        baseline=not args.no_baseline, repeat=args.repeat)
+        results.extend(got)
+        for r in got:
+            speed = f" ({r.speedup:.2f}x vs naive)" if r.speedup else ""
+            print(f"  {r.name}: {r.elapsed_s:.3f}s, "
+                  f"{r.events_per_sec:,.0f} events/s{speed}", flush=True)
+    report = write_report(results, path=args.out, quick=args.quick)
+    rows = [
+        [r.name, r.flows, f"{r.elapsed_s:.3f}",
+         f"{r.events_per_sec:,.0f}", f"{r.allocate_calls_per_sec:,.0f}",
+         f"{r.speedup:.2f}x" if r.speedup else "-",
+         {True: "ok", False: "FAIL", None: "-"}[r.baseline_parity]]
+        for r in results
+    ]
+    print(format_table(
+        ["scenario", "flows", "wall_s", "events/s", "alloc/s", "speedup",
+         "parity"],
+        rows,
+        title=f"flow-level bench ({'quick' if args.quick else 'full'} scale)",
+    ))
+    print(f"wrote {args.out} ({len(report['benchmarks'])} benchmark(s))")
+    return 0
+
+
 # -- entry point --------------------------------------------------------------------
 
 
@@ -312,6 +362,24 @@ def build_parser() -> argparse.ArgumentParser:
     ls = sub.add_parser("ls", help="list cached scenario results")
     ls.add_argument("--cache", default=DEFAULT_CACHE)
     ls.set_defaults(func=_cmd_ls)
+
+    bench = sub.add_parser(
+        "bench",
+        help="time the flow-level engine and write BENCH_flowsim.json",
+    )
+    bench.add_argument("--quick", action="store_true",
+                       help="small scenario sizes (CI smoke)")
+    bench.add_argument("--only", nargs="+", default=None,
+                       help="run only the named benchmark scenario(s)")
+    bench.add_argument("--no-baseline", action="store_true",
+                       help="skip the naive-engine baseline/parity run")
+    bench.add_argument("--repeat", type=int, default=1,
+                       help="best-of-N wall times (default 1)")
+    bench.add_argument("--out", default="BENCH_flowsim.json",
+                       help="report path (default %(default)s)")
+    bench.add_argument("--list", action="store_true",
+                       help="list scenarios and exit")
+    bench.set_defaults(func=_cmd_bench)
 
     return parser
 

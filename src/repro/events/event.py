@@ -13,17 +13,24 @@ class Event:
     (the heap entry is tombstoned and skipped when popped).
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled")
+    __slots__ = ("time", "seq", "callback", "cancelled", "_cancel_hook")
 
     def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
         self.time = time
         self.seq = seq
         self.callback = callback
         self.cancelled = False
+        # set by the owning Simulator so its live-event counter stays
+        # exact without scanning the heap
+        self._cancel_hook: Any = None
 
     def cancel(self) -> None:
         """Prevent this event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._cancel_hook is not None:
+            self._cancel_hook()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)

@@ -29,6 +29,7 @@ class Simulator:
         self.now: float = 0.0
         self._heap: list[Event] = []
         self._seq: int = 0
+        self._live: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self.processed_events: int = 0
@@ -48,9 +49,14 @@ class Simulator:
                 f"cannot schedule at {time} before current time {self.now}"
             )
         event = Event(time, self._seq, callback)
+        event._cancel_hook = self._note_cancelled
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
+
+    def _note_cancelled(self) -> None:
+        self._live -= 1
 
     # -- execution -----------------------------------------------------------
 
@@ -80,6 +86,11 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                self._live -= 1
+                # a fired event is no longer live: a late cancel() (e.g. a
+                # timer stopped from its own callback) must not decrement
+                # the counter a second time
+                event._cancel_hook = None
                 self.now = event.time
                 event.callback()
                 fired += 1
@@ -96,14 +107,17 @@ class Simulator:
     # -- introspection ---------------------------------------------------------
 
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for event in self._heap if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained on schedule, cancel and pop."""
+        return self._live
 
     def peek_time(self) -> Optional[float]:
-        """Timestamp of the next live event, or None if the heap is empty."""
-        for event in self._heap:
-            if not event.cancelled:
-                break
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return self._heap[0].time if self._heap else None
+        """Timestamp of the next live event, or None if none are queued.
+
+        Cancelled tombstones at the top of the heap are garbage-collected
+        in passing; the set of live events is unchanged."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return heap[0].time if heap else None

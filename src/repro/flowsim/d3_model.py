@@ -21,27 +21,28 @@ from typing import Dict, List, Tuple
 from repro.flowsim.progress import FlowProgress
 from repro.flowsim.rcp_model import max_min_rates
 
-Edge = Tuple[str, str]
-
 
 class D3Model:
-    """Greedy arrival-order reservation plus max-min leftovers."""
+    """Greedy arrival-order reservation plus max-min leftovers.
+
+    ``capacities`` may be a dict keyed by ``(src, dst)`` name tuples or a
+    flat list indexed by dense edge ids, matching the flows' path tokens.
+    """
 
     name = "D3"
 
-    def allocate(self, flows: List[FlowProgress],
-                 capacities: Dict[Edge, float],
+    def allocate(self, flows: List[FlowProgress], capacities,
                  now: float) -> Dict[int, float]:
-        residual = dict(capacities)
+        residual = capacities.copy()
         reserved: Dict[int, float] = {f.fid: 0.0 for f in flows}
 
         # phase 1: first-come-first-reserve for deadline flows
         deadline_flows = sorted(
-            (f for f in flows if f.spec.has_deadline),
+            (f for f in flows if f.abs_deadline is not None),
             key=lambda f: (f.spec.arrival, f.fid),
         )
         for flow in deadline_flows:
-            deadline = flow.spec.absolute_deadline
+            deadline = flow.abs_deadline
             time_left = deadline - now
             if time_left <= 0:
                 continue  # quenching will remove it
@@ -69,8 +70,7 @@ class D3Model:
         return [
             (f.fid, "quenching:deadline_passed")
             for f in flows
-            if f.spec.absolute_deadline is not None
-            and now > f.spec.absolute_deadline
+            if f.abs_deadline is not None and now > f.abs_deadline
         ]
 
 

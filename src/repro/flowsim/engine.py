@@ -1,4 +1,4 @@
-"""Event-driven fluid simulation engine.
+"""Event-driven fluid simulation engine (optimized hot path).
 
 Rates are recomputed at every arrival, transfer start, completion and
 termination, plus at a periodic refresh (needed when criticality drifts
@@ -8,10 +8,21 @@ progress is linear, so completions are located exactly.
 Protocol inefficiencies modeled (paper §5.5): per-packet header overhead
 (flows carry wire bytes) and flow-initialization latency (data starts
 flowing ``init_rtts`` round-trips after arrival).
+
+Hot-path structure (PR 2): paths are tuples of dense edge ids indexing a
+flat capacity list (no name-tuple hashing); the waiting set is a heap
+keyed on ``transfer_start``; completion ETAs live in a lazy min-heap
+(entries invalidated by a per-flow version bump on rate change — an
+unchanged rate means an unchanged absolute ETA) and deadline boundaries
+in a second lazy heap, so locating the next event no longer scans every
+flow. The frozen pre-optimization engine is
+:class:`~repro.flowsim.naive.NaiveFlowLevelSimulation`; parity tests pin
+bit-identical metrics between the two.
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import ExperimentError
@@ -25,6 +36,8 @@ from repro.workload.flow import FlowSpec
 #: per-hop one-way latency components used for the RTT estimate, matching
 #: the packet-level defaults (processing dominates)
 _PER_HOP_DELAY = 25 * USEC + 0.1 * USEC
+
+_INF = float("inf")
 
 
 class FlowLevelSimulation:
@@ -51,9 +64,12 @@ class FlowLevelSimulation:
         self.refresh_interval = refresh_interval
         self.metrics = metrics or MetricsCollector()
         self.router = GraphRouter(topology)
-        self.capacities = self.router.capacities()
+        #: flat list indexed by dense directed-edge id (FlowProgress.path
+        #: holds the matching ids); rate models copy and index it directly
+        self.capacities: List[float] = self.router.capacity_vector()
         self.now = 0.0
-        self.recomputations = 0
+        self.recomputations = 0  # allocate() calls
+        self.iterations = 0      # main-loop passes (event boundaries)
 
     # -- setup helpers --------------------------------------------------------------
 
@@ -61,16 +77,18 @@ class FlowLevelSimulation:
         packets = -(-size_bytes // self.payload)
         return size_bytes + packets * self.header_bytes
 
-    def _estimate_rtt(self, path: Sequence[Tuple[str, str]]) -> float:
+    def _estimate_rtt(self, path: Sequence[int]) -> float:
         rtt = 0.0
-        for a, b in path:
-            rate = self.capacities[(a, b)]
+        capacities = self.capacities
+        for eid in path:
+            rate = capacities[eid]
             rtt += 2.0 * (_PER_HOP_DELAY + tx_time(self.header_bytes, rate))
         return rtt
 
     def _make_progress(self, spec: FlowSpec) -> FlowProgress:
-        path = self.router.flow_path(spec.fid, spec.src, spec.dst)
-        max_rate = min(self.capacities[edge] for edge in path)
+        path = self.router.flow_path_ids(spec.fid, spec.src, spec.dst)
+        capacities = self.capacities
+        max_rate = min(capacities[eid] for eid in path)
         rtt = self._estimate_rtt(path)
         return FlowProgress(
             spec=spec,
@@ -85,20 +103,34 @@ class FlowLevelSimulation:
 
     def run(self, flows: Sequence[FlowSpec], deadline: float = 60.0,
             max_recomputations: int = 2_000_000) -> MetricsCollector:
+        begin_run = getattr(self.model, "begin_run", None)
+        if begin_run is not None:
+            # the engine honors the incremental-sort contract: the active
+            # list only gains flows at its tail and sheds departed flows
+            begin_run()
         pending = sorted(
             (self._make_progress(self.metrics.register(s).spec) for s in flows),
             key=lambda f: f.spec.arrival,
         )
         for flow in pending:
             self.metrics.on_start(flow.fid, flow.spec.arrival)
-        waiting: List[FlowProgress] = list(pending)  # not yet transferring
+        # waiting flows keyed on transfer_start; seq is the arrival-sorted
+        # position so promoted batches can be re-ordered to match the
+        # reference engine's arrival-order promotion exactly
+        waiting: List[Tuple[float, int, FlowProgress]] = [
+            (flow.transfer_start, seq, flow) for seq, flow in enumerate(pending)
+        ]
+        heapq.heapify(waiting)
         active: List[FlowProgress] = []
+        eta_heap: List[Tuple[float, int, int, FlowProgress]] = []
+        deadline_heap: List[Tuple[float, int, FlowProgress]] = []
 
         while (waiting or active) and self.now <= deadline:
+            self.iterations += 1
             if not active and waiting:
                 # jump to the next transfer start
-                self.now = max(self.now, min(f.transfer_start for f in waiting))
-            self._promote(waiting, active)
+                self.now = max(self.now, waiting[0][0])
+            self._promote(waiting, active, deadline_heap)
             if not active:
                 continue
 
@@ -109,46 +141,85 @@ class FlowLevelSimulation:
                     "flow-level simulation did not converge "
                     f"({max_recomputations} recomputations)"
                 )
-            self._apply_rates(active, rates)
+            sending = self._apply_rates(active, rates, eta_heap)
+            if len(eta_heap) > 64 and len(eta_heap) > 4 * len(active):
+                # models that reshuffle most rates per recomputation (RCP
+                # max-min) strand stale entries below the heap top; compact
+                # so the heap stays O(active). Dropping invalid entries
+                # cannot change the surviving minimum.
+                eta_heap = [
+                    entry for entry in eta_heap
+                    if not entry[3].departed
+                    and entry[1] == entry[3].eta_version
+                ]
+                heapq.heapify(eta_heap)
             if self._terminate_flows(active, rates):
                 continue  # rates changed; recompute immediately
 
-            horizon = self._next_event_time(waiting, active, deadline)
+            horizon = self._next_event_time(waiting, eta_heap, deadline_heap,
+                                            deadline)
             dt = horizon - self.now
             if dt < 0:
                 raise ExperimentError("fluid engine time went backwards")
             for flow in active:
-                flow.advance(dt)
+                # inlined FlowProgress.advance (same arithmetic)
+                if flow.rate > 0:
+                    flow.remaining_wire = max(
+                        0.0, flow.remaining_wire - flow.rate * dt / 8.0
+                    )
+                else:
+                    flow.waited += dt
             self.now = horizon
-            self._complete_finished(active)
+            self._complete_finished(sending, active)
         return self.metrics
 
     # -- helpers ---------------------------------------------------------------------------
 
-    def _promote(self, waiting: List[FlowProgress],
-                 active: List[FlowProgress]) -> None:
-        # single pass: repeated list.remove would be quadratic at scale
+    def _promote(self, waiting: List[Tuple[float, int, FlowProgress]],
+                 active: List[FlowProgress],
+                 deadline_heap: List[Tuple[float, int, FlowProgress]]) -> None:
         cutoff = self.now + 1e-12
-        still_waiting: List[FlowProgress] = []
-        for flow in waiting:
-            if flow.transfer_start <= cutoff:
-                active.append(flow)
-            else:
-                still_waiting.append(flow)
-        if len(still_waiting) != len(waiting):
-            waiting[:] = still_waiting
+        if not waiting or waiting[0][0] > cutoff:
+            return
+        batch: List[Tuple[int, FlowProgress]] = []
+        while waiting and waiting[0][0] <= cutoff:
+            _, seq, flow = heapq.heappop(waiting)
+            batch.append((seq, flow))
+        # arrival order within the batch, matching the reference engine
+        batch.sort()
+        for seq, flow in batch:
+            active.append(flow)
+            if flow.abs_deadline is not None:
+                heapq.heappush(deadline_heap, (flow.abs_deadline, seq, flow))
 
-    def _apply_rates(self, active: List[FlowProgress],
-                     rates: Dict[int, float]) -> None:
+    def _apply_rates(self, active: List[FlowProgress], rates: Dict[int, float],
+                     eta_heap: List[Tuple[float, int, int, FlowProgress]],
+                     ) -> List[FlowProgress]:
+        """Set per-flow rates, track pause spans, and return the sending
+        flows (rate > 0) in active order; flows whose rate changed get a
+        fresh ETA entry (a constant rate keeps its absolute ETA, so stale
+        entries stay valid until the next rate change bumps the version)."""
         now = self.now
+        rates_get = rates.get
+        sending: List[FlowProgress] = []
         for flow in active:
-            rate = rates.get(flow.fid, 0.0)
+            rate = rates_get(flow.fid, 0.0)
             if rate <= 0 and flow.paused_since is None:
                 flow.paused_since = now
             elif rate > 0 and flow.paused_since is not None:
                 flow.waited += now - flow.paused_since
                 flow.paused_since = None
-            flow.rate = rate
+            if rate != flow.rate:
+                flow.rate = rate
+                flow.eta_version += 1
+                if rate > 0:
+                    heapq.heappush(eta_heap, (
+                        flow.completion_eta(now), flow.eta_version,
+                        flow.fid, flow,
+                    ))
+            if rate > 0:
+                sending.append(flow)
+        return sending
 
     def _terminate_flows(self, active: List[FlowProgress],
                          rates: Dict[int, float]) -> bool:
@@ -159,29 +230,58 @@ class FlowLevelSimulation:
         for fid, reason in doomed:
             doomed_fids.add(fid)
             self.metrics.on_terminated(fid, self.now, reason)
-        active[:] = [f for f in active if f.fid not in doomed_fids]
+        still = []
+        for flow in active:
+            if flow.fid in doomed_fids:
+                flow.departed = True
+            else:
+                still.append(flow)
+        active[:] = still
         return True
 
-    def _next_event_time(self, waiting: List[FlowProgress],
-                         active: List[FlowProgress], deadline: float) -> float:
-        horizon = self.now + self.refresh_interval
+    def _next_event_time(self, waiting: List[Tuple[float, int, FlowProgress]],
+                         eta_heap: List[Tuple[float, int, int, FlowProgress]],
+                         deadline_heap: List[Tuple[float, int, FlowProgress]],
+                         deadline: float) -> float:
+        now = self.now
+        horizon = now + self.refresh_interval
         if waiting:
-            horizon = min(horizon, min(f.transfer_start for f in waiting))
-        for flow in active:
-            horizon = min(horizon, flow.completion_eta(self.now))
+            start = waiting[0][0]
+            if start < horizon:
+                horizon = start
+        while eta_heap:
+            _, version, _, flow = eta_heap[0]
+            if flow.departed or version != flow.eta_version:
+                heapq.heappop(eta_heap)  # stale: rate changed or flow gone
+                continue
+            # recompute at current time: FP-identical to the reference
+            # engine's per-iteration scan value
+            eta = flow.completion_eta(now)
+            if eta < horizon:
+                horizon = eta
+            break
+        while deadline_heap:
+            dl, _, flow = deadline_heap[0]
+            if flow.departed or dl <= now:
+                heapq.heappop(deadline_heap)  # boundary passed for good
+                continue
             # ET condition boundaries also warrant a recomputation
-            if flow.spec.absolute_deadline is not None:
-                if flow.spec.absolute_deadline > self.now:
-                    horizon = min(horizon, flow.spec.absolute_deadline)
-        return min(horizon, deadline + self.refresh_interval)
+            if dl < horizon:
+                horizon = dl
+            break
+        end = deadline + self.refresh_interval
+        return horizon if horizon < end else end
 
-    def _complete_finished(self, active: List[FlowProgress]) -> None:
-        finished = [f for f in active if f.remaining_wire <= 1e-6]
+    def _complete_finished(self, sending: List[FlowProgress],
+                           active: List[FlowProgress]) -> None:
+        # only flows that advanced with rate > 0 can cross the threshold
+        finished = [f for f in sending if f.remaining_wire <= 1e-6]
         if not finished:
             return
         done_fids = set()
         for flow in finished:
             done_fids.add(flow.fid)
+            flow.departed = True
             self.metrics.on_bytes(flow.fid, flow.spec.size_bytes)
             self.metrics.on_complete(flow.fid, self.now)
         active[:] = [f for f in active if f.fid not in done_fids]

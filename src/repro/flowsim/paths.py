@@ -28,19 +28,20 @@ class GraphRouter:
         self._node_id: Dict[str, int] = {
             name: i for i, name in enumerate(sorted(graph.nodes()))
         }
+        #: dense directed-edge ids (see Topology.directed_edge_index for the
+        #: assignment contract); these double as the packet-level link ids
+        self.edge_index: Dict[Edge, int] = topology.directed_edge_index()
         # out-adjacency with deterministic link ids matching Network's
         self._out: Dict[str, List[Tuple[int, str]]] = {
             name: [] for name in graph.nodes()
         }
-        link_id = 0
-        for a, b in sorted(graph.edges()):
-            self._out[a].append((link_id, b))
-            self._out[b].append((link_id + 1, a))
-            link_id += 2
+        for (a, b), eid in self.edge_index.items():
+            self._out[a].append((eid, b))
         for neighbors in self._out.values():
             neighbors.sort()
         self._dist_cache: Dict[str, Dict[str, int]] = {}
         self._path_cache: Dict[Tuple[int, str, str], Tuple[Edge, ...]] = {}
+        self._path_ids_cache: Dict[Tuple[int, str, str], Tuple[int, ...]] = {}
 
     # -- public ---------------------------------------------------------------
 
@@ -51,6 +52,21 @@ class GraphRouter:
             path = self._compute(fid, src, dst)
             self._path_cache[key] = path
         return path
+
+    def flow_path_ids(self, fid: int, src: str, dst: str) -> Tuple[int, ...]:
+        """Same pinned path as :meth:`flow_path`, as dense edge ids.
+
+        The optimized flow-level engine stores these on
+        :class:`~repro.flowsim.progress.FlowProgress` so rate models index
+        flat residual-capacity lists instead of hashing name tuples.
+        """
+        key = (fid, src, dst)
+        ids = self._path_ids_cache.get(key)
+        if ids is None:
+            index = self.edge_index
+            ids = tuple(index[edge] for edge in self.flow_path(fid, src, dst))
+            self._path_ids_cache[key] = ids
+        return ids
 
     def hop_count(self, src: str, dst: str) -> int:
         dist = self._distances(dst)
@@ -64,6 +80,14 @@ class GraphRouter:
         for a, b, data in self.topology.graph.edges(data=True):
             caps[(a, b)] = data["rate_bps"]
             caps[(b, a)] = data["rate_bps"]
+        return caps
+
+    def capacity_vector(self) -> List[float]:
+        """Flat capacity list indexed by dense directed-edge id."""
+        edges = self.topology.graph.edges
+        caps = [0.0] * len(self.edge_index)
+        for (a, b), eid in self.edge_index.items():
+            caps[eid] = edges[a, b]["rate_bps"]
         return caps
 
     # -- internals ----------------------------------------------------------------

@@ -6,6 +6,10 @@ order, give each the most bandwidth its path still has. The flow-level
 simulator therefore uses the centralized algorithm directly, with the same
 crumb rule as the packet-level switch (a flow offered only a sliver of its
 maximal rate is paused instead).
+
+``capacities`` may be a dict keyed by ``(src, dst)`` name tuples or a flat
+list indexed by dense edge ids — flow paths just have to hold the matching
+edge tokens (see :mod:`repro.flowsim.progress`).
 """
 
 from __future__ import annotations
@@ -28,13 +32,46 @@ class PdqModel:
                  comparator: Optional[FlowComparator] = None):
         self.config = config or PdqConfig.full()
         self.comparator = comparator or FlowComparator()
+        # comparator-key cache: flow -> (remaining_wire at computation,
+        # key). Only valid while the flow's other inputs are static (see
+        # _keys_are_static); transmission progress invalidates via
+        # remaining_wire. Entries live as long as the model does (bounded
+        # by the flows of one run; models are built per scenario).
+        self._key_cache: Dict[FlowProgress, Tuple[float, tuple]] = {}
+        # incremental-sort state, only used under the begin_run() contract
+        self._incremental = False
+        self._prev_keyed: Optional[list] = None
+
+    def begin_run(self) -> None:
+        """Opt into incremental sorting (called by the engine).
+
+        Engine contract: between ``allocate`` calls the flows list only
+        changes by *appending* newly promoted flows at the end and by
+        removing flows whose ``departed`` flag is set (relative order
+        otherwise preserved). Under that contract the model keeps the
+        previous sorted order and re-sorts only flows whose key changed.
+        Direct ``allocate`` calls without ``begin_run`` always rebuild."""
+        self._incremental = True
+        self._prev_keyed = None
 
     # -- criticality -------------------------------------------------------------
 
     def _criticality(self, flow: FlowProgress, now: float) -> Optional[float]:
-        mode = self.config.criticality_mode
+        """Resolve the comparator's criticality input for ``flow``.
+
+        Caching contract (relied on by the comparator-key cache):
+
+        * a spec-provided ``criticality`` always wins and never changes;
+        * ``random`` mode draws once per flow (seeded by fid) and caches
+          the draw in ``flow.criticality`` — stable for the flow's life;
+        * ``estimate`` mode is intentionally **dynamic**: it derives from
+          bytes sent so far (quantized to ``estimate_chunk``) and is never
+          cached on the flow, so every call reflects current progress;
+        * ``deadline`` mode has no criticality override (returns None).
+        """
         if flow.criticality is not None:
             return flow.criticality
+        mode = self.config.criticality_mode
         if mode == "random":
             flow.criticality = float(
                 spawn_rng(flow.fid, "criticality").random()
@@ -58,33 +95,113 @@ class PdqModel:
     def _key(self, flow: FlowProgress, now: float):
         return self.comparator.key(
             flow.fid,
-            flow.spec.absolute_deadline,
+            flow.abs_deadline,
             self._aged_expected_tx(flow, now),
             self._criticality(flow, now),
         )
 
+    def _keys_are_static(self) -> bool:
+        """True when a flow's comparator key can only change through its
+        own transmission progress (``remaining_wire``), so cached keys
+        stay valid between recomputations. Aging keys decay with wall
+        time and estimate-mode criticality moves with bytes sent below
+        chunk granularity — both must be recomputed every time."""
+        return (self.config.aging_rate <= 0
+                and self.config.criticality_mode != "estimate")
+
     # -- allocation ------------------------------------------------------------------
 
-    def allocate(self, flows: List[FlowProgress],
-                 capacities: Dict[Tuple[str, str], float],
+    def allocate(self, flows: List[FlowProgress], capacities,
                  now: float) -> Dict[int, float]:
-        residual = dict(capacities)
+        config = self.config
+        comparator_key = self.comparator.key
+        static = self._keys_are_static()
+        prev = self._prev_keyed if (static and self._incremental) else None
+        # entries are (key, flow, remaining_wire_at_key); keys embed the
+        # fid, so they are unique and tuple comparison never reaches the
+        # (incomparable) FlowProgress in second position
+        if prev is not None:
+            # previous sorted order, minus departures; only flows that
+            # progressed (or newly arrived at the list's tail, per the
+            # begin_run contract) need fresh keys and a near-sorted sort
+            keyed = []
+            tail = []
+            for entry in prev:
+                flow = entry[1]
+                if flow.departed:
+                    continue
+                if flow.remaining_wire == entry[2]:
+                    keyed.append(entry)
+                else:
+                    tail.append((
+                        comparator_key(
+                            flow.fid, flow.abs_deadline, flow.expected_tx(),
+                            self._criticality(flow, now),
+                        ),
+                        flow, flow.remaining_wire,
+                    ))
+            n_new = len(flows) - len(keyed) - len(tail)
+            if n_new:
+                for flow in flows[len(flows) - n_new:]:
+                    tail.append((
+                        comparator_key(
+                            flow.fid, flow.abs_deadline, flow.expected_tx(),
+                            self._criticality(flow, now),
+                        ),
+                        flow, flow.remaining_wire,
+                    ))
+            if tail:
+                keyed.extend(tail)
+                keyed.sort()
+            self._prev_keyed = keyed
+        elif static:
+            # recompute only keys whose inputs progressed; everything else
+            # is served from the cache (deadline/max_rate/criticality are
+            # static once the flow exists)
+            cache = self._key_cache
+            keyed = []
+            for flow in flows:
+                remaining = flow.remaining_wire
+                cached = cache.get(flow)
+                if cached is not None and cached[0] == remaining:
+                    keyed.append((cached[1], flow, remaining))
+                else:
+                    key = comparator_key(
+                        flow.fid, flow.abs_deadline, flow.expected_tx(),
+                        self._criticality(flow, now),
+                    )
+                    cache[flow] = (remaining, key)
+                    keyed.append((key, flow, remaining))
+            keyed.sort()
+            if self._incremental:
+                self._prev_keyed = keyed
+        else:
+            keyed = [(self._key(flow, now), flow, flow.remaining_wire)
+                     for flow in flows]
+            keyed.sort()
+
+        residual = capacities.copy()
         rates: Dict[int, float] = {}
-        ordered = sorted(flows, key=lambda f: self._key(f, now))
-        for flow in ordered:
-            available = min(
-                (residual[edge] for edge in flow.path), default=0.0
-            )
-            rate = min(flow.max_rate, available)
-            floor = max(
-                self.config.min_rate,
-                self.config.crumb_fraction * flow.max_rate,
-            )
+        min_rate = config.min_rate
+        crumb_fraction = config.crumb_fraction
+        for entry in keyed:
+            flow = entry[1]
+            path = flow.path
+            max_rate = flow.max_rate
+            available = residual[path[0]] if path else 0.0
+            for edge in path:
+                cap = residual[edge]
+                if cap < available:
+                    available = cap
+            rate = max_rate if max_rate < available else available
+            floor = crumb_fraction * max_rate
+            if floor < min_rate:
+                floor = min_rate
             if rate < floor:
                 rates[flow.fid] = 0.0
                 continue
             rates[flow.fid] = rate
-            for edge in flow.path:
+            for edge in path:
                 residual[edge] -= rate
         return rates
 
@@ -96,7 +213,7 @@ class PdqModel:
             return []
         doomed = []
         for flow in flows:
-            deadline = flow.spec.absolute_deadline
+            deadline = flow.abs_deadline
             if deadline is None:
                 continue
             if now > deadline:

@@ -2,9 +2,15 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Tuple
+from typing import Optional, Sequence, Union
 
 from repro.workload.flow import FlowSpec
+
+#: an edge token: a dense directed-edge id (optimized engine) or a
+#: ``(src, dst)`` name tuple (reference engine, hand-built tests). Rate
+#: models only require that ``capacities[token]`` yields a capacity, so
+#: both representations work against list- and dict-shaped capacity maps.
+EdgeToken = Union[int, tuple]
 
 
 class FlowProgress:
@@ -12,17 +18,26 @@ class FlowProgress:
 
     ``remaining_wire`` counts wire bytes (payload plus per-packet header
     overhead), matching the packet-level simulator's notion of work.
+
+    ``path`` is a tuple of edge tokens (see :data:`EdgeToken`).
+    ``abs_deadline`` caches ``spec.absolute_deadline`` so hot loops skip
+    the property recomputation. ``eta_version`` and ``departed`` are
+    engine bookkeeping for the lazy completion-ETA heap: the version is
+    bumped whenever the flow's rate changes (invalidating queued ETA
+    entries) and ``departed`` marks completion/termination.
     """
 
     __slots__ = (
-        "spec", "path", "max_rate", "rtt", "wire_size", "remaining_wire",
-        "transfer_start", "rate", "waited", "paused_since", "criticality",
+        "spec", "fid", "path", "max_rate", "rtt", "wire_size",
+        "remaining_wire", "transfer_start", "rate", "waited", "paused_since",
+        "criticality", "abs_deadline", "eta_version", "departed",
     )
 
-    def __init__(self, spec: FlowSpec, path: Sequence[Tuple[str, str]],
+    def __init__(self, spec: FlowSpec, path: Sequence[EdgeToken],
                  max_rate: float, rtt: float, wire_size: float,
                  transfer_start: float):
         self.spec = spec
+        self.fid = spec.fid  # plain attribute: hot loops read it constantly
         self.path = tuple(path)
         self.max_rate = max_rate
         self.rtt = rtt
@@ -33,10 +48,9 @@ class FlowProgress:
         self.waited = 0.0          # accumulated paused time (aging, §7)
         self.paused_since: Optional[float] = None
         self.criticality: Optional[float] = spec.criticality
-
-    @property
-    def fid(self) -> int:
-        return self.spec.fid
+        self.abs_deadline: Optional[float] = spec.absolute_deadline
+        self.eta_version = 0
+        self.departed = False
 
     @property
     def sent_wire(self) -> float:

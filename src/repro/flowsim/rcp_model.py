@@ -3,26 +3,27 @@
 RCP's fixed point is max-min fairness over the network (every flow gets the
 fair share of its bottleneck link), computed here by standard progressive
 water-filling with per-flow rate caps.
+
+``capacities`` may be a dict keyed by ``(src, dst)`` name tuples or a flat
+list indexed by dense edge ids; flow paths hold the matching edge tokens.
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Set, Tuple
 
-from repro.flowsim.progress import FlowProgress
-
-Edge = Tuple[str, str]
+from repro.flowsim.progress import EdgeToken, FlowProgress
 
 
 def max_min_rates(flows: List[FlowProgress],
-                  capacities: Dict[Edge, float]) -> Dict[int, float]:
+                  capacities) -> Dict[int, float]:
     """Progressive-filling max-min allocation honoring per-flow max rates."""
     rates: Dict[int, float] = {f.fid: 0.0 for f in flows}
-    residual = dict(capacities)
+    residual = capacities.copy()
     unfrozen: Set[int] = {f.fid for f in flows}
     by_fid = {f.fid: f for f in flows}
     # flows per link (only links actually used)
-    link_flows: Dict[Edge, Set[int]] = {}
+    link_flows: Dict[EdgeToken, Set[int]] = {}
     for flow in flows:
         for edge in flow.path:
             link_flows.setdefault(edge, set()).add(flow.fid)
@@ -71,8 +72,7 @@ class RcpModel:
 
     name = "RCP"
 
-    def allocate(self, flows: List[FlowProgress],
-                 capacities: Dict[Edge, float],
+    def allocate(self, flows: List[FlowProgress], capacities,
                  now: float) -> Dict[int, float]:
         return max_min_rates(flows, capacities)
 

@@ -23,6 +23,7 @@ class Topology:
     def __init__(self, default_rate_bps: float = 1 * GBPS):
         self.default_rate_bps = default_rate_bps
         self.graph = nx.Graph()
+        self._edge_index: Dict[Tuple[str, str], int] | None = None
 
     # -- construction helpers (used by subclasses) ------------------------------
 
@@ -38,6 +39,7 @@ class Topology:
         if a not in self.graph or b not in self.graph:
             raise TopologyError(f"link endpoints must exist: {a}, {b}")
         self.graph.add_edge(a, b, rate_bps=rate_bps or self.default_rate_bps)
+        self._edge_index = None  # ids are assigned over the final edge set
 
     # -- accessors ----------------------------------------------------------------
 
@@ -55,6 +57,32 @@ class Topology:
 
     def edge_rate(self, a: str, b: str) -> float:
         return self.graph.edges[a, b]["rate_bps"]
+
+    def directed_edge_index(self) -> Dict[Tuple[str, str], int]:
+        """Dense integer id for every *directed* edge.
+
+        Contract (relied on by :class:`~repro.flowsim.paths.GraphRouter`
+        and the flow-level engine's flat capacity vectors):
+
+        * ids are dense in ``[0, 2 * |E|)``;
+        * undirected edges are visited in ``sorted(graph.edges())`` order;
+          the edge's stored orientation ``(a, b)`` gets the even id ``2k``
+          and the reverse ``(b, a)`` gets ``2k + 1`` — exactly the link-id
+          assignment the packet-level :class:`~repro.net.network.Network`
+          uses, so edge ids and Link ids coincide;
+        * the mapping is deterministic for a given topology and cached;
+          :meth:`add_link` invalidates the cache, so ids are only stable
+          once the topology stops being mutated.
+        """
+        if self._edge_index is None:
+            index: Dict[Tuple[str, str], int] = {}
+            eid = 0
+            for a, b in sorted(self.graph.edges()):
+                index[(a, b)] = eid
+                index[(b, a)] = eid + 1
+                eid += 2
+            self._edge_index = index
+        return self._edge_index
 
     def degree_of(self, name: str) -> int:
         return self.graph.degree[name]

@@ -1,0 +1,76 @@
+"""Tests for the flow-level benchmark harness and its CLI wiring."""
+
+import json
+
+import pytest
+
+from repro.bench import SCENARIOS, run_bench, write_report
+from repro.campaign.cli import main
+from repro.errors import ExperimentError
+
+
+class TestHarness:
+    def test_scenarios_are_registered(self):
+        names = [s.name for s in SCENARIOS]
+        assert "single-bottleneck" in names
+        assert "fig8-scale" in names
+        assert "fattree-multipath" in names
+        assert len(names) == len(set(names))
+
+    def test_quick_run_with_baseline_parity(self):
+        results = run_bench(only=["single-bottleneck"], quick=True)
+        assert len(results) == 1
+        r = results[0]
+        assert r.flows > 0
+        assert r.completed > 0
+        assert r.iterations >= r.recomputations > 0
+        assert r.elapsed_s > 0
+        assert r.events_per_sec > 0
+        assert r.allocate_calls_per_sec > 0
+        assert r.baseline_parity is True
+        assert r.speedup is not None and r.speedup > 0
+
+    def test_no_baseline_skips_comparison(self):
+        results = run_bench(only=["fattree-multipath"], quick=True,
+                            baseline=False)
+        r = results[0]
+        assert r.baseline_elapsed_s is None
+        assert r.speedup is None
+        assert r.baseline_parity is None
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown benchmark"):
+            run_bench(only=["no-such-bench"])
+
+    def test_write_report_schema(self, tmp_path):
+        results = run_bench(only=["fattree-multipath"], quick=True,
+                            baseline=False)
+        out = tmp_path / "BENCH_flowsim.json"
+        report = write_report(results, path=str(out), quick=True)
+        on_disk = json.loads(out.read_text())
+        assert on_disk == report
+        assert on_disk["schema"] == 1
+        assert on_disk["quick"] is True
+        bench = on_disk["benchmarks"][0]
+        for field in ("name", "params", "elapsed_s", "events_per_sec",
+                      "allocate_calls_per_sec", "flows", "completed"):
+            assert field in bench
+
+
+class TestCli:
+    def test_bench_quick_writes_report(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_flowsim.json"
+        code = main(["bench", "--quick", "--only", "fattree-multipath",
+                     "--no-baseline", "--out", str(out)])
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["benchmarks"][0]["name"] == "fattree-multipath"
+        assert "fattree-multipath" in capsys.readouterr().out
+
+    def test_bench_list(self, capsys):
+        assert main(["bench", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "single-bottleneck" in out
+
+    def test_bench_unknown_name(self, capsys):
+        assert main(["bench", "--only", "nope"]) == 2

@@ -104,12 +104,71 @@ class TestSimulator:
         e1.cancel()
         assert sim.pending() == 1
 
+    def test_pending_drains_with_run(self):
+        sim = Simulator()
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        assert sim.pending() == 3
+        sim.run(until=2.0)
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.pending() == 0
+
+    def test_cancel_after_fire_keeps_pending_exact(self):
+        # e.g. a PeriodicTimer stopped from its own callback cancels the
+        # event that just fired; the live counter must not double-count
+        sim = Simulator()
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        fired.cancel()
+        assert sim.pending() == 1
+        assert sim.peek_time() == 10.0
+
+    def test_stop_from_periodic_callback_keeps_pending_exact(self):
+        from repro.events import PeriodicTimer
+
+        sim = Simulator()
+        timer = PeriodicTimer(sim, 1.0, lambda: timer.stop())
+        timer.start()
+        sim.schedule(10.0, lambda: None)
+        sim.run(until=5.0)
+        assert sim.pending() == 1  # the t=10 event is still live
+
+    def test_double_cancel_decrements_once(self):
+        sim = Simulator()
+        event = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.pending() == 1
+
     def test_peek_time_skips_cancelled(self):
         sim = Simulator()
         e1 = sim.schedule(1.0, lambda: None)
         sim.schedule(2.0, lambda: None)
         e1.cancel()
         assert sim.peek_time() == 2.0
+
+    def test_peek_time_preserves_live_events(self):
+        sim = Simulator()
+        e1 = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        e1.cancel()
+        fired = []
+        assert sim.peek_time() == 2.0  # gc of tombstones only
+        assert sim.pending() == 1
+        sim.schedule(1.5, lambda: fired.append(sim.now))
+        sim.run()
+        assert fired == [1.5]
+
+    def test_peek_time_empty(self):
+        sim = Simulator()
+        assert sim.peek_time() is None
+        event = sim.schedule(1.0, lambda: None)
+        event.cancel()
+        assert sim.peek_time() is None
+        assert sim.pending() == 0
 
     def test_not_reentrant(self):
         sim = Simulator()

@@ -1,0 +1,152 @@
+"""Golden parity: the optimized flow-level engine must produce
+bit-identical MetricsCollector output to the frozen pre-optimization code
+(engine *and* rate models) on small fig3/fig5/fig8-style grids.
+
+``to_dict()`` equality compares every per-flow float exactly, so any
+drift in the allocation arithmetic, event ordering, or completion-time
+location fails these tests.
+"""
+
+import pytest
+
+from repro.core.config import PdqConfig
+from repro.flowsim.d3_model import D3Model
+from repro.flowsim.engine import FlowLevelSimulation
+from repro.flowsim.naive import (
+    NaiveFlowLevelSimulation,
+    naive_model_for,
+)
+from repro.flowsim.pdq_model import PdqModel
+from repro.flowsim.rcp_model import RcpModel
+from repro.units import KBYTE, MSEC
+
+# importing the figure modules registers their workload kinds
+import repro.experiments.fig3  # noqa: F401
+import repro.experiments.fig5  # noqa: F401
+import repro.experiments.fig8  # noqa: F401
+from repro.campaign.registry import build_topology, build_workload
+
+
+def _run_both(topology_kind, topology_params, workload_kind, workload_params,
+              model_factory, seed=1, sim_deadline=4.0, **engine_kwargs):
+    """Run optimized and naive engines on the same scenario; return the
+    two metrics dicts."""
+    results = []
+    for engine_cls, wrap in (
+        (FlowLevelSimulation, lambda m: m),
+        (NaiveFlowLevelSimulation, naive_model_for),
+    ):
+        topology = build_topology(topology_kind, topology_params)
+        flows = build_workload(workload_kind, topology, seed,
+                               workload_params)
+        sim = engine_cls(topology, wrap(model_factory()), **engine_kwargs)
+        results.append(sim.run(flows, deadline=sim_deadline).to_dict())
+    return results
+
+
+FIG3_GRID = [
+    # (model factory, n_flows, mean_deadline)
+    (lambda: PdqModel(PdqConfig.full()), 6, 30 * MSEC),
+    (lambda: PdqModel(PdqConfig.basic()), 6, 30 * MSEC),
+    (lambda: PdqModel(PdqConfig.es_et()), 4, 20 * MSEC),
+    (RcpModel, 5, None),
+    (D3Model, 5, 25 * MSEC),
+]
+
+
+class TestFig3Parity:
+    """Query aggregation on the 12-server single-rooted tree."""
+
+    @pytest.mark.parametrize("idx", range(len(FIG3_GRID)))
+    def test_bit_identical(self, idx):
+        model_factory, n_flows, mean_deadline = FIG3_GRID[idx]
+        opt, naive = _run_both(
+            "single_rooted", {},
+            "fig3.aggregation",
+            {"n_flows": n_flows, "mean_size": 150 * KBYTE,
+             "mean_deadline": mean_deadline},
+            model_factory,
+        )
+        assert opt == naive
+
+
+class TestFig5Parity:
+    """Realistic VL2-style workload (poisson arrivals, mixed sizes)."""
+
+    @pytest.mark.parametrize("protocol", ["pdq", "rcp", "d3"])
+    def test_bit_identical(self, protocol):
+        factory = {
+            "pdq": lambda: PdqModel(PdqConfig.full()),
+            "rcp": RcpModel,
+            "d3": D3Model,
+        }[protocol]
+        opt, naive = _run_both(
+            "single_rooted", {},
+            "fig5.vl2",
+            {"rate_per_sec": 120.0, "duration": 0.1,
+             "mean_deadline": 20 * MSEC},
+            factory,
+            seed=2,
+        )
+        assert opt == naive
+
+
+class TestFig8Parity:
+    """Scale-sweep cells: permutation traffic on small fat-trees."""
+
+    @pytest.mark.parametrize("protocol,seed", [
+        ("pdq", 1), ("pdq", 3), ("rcp", 1),
+    ])
+    def test_permutation_bit_identical(self, protocol, seed):
+        factory = {"pdq": lambda: PdqModel(PdqConfig.full()),
+                   "rcp": RcpModel}[protocol]
+        opt, naive = _run_both(
+            "fattree", {"n_servers": 16},
+            "fig8.permutation", {"flows_per_server": 2},
+            factory,
+            seed=seed,
+        )
+        assert opt == naive
+
+    def test_random_pairs_deadlines_bit_identical(self):
+        opt, naive = _run_both(
+            "fattree", {"n_servers": 16},
+            "fig8.random_pairs",
+            {"n_flows": 24, "mean_deadline": 20 * MSEC},
+            lambda: PdqModel(PdqConfig.full()),
+        )
+        assert opt == naive
+
+
+class TestAgingAndEstimateParity:
+    """Time-varying keys (aging) and progress-derived criticality
+    (estimate mode) force per-call key recomputation — the cache must
+    not leak stale keys into either path."""
+
+    def test_aging_bit_identical(self):
+        opt, naive = _run_both(
+            "single_rooted", {},
+            "fig3.aggregation",
+            {"n_flows": 5, "mean_size": 200 * KBYTE, "mean_deadline": None},
+            lambda: PdqModel(PdqConfig.full(aging_rate=2.0)),
+        )
+        assert opt == naive
+
+    def test_estimate_mode_bit_identical(self):
+        opt, naive = _run_both(
+            "single_rooted", {},
+            "fig3.aggregation",
+            {"n_flows": 5, "mean_size": 200 * KBYTE, "mean_deadline": None},
+            lambda: PdqModel(PdqConfig.full(criticality_mode="estimate")),
+        )
+        assert opt == naive
+
+    def test_random_mode_bit_identical(self):
+        opt, naive = _run_both(
+            "single_rooted", {},
+            "fig3.aggregation",
+            {"n_flows": 5, "mean_size": 200 * KBYTE,
+             "mean_deadline": 30 * MSEC},
+            lambda: PdqModel(PdqConfig.full(criticality_mode="random")),
+        )
+        assert opt == naive

@@ -125,3 +125,48 @@ class TestGraphRouterAgreement:
         caps = GraphRouter(topo).capacities()
         assert len(caps) == 2 * topo.graph.number_of_edges()
         assert all(v > 0 for v in caps.values())
+
+
+class TestEdgeIndex:
+    """The dense directed-edge index contract (see
+    Topology.directed_edge_index)."""
+
+    def test_ids_are_dense_and_paired(self):
+        topo = FatTree(4)
+        index = topo.directed_edge_index()
+        n = 2 * topo.graph.number_of_edges()
+        assert sorted(index.values()) == list(range(n))
+        for (a, b), eid in index.items():
+            reverse = index[(b, a)]
+            # forward/reverse ids differ only in the low bit
+            assert reverse // 2 == eid // 2
+            assert reverse != eid
+
+    def test_index_is_cached_and_invalidated_on_add_link(self):
+        topo = SingleRootedTree()
+        first = topo.directed_edge_index()
+        assert topo.directed_edge_index() is first
+        topo.add_switch("extra_sw")
+        topo.add_link("h0", "extra_sw")
+        second = topo.directed_edge_index()
+        assert second is not first
+        assert len(second) == len(first) + 2
+
+    def test_flow_path_ids_match_named_paths(self):
+        topo = FatTree(4)
+        router = GraphRouter(topo)
+        index = router.edge_index
+        hosts = topo.hosts
+        for fid in range(6):
+            named = router.flow_path(fid, hosts[0], hosts[-1])
+            ids = router.flow_path_ids(fid, hosts[0], hosts[-1])
+            assert ids == tuple(index[edge] for edge in named)
+
+    def test_capacity_vector_matches_capacity_dict(self):
+        topo = FatTree(4)
+        router = GraphRouter(topo)
+        vector = router.capacity_vector()
+        caps = router.capacities()
+        assert len(vector) == len(caps)
+        for edge, eid in router.edge_index.items():
+            assert vector[eid] == caps[edge]
