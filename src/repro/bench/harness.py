@@ -1,8 +1,14 @@
-"""Timing harness for the flow-level benchmark scenarios.
+"""Timing harness for the benchmark scenarios (both engines).
 
-Each scenario is run on the optimized engine and (unless disabled) on the
-frozen naive baseline; the baseline run doubles as a live parity check —
-a metrics mismatch is a hard error, not a statistic.
+Flow-level scenarios run on the optimized engine and (unless disabled) on
+the frozen naive baseline; the baseline run doubles as a live parity
+check — a metrics mismatch is a hard error, not a statistic.
+
+Packet-level scenarios time the discrete-event stack (``iterations`` is
+the simulator's processed-event count, so ``events_per_sec`` is directly
+comparable across PRs). The packet engine has no frozen naive twin, so
+those rows carry no baseline/speedup/parity columns; correctness is
+covered by ``python -m repro validate`` instead.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ class BenchResult:
     flows: int
     completed: int
     terminated: int
+    engine: str = "flow"
     baseline_elapsed_s: Optional[float] = None
     baseline_parity: Optional[bool] = None
     extras: Dict = field(default_factory=dict)
@@ -55,6 +62,7 @@ class BenchResult:
         return {
             "name": self.name,
             "description": self.description,
+            "engine": self.engine,
             "params": self.params,
             "elapsed_s": self.elapsed_s,
             "iterations": self.iterations,
@@ -88,8 +96,47 @@ def _timed_run(engine_cls, scenario: BenchScenario, quick: bool, repeat: int,
     return best
 
 
+def _timed_packet_run(scenario: BenchScenario, quick: bool, repeat: int):
+    """Best-of-``repeat`` wall time for a packet-level scenario; returns
+    (elapsed, simulator, metrics)."""
+    from repro.campaign.engines import make_stack
+    from repro.net.network import Network
+
+    best = None
+    for _ in range(max(1, repeat)):
+        topology, protocol, flows, sim_deadline = scenario.build(quick)
+        net = Network(topology, make_stack(protocol))
+        started = time.perf_counter()
+        net.launch(flows)
+        net.run_until_quiet(deadline=sim_deadline)
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best[0]:
+            best = (elapsed, net.sim, net.metrics)
+    return best
+
+
+def run_packet_scenario(scenario: BenchScenario, quick: bool = False,
+                        repeat: int = 1) -> BenchResult:
+    elapsed, sim, metrics = _timed_packet_run(scenario, quick, repeat)
+    records = metrics.all_records()
+    return BenchResult(
+        name=scenario.name,
+        description=scenario.description,
+        params=scenario.params(quick),
+        elapsed_s=elapsed,
+        iterations=sim.processed_events,
+        recomputations=0,
+        flows=len(records),
+        completed=sum(1 for r in records if r.completed),
+        terminated=sum(1 for r in records if r.terminated),
+        engine="packet",
+    )
+
+
 def run_scenario(scenario: BenchScenario, quick: bool = False,
                  baseline: bool = True, repeat: int = 1) -> BenchResult:
+    if scenario.engine == "packet":
+        return run_packet_scenario(scenario, quick=quick, repeat=repeat)
     elapsed, sim, metrics = _timed_run(
         FlowLevelSimulation, scenario, quick, repeat
     )

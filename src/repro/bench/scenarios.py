@@ -1,9 +1,15 @@
-"""Canonical flow-level benchmark scenarios.
+"""Canonical benchmark scenarios for both simulation engines.
 
 Each scenario builds fresh topology/model/flows per call (engines and the
 PDQ key cache are stateful), deterministically from a fixed seed, at one
 of two scales: ``full`` (the numbers recorded in BENCH_flowsim.json) and
 ``quick`` (CI smoke: same shape, small enough to finish in seconds).
+
+Flow-level scenarios build ``(topology, rate_model, flows, deadline)``
+and are timed against the frozen naive baseline; packet-level scenarios
+(``engine="packet"``) build ``(topology, protocol_name, flows,
+deadline)`` and track the discrete-event stack's events/sec trajectory —
+there is no naive packet twin, so they carry no baseline/parity columns.
 """
 
 from __future__ import annotations
@@ -17,14 +23,16 @@ from repro.flowsim.rcp_model import RcpModel
 from repro.topology.base import Topology
 from repro.topology.fattree import FatTree
 from repro.topology.single_bottleneck import SingleBottleneck
+from repro.topology.single_rooted import SingleRootedTree
 from repro.units import KBYTE, MSEC
 from repro.utils.rng import spawn_rng
 from repro.workload.arrivals import poisson_arrivals
+from repro.workload.deadlines import exponential_deadlines
 from repro.workload.flow import FlowSpec
-from repro.workload.patterns import random_permutation_flows
+from repro.workload.patterns import aggregation_flows, random_permutation_flows
 from repro.workload.sizes import uniform_sizes
 
-#: (topology, model, flows, sim_deadline)
+#: (topology, model-or-protocol-name, flows, sim_deadline)
 Built = Tuple[Topology, object, List[FlowSpec], float]
 
 
@@ -34,6 +42,7 @@ class BenchScenario:
     description: str
     build: Callable[[bool], Built]  # build(quick) -> Built
     params: Callable[[bool], Dict]  # the knobs that sized the run
+    engine: str = "flow"            # "flow" | "packet"
 
 
 def _single_bottleneck(quick: bool) -> Built:
@@ -125,6 +134,43 @@ def _d3_reservations_params(quick: bool) -> Dict:
             "protocol": "D3"}
 
 
+def _packet_aggregation(quick: bool) -> Built:
+    """Fig-3-style deadline fan-in at the packet level: PDQ endpoints,
+    switches and per-packet scheduling headers on the single-rooted tree
+    — the discrete-event hot path (link/queue/timer events)."""
+    n_flows = 8 if quick else 24
+    rng = spawn_rng(20120813, "bench:packet_aggregation")
+    sizes = uniform_sizes(n_flows, 100 * KBYTE, rng=rng)
+    deadlines = exponential_deadlines(n_flows, mean=30 * MSEC, rng=rng)
+    senders = [f"h{i}" for i in range(1, 12)]
+    flows = aggregation_flows(senders, "h0", sizes, deadlines=deadlines,
+                              rng=rng)
+    return (SingleRootedTree(), "PDQ(Full)", flows, 4.0)
+
+
+def _packet_aggregation_params(quick: bool) -> Dict:
+    return {"n_flows": 8 if quick else 24, "protocol": "PDQ(Full)",
+            "mean_deadline_ms": 30, "engine": "packet"}
+
+
+def _packet_vl2(quick: bool) -> Built:
+    """Fig-5-style VL2 mix at the packet level under RCP: Poisson
+    arrivals, heavy-tailed sizes, per-switch rate feedback — measures the
+    packet engine under churn rather than fan-in."""
+    rate = 1500.0 if quick else 3000.0
+    duration = 0.02 if quick else 0.05
+    from repro.experiments.fig5 import vl2_workload
+
+    flows = vl2_workload(rate, duration, seed=1)
+    return (SingleRootedTree(), "RCP", flows, duration + 1.0)
+
+
+def _packet_vl2_params(quick: bool) -> Dict:
+    return {"rate_per_sec": 1500.0 if quick else 3000.0,
+            "duration": 0.02 if quick else 0.05,
+            "protocol": "RCP", "engine": "packet"}
+
+
 SCENARIOS: List[BenchScenario] = [
     BenchScenario(
         name="single-bottleneck",
@@ -149,5 +195,19 @@ SCENARIOS: List[BenchScenario] = [
         description="D3 reservation sweeps with deadline flows",
         build=_d3_reservations,
         params=_d3_reservations_params,
+    ),
+    BenchScenario(
+        name="packet-aggregation",
+        description="packet-level PDQ deadline fan-in (event-loop hot path)",
+        build=_packet_aggregation,
+        params=_packet_aggregation_params,
+        engine="packet",
+    ),
+    BenchScenario(
+        name="packet-vl2",
+        description="packet-level RCP under a VL2 arrival mix",
+        build=_packet_vl2,
+        params=_packet_vl2_params,
+        engine="packet",
     ),
 ]

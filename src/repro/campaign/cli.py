@@ -14,8 +14,15 @@ Subcommands::
         List the cached scenario results.
 
     repro bench [--quick] [--only NAME ...] [--no-baseline] [--repeat N]
-        Time the flow-level engine on canonical scenarios, compare against
-        the frozen naive baseline, and write BENCH_flowsim.json.
+        Time the simulation engines on canonical scenarios (flow-level
+        cells against the frozen naive baseline, packet-level cells for
+        events/sec trajectory) and write BENCH_flowsim.json.
+
+    repro validate [--quick] [--only FAMILY ...] [--jobs J] ...
+        Run matched packet/fluid scenario pairs through the campaign
+        runner, assert cross-engine agreement within declared tolerances,
+        and write VALIDATE_cross_engine.json. Fails (exit 1) on tolerance
+        violations — never on timing.
 """
 
 from __future__ import annotations
@@ -105,7 +112,9 @@ def _print_progress(outcome: ScenarioOutcome, done: int, total: int) -> None:
 
 def _make_runner(args: argparse.Namespace, verbose: bool) -> CampaignRunner:
     store = None
-    if not getattr(args, "no_cache", False):
+    # args.cache is None where caching is opt-in (validate: a stale
+    # cache would vouch for engine code that never ran)
+    if not getattr(args, "no_cache", False) and args.cache:
         store = ResultStore(args.cache)
     return CampaignRunner(
         max_workers=args.jobs,
@@ -296,19 +305,91 @@ def _cmd_bench(args: argparse.Namespace) -> int:
                   f"{r.events_per_sec:,.0f} events/s{speed}", flush=True)
     report = write_report(results, path=args.out, quick=args.quick)
     rows = [
-        [r.name, r.flows, f"{r.elapsed_s:.3f}",
+        [r.name, r.engine, r.flows, f"{r.elapsed_s:.3f}",
          f"{r.events_per_sec:,.0f}", f"{r.allocate_calls_per_sec:,.0f}",
          f"{r.speedup:.2f}x" if r.speedup else "-",
          {True: "ok", False: "FAIL", None: "-"}[r.baseline_parity]]
         for r in results
     ]
     print(format_table(
-        ["scenario", "flows", "wall_s", "events/s", "alloc/s", "speedup",
-         "parity"],
+        ["scenario", "engine", "flows", "wall_s", "events/s", "alloc/s",
+         "speedup", "parity"],
         rows,
-        title=f"flow-level bench ({'quick' if args.quick else 'full'} scale)",
+        title=f"engine bench ({'quick' if args.quick else 'full'} scale)",
     ))
     print(f"wrote {args.out} ({len(report['benchmarks'])} benchmark(s))")
+    return 0
+
+
+# -- validate -----------------------------------------------------------------------
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+    from repro.validate import (
+        default_pairs,
+        run_validation,
+        select_pairs,
+        write_report,
+    )
+
+    pairs = select_pairs(default_pairs(quick=args.quick), args.only)
+    if args.list:
+        for pair in pairs:
+            tol = pair.tolerance
+            print(f"  {pair.name}: fct_rtol={tol.fct_rtol:.2f} "
+                  f"app_atol={tol.app_tput_atol:.2f}")
+        return 0
+    if args.dry_run:
+        print(f"validate: {len(pairs)} pair(s), "
+              f"{2 * len(pairs)} scenario(s)")
+        for pair in pairs:
+            print(f"  {pair.packet.key[:12]}/{pair.fluid.key[:12]}  "
+                  f"{pair.name}")
+        print("dry run: no scenarios executed")
+        return 0
+    with _make_runner(args, verbose=True) as runner:
+        with use_runner(runner):
+            report = run_validation(pairs=pairs, quick=args.quick)
+    rows = []
+    for outcome in report.outcomes:
+        if outcome.error:
+            rows.append([outcome.name, outcome.protocol, "-", "-",
+                         f"ERROR: {outcome.error}"])
+            continue
+        fct = next((c for c in outcome.checks if c.name == "mean_fct"), None)
+        fct_cell = (
+            f"{fct.measured:.3f}/{fct.limit:.2f}"
+            if fct and fct.measured is not None else "-"
+        )
+        app = next(
+            (c for c in outcome.checks
+             if c.name == "application_throughput"), None,
+        )
+        app_cell = f"{app.measured:.3f}/{app.limit:.2f}" if app else "-"
+        status = "ok" if outcome.ok else "FAIL: " + ", ".join(
+            c.name for c in outcome.failures()
+        )
+        rows.append([outcome.name, outcome.protocol, fct_cell, app_cell,
+                     status])
+    print(format_table(
+        ["pair", "protocol", "fct_gap/tol", "app_gap/tol", "status"],
+        rows,
+        title=(f"cross-engine validation "
+               f"({'quick' if args.quick else 'full'} grid)"),
+    ))
+    payload = write_report(report, path=args.out)
+    print(f"wrote {args.out} ({payload['n_pairs']} pair(s), "
+          f"{payload['n_failed']} failed, {report.elapsed_s:.1f}s simulated"
+          f" work)")
+    if not report.ok:
+        for outcome in report.failures():
+            detail = outcome.error or "; ".join(
+                f"{c.name}: {c.detail}" for c in outcome.failures()
+            )
+            print(f"TOLERANCE VIOLATION {outcome.name}: {detail}",
+                  file=sys.stderr)
+        return 1
     return 0
 
 
@@ -380,6 +461,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--list", action="store_true",
                        help="list scenarios and exit")
     bench.set_defaults(func=_cmd_bench)
+
+    validate = sub.add_parser(
+        "validate",
+        help="check packet-vs-fluid engine agreement on matched scenarios",
+    )
+    validate.add_argument("--quick", action="store_true",
+                          help="reduced pair grid (CI smoke)")
+    validate.add_argument("--only", nargs="+", default=None,
+                          help="pair families or name substrings "
+                               "(edge, fig3, fig5, a protocol name, ...)")
+    validate.add_argument("--out", default="VALIDATE_cross_engine.json",
+                          help="report path (default %(default)s)")
+    validate.add_argument("--list", action="store_true",
+                          help="list pairs and their tolerances, then exit")
+    _add_runner_args(validate)
+    # caching is opt-in for validation: a warm cache would report
+    # "agreement" computed by whatever engine code produced the entry,
+    # not by the code under test (results are keyed by spec content
+    # only). --cache DIR still opts in for interactive iteration.
+    validate.set_defaults(func=_cmd_validate, cache=None)
 
     return parser
 

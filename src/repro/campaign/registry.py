@@ -127,3 +127,24 @@ def _bcube(n: int = 2, k: int = None, n_servers: int = None):
 @register_topology("jellyfish")
 def _jellyfish(n_servers: int, seed: int = 1):
     return Jellyfish.for_servers(n_servers, seed=seed)
+
+
+# -- builtin workload kinds ---------------------------------------------------------
+#
+# Tiny generic workloads used by the cross-engine validation suite and as
+# degenerate-case fixtures; figure-scale workloads live in experiments.
+
+
+@register_workload("empty")
+def _empty_workload(topology, seed: int) -> List[Any]:
+    return []
+
+
+@register_workload("single_flow")
+def _single_flow_workload(topology, seed: int, src: str, dst: str,
+                          size_bytes: int, arrival: float = 0.0,
+                          deadline: Any = None) -> List[Any]:
+    from repro.workload.flow import FlowSpec
+
+    return [FlowSpec(fid=0, src=src, dst=dst, size_bytes=size_bytes,
+                     arrival=arrival, deadline=deadline)]

@@ -40,8 +40,7 @@ from repro.metrics.collector import MetricsCollector
 
 def run_scenario(spec: ScenarioSpec) -> MetricsCollector:
     """Execute one scenario in the current process."""
-    # Imported lazily: experiments modules import this package.
-    from repro.experiments.scenario import execute_spec
+    from repro.campaign.engines import execute_spec
 
     return execute_spec(spec)
 

@@ -20,10 +20,8 @@ import json
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
+from repro.campaign.engines import engine_kinds
 from repro.errors import CampaignError
-
-#: simulation engines a spec may select
-ENGINES = ("packet", "flow")
 
 
 def _plain(value: Any) -> Any:
@@ -122,9 +120,10 @@ class ScenarioSpec:
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
-        if self.engine not in ENGINES:
+        if self.engine not in engine_kinds():
             raise CampaignError(
-                f"unknown engine {self.engine!r}; expected one of {ENGINES}"
+                f"unknown engine {self.engine!r}; "
+                f"expected one of {engine_kinds()}"
             )
         if not isinstance(self.topology, TopologySpec):
             raise CampaignError("topology must be a TopologySpec")

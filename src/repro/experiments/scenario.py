@@ -1,138 +1,40 @@
-"""Generic scenario runners shared by all figure experiments."""
+"""Scenario helpers shared by the figure experiments.
+
+The simulator entry points (protocol factories, the packet/flow runners
+and declarative-spec execution) live in :mod:`repro.campaign.engines`
+since the engine layer became part of the campaign subsystem; they are
+re-exported here so experiment code and downstream users keep their
+historical imports. This module adds the experiment-side analysis
+helpers (normalization, per-fid means) on top.
+"""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence
 
-from repro.core.config import PdqConfig
-from repro.core.multipath import MpdqStack
-from repro.core.stack import PdqStack
-from repro.errors import ExperimentError
-from repro.flowsim.d3_model import D3Model
-from repro.flowsim.engine import FlowLevelSimulation
-from repro.flowsim.pdq_model import PdqModel
-from repro.flowsim.rcp_model import RcpModel
-from repro.metrics.collector import MetricsCollector
-from repro.net.network import Network, NetworkConfig
-from repro.topology.base import Topology
-from repro.transport.d3 import D3Stack
-from repro.transport.rcp import RcpStack
-from repro.transport.tcp import TcpStack
-from repro.workload.flow import FlowSpec
-
-#: protocols understood by make_stack / make_model
-PROTOCOLS = (
-    "PDQ(Full)",
-    "PDQ(ES+ET)",
-    "PDQ(ES)",
-    "PDQ(Basic)",
-    "D3",
-    "RCP",
-    "TCP",
+from repro.campaign.engines import (  # noqa: F401 - re-exports
+    PROTOCOLS,
+    available_protocols,
+    execute_spec,
+    make_model,
+    make_stack,
+    run_flow_level,
+    run_packet_level,
 )
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector
 
-
-def available_protocols() -> Tuple[str, ...]:
-    return PROTOCOLS
-
-
-def make_stack(name: str, n_subflows: int = 3, **pdq_overrides):
-    """Build a protocol stack from its paper name."""
-    if name == "PDQ(Full)":
-        return PdqStack(PdqConfig.full(**pdq_overrides))
-    if name == "PDQ(ES+ET)":
-        return PdqStack(PdqConfig.es_et(**pdq_overrides))
-    if name == "PDQ(ES)":
-        return PdqStack(PdqConfig.es(**pdq_overrides))
-    if name == "PDQ(Basic)":
-        return PdqStack(PdqConfig.basic(**pdq_overrides))
-    if name == "M-PDQ":
-        return MpdqStack(PdqConfig.full(**pdq_overrides), n_subflows=n_subflows)
-    if name == "D3":
-        return D3Stack()
-    if name == "RCP":
-        return RcpStack()
-    if name == "TCP":
-        return TcpStack()
-    raise ExperimentError(f"unknown protocol {name!r}")
-
-
-def make_model(name: str, **pdq_overrides):
-    """Flow-level rate model for a protocol name (TCP has none)."""
-    if name.startswith("PDQ"):
-        variant = {
-            "PDQ(Full)": PdqConfig.full,
-            "PDQ(ES+ET)": PdqConfig.es_et,
-            "PDQ(ES)": PdqConfig.es,
-            "PDQ(Basic)": PdqConfig.basic,
-        }.get(name, PdqConfig.full)
-        return PdqModel(variant(**pdq_overrides))
-    if name == "RCP":
-        return RcpModel()
-    if name == "D3":
-        return D3Model()
-    raise ExperimentError(f"no flow-level model for {name!r}")
-
-
-def run_packet_level(
-    topology: Topology,
-    protocol: str,
-    flows: Sequence[FlowSpec],
-    sim_deadline: float = 2.0,
-    loss: Optional[Tuple[str, str, float, int]] = None,
-    network_config: Optional[NetworkConfig] = None,
-    n_subflows: int = 3,
-    **pdq_overrides,
-) -> MetricsCollector:
-    """Run one packet-level scenario and return its metrics.
-
-    ``loss`` is (node_a, node_b, rate, seed) for Fig 9's random wire loss.
-    """
-    stack = make_stack(protocol, n_subflows=n_subflows, **pdq_overrides)
-    net = Network(topology, stack, config=network_config)
-    if loss is not None:
-        a, b, rate, seed = loss
-        net.set_loss(a, b, rate, seed=seed)
-    net.launch(flows)
-    net.run_until_quiet(deadline=sim_deadline)
-    return net.metrics
-
-
-def run_flow_level(
-    topology: Topology,
-    protocol: str,
-    flows: Sequence[FlowSpec],
-    sim_deadline: float = 10.0,
-    **pdq_overrides,
-) -> MetricsCollector:
-    """Run one flow-level scenario and return its metrics."""
-    model = make_model(protocol, **pdq_overrides)
-    header = {"RCP": 44, "D3": 52}.get(protocol, 56)
-    sim = FlowLevelSimulation(topology, model, header_bytes=header)
-    return sim.run(flows, deadline=sim_deadline)
-
-
-def execute_spec(spec) -> MetricsCollector:
-    """Run one declarative :class:`~repro.campaign.spec.ScenarioSpec`.
-
-    This is the campaign runner's single entry point into the simulators:
-    it builds the topology and workload from their registered kinds and
-    dispatches on the spec's engine. Keyword options ride in
-    ``spec.options`` (``n_subflows`` plus any PDQ config overrides); a
-    spec without ``sim_deadline`` runs at the engine's default horizon.
-    """
-    topology = spec.topology.build()
-    flows = spec.workload.build(topology, spec.seed)
-    options = dict(spec.options)
-    if spec.sim_deadline is not None:
-        options["sim_deadline"] = spec.sim_deadline
-    if spec.engine == "packet":
-        return run_packet_level(
-            topology, spec.protocol, flows,
-            loss=spec.loss,
-            **options,
-        )
-    return run_flow_level(topology, spec.protocol, flows, **options)
+__all__ = [
+    "PROTOCOLS",
+    "available_protocols",
+    "execute_spec",
+    "make_model",
+    "make_stack",
+    "mean_fct_by",
+    "normalize",
+    "run_flow_level",
+    "run_packet_level",
+]
 
 
 def mean_fct_by(collector: MetricsCollector,

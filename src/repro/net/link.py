@@ -54,9 +54,10 @@ class Link:
         # statistics
         self.bytes_sent = 0
         self.packets_sent = 0
-        self.busy_time = 0.0
+        self._busy_accum = 0.0  # completed transmissions only
 
         self._transmitting = False
+        self._tx_started = 0.0  # start of the in-flight transmission
 
     # -- configuration ---------------------------------------------------------
 
@@ -83,11 +84,16 @@ class Link:
             self._transmitting = False
             return
         self._transmitting = True
+        self._tx_started = self.sim.now
         delay = tx_time(packet.size, self.rate_bps)
-        self.busy_time += delay
         self.sim.schedule(delay, lambda p=packet: self._finish(p))
 
     def _finish(self, packet: Packet) -> None:
+        # busy time is charged as it elapses (pro-rated via the property
+        # while in flight, folded into the accumulator here), so a
+        # utilization window ending mid-transmission never overcounts
+        self._busy_accum += self.sim.now - self._tx_started
+        self._transmitting = False
         self.bytes_sent += packet.size
         self.packets_sent += 1
         lost = (
@@ -107,6 +113,18 @@ class Link:
     @property
     def name(self) -> str:
         return f"{self.src.name}->{self.dst.name}"
+
+    @property
+    def busy_time(self) -> float:
+        """Cumulative transmitting time up to the current instant.
+
+        The in-flight transmission contributes only its elapsed portion,
+        so windowed utilization over ``busy_time`` deltas stays <= 1 even
+        when the window ends mid-transmission."""
+        busy = self._busy_accum
+        if self._transmitting:
+            busy += self.sim.now - self._tx_started
+        return busy
 
     def utilization(self, since: float, now: float, busy_at_since: float) -> float:
         """Fraction of [since, now] the link spent transmitting, given the

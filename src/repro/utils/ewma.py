@@ -13,7 +13,15 @@ from typing import Optional
 class Ewma:
     """Plain EWMA: ``value <- (1-alpha)*value + alpha*sample``.
 
-    Before the first sample :attr:`value` is ``default`` (may be None).
+    ``default`` is a *fallback*, not a prior: before the first sample,
+    :attr:`value` reads as ``default`` (may be None), and the first
+    sample **replaces** it outright rather than decaying it. This is
+    deliberate — d3/rcp senders and the PDQ switch seed ``rtt_avg`` with
+    a configured RTT purely so timers have something to run on before
+    any header has been observed; a configured guess must carry zero
+    weight once a real measurement exists (the same contract as RFC 6298
+    seeding ``srtt`` from the first sample). Callers that want a true
+    prior should call ``update(prior)`` instead of passing ``default``.
     """
 
     __slots__ = ("alpha", "_value", "samples")
@@ -30,7 +38,11 @@ class Ewma:
         return self._value
 
     def update(self, sample: float) -> float:
-        """Fold one sample in and return the new average."""
+        """Fold one sample in and return the new average.
+
+        The first sample discards any ``default`` (see class docstring);
+        ``samples`` counts only real observations, never the fallback.
+        """
         if self._value is None or self.samples == 0:
             self._value = sample
         else:

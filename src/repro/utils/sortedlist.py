@@ -10,6 +10,8 @@ from __future__ import annotations
 
 from typing import Callable, Generic, Iterator, List, Optional, TypeVar
 
+from repro.errors import FlowListError
+
 T = TypeVar("T")
 K = TypeVar("K")
 
@@ -63,7 +65,16 @@ class SortedFlowList(Generic[T]):
             return False
 
     def pop_least_critical(self) -> T:
-        """Remove and return the entry with the largest key."""
+        """Remove and return the entry with the largest key.
+
+        Raises :class:`~repro.errors.FlowListError` on an empty list —
+        popping from an empty flow list is a scheduler bug, and a bare
+        ``IndexError`` from deep inside switch code hides that.
+        """
+        if not self._items:
+            raise FlowListError(
+                "pop_least_critical() on an empty flow list"
+            )
         return self._items.pop()
 
     def least_critical(self) -> Optional[T]:

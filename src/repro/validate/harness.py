@@ -1,0 +1,257 @@
+"""Run matched packet/fluid pairs and check agreement tolerances.
+
+The harness executes every pair's two specs through the ambient campaign
+runner (:func:`repro.campaign.context.run_scenarios` semantics: wrap the
+call in ``use_runner(CampaignRunner(...))`` for parallel fan-out and
+result caching — the CLI does), compares the resulting metrics, and
+produces a :class:`ValidationReport` whose JSON form is the CI artifact.
+
+A pair passes when every applicable check is within its declared
+tolerance. Checks are *agreement* checks, never timing: wall-clock is
+recorded for provenance but can't fail validation.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.campaign.context import current_runner
+from repro.errors import ExperimentError
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import SummaryStats
+from repro.validate.pairs import ValidationPair, default_pairs
+
+DEFAULT_REPORT = "VALIDATE_cross_engine.json"
+REPORT_SCHEMA = 1
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One tolerance check of one pair."""
+
+    name: str
+    ok: bool
+    measured: Optional[float] = None
+    limit: Optional[float] = None
+    detail: str = ""
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "ok": self.ok,
+            "measured": self.measured,
+            "limit": self.limit,
+            "detail": self.detail,
+        }
+
+
+@dataclass
+class PairOutcome:
+    """Everything measured for one packet/fluid pair."""
+
+    name: str
+    family: str
+    protocol: str
+    checks: List[CheckResult] = field(default_factory=list)
+    packet_summary: Optional[Dict] = None
+    fluid_summary: Optional[Dict] = None
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None and all(c.ok for c in self.checks)
+
+    def failures(self) -> List[CheckResult]:
+        return [c for c in self.checks if not c.ok]
+
+    def to_dict(self) -> Dict:
+        return {
+            "name": self.name,
+            "family": self.family,
+            "protocol": self.protocol,
+            "ok": self.ok,
+            "error": self.error,
+            "checks": [c.to_dict() for c in self.checks],
+            "packet": self.packet_summary,
+            "fluid": self.fluid_summary,
+        }
+
+
+@dataclass
+class ValidationReport:
+    """All pair outcomes of one validation run."""
+
+    outcomes: List[PairOutcome]
+    quick: bool = False
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(o.ok for o in self.outcomes)
+
+    @property
+    def n_failed(self) -> int:
+        return sum(1 for o in self.outcomes if not o.ok)
+
+    def failures(self) -> List[PairOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema": REPORT_SCHEMA,
+            "suite": "cross_engine",
+            "quick": self.quick,
+            "ok": self.ok,
+            "n_pairs": len(self.outcomes),
+            "n_failed": self.n_failed,
+            "elapsed_s": self.elapsed_s,
+            "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+            "host": {
+                "python": platform.python_version(),
+                "platform": platform.platform(),
+            },
+            "pairs": [o.to_dict() for o in self.outcomes],
+        }
+
+
+# -- pair comparison ----------------------------------------------------------------
+
+
+def compare_pair(pair: ValidationPair, packet: MetricsCollector,
+                 fluid: MetricsCollector) -> PairOutcome:
+    """Check one executed pair against its declared tolerances."""
+    outcome = PairOutcome(
+        name=pair.name, family=pair.family, protocol=pair.protocol,
+        packet_summary=SummaryStats.from_collector(packet).to_dict(),
+        fluid_summary=SummaryStats.from_collector(fluid).to_dict(),
+    )
+    tol = pair.tolerance
+    checks = outcome.checks
+
+    n_packet, n_fluid = len(packet), len(fluid)
+    checks.append(CheckResult(
+        name="flow_count",
+        ok=n_packet == n_fluid,
+        measured=float(abs(n_packet - n_fluid)),
+        limit=0.0,
+        detail=f"packet ran {n_packet} flows, fluid {n_fluid}",
+    ))
+    if n_packet != n_fluid or n_packet == 0:
+        # nothing further is comparable (or there is nothing to compare:
+        # an empty workload agreeing on emptiness is full agreement)
+        return outcome
+
+    done_packet = len(packet.completed_records())
+    done_fluid = len(fluid.completed_records())
+    gap = abs(done_packet - done_fluid) / n_packet
+    checks.append(CheckResult(
+        name="completed_fraction",
+        ok=gap <= tol.completion_atol,
+        measured=gap,
+        limit=tol.completion_atol,
+        detail=f"completed {done_packet}/{n_packet} vs {done_fluid}/{n_fluid}",
+    ))
+
+    if done_packet > 0 and done_fluid > 0:
+        fct_packet, fct_fluid = packet.mean_fct(), fluid.mean_fct()
+        rel = abs(fct_packet - fct_fluid) / fct_fluid
+        checks.append(CheckResult(
+            name="mean_fct",
+            ok=rel <= tol.fct_rtol,
+            measured=rel,
+            limit=tol.fct_rtol,
+            detail=(f"mean FCT {fct_packet * 1e3:.3f}ms (packet) vs "
+                    f"{fct_fluid * 1e3:.3f}ms (fluid)"),
+        ))
+    elif done_packet != done_fluid:
+        checks.append(CheckResult(
+            name="mean_fct",
+            ok=False,
+            detail=(f"only one engine completed flows "
+                    f"({done_packet} packet vs {done_fluid} fluid)"),
+        ))
+
+    if any(r.spec.has_deadline for r in packet.all_records()):
+        app_packet = packet.application_throughput()
+        app_fluid = fluid.application_throughput()
+        diff = abs(app_packet - app_fluid)
+        checks.append(CheckResult(
+            name="application_throughput",
+            ok=diff <= tol.app_tput_atol,
+            measured=diff,
+            limit=tol.app_tput_atol,
+            detail=(f"deadline-met fraction {app_packet:.3f} (packet) vs "
+                    f"{app_fluid:.3f} (fluid)"),
+        ))
+    return outcome
+
+
+# -- running ------------------------------------------------------------------------
+
+
+def select_pairs(pairs: Sequence[ValidationPair],
+                 only: Optional[Sequence[str]] = None
+                 ) -> List[ValidationPair]:
+    """Filter by family name or name substring (``fig3``, ``D3``, ...)."""
+    if not only:
+        return list(pairs)
+    wanted = list(only)
+    picked = [
+        p for p in pairs
+        if any(w == p.family or w in p.name for w in wanted)
+    ]
+    if not picked:
+        known = sorted({p.family for p in pairs})
+        raise ExperimentError(
+            f"no validation pairs match {wanted}; known families: {known}"
+        )
+    return picked
+
+
+def run_validation(pairs: Optional[Sequence[ValidationPair]] = None,
+                   quick: bool = False,
+                   only: Optional[Sequence[str]] = None) -> ValidationReport:
+    """Execute pairs through the ambient runner and check tolerances.
+
+    A scenario that fails to execute fails its pair (with the scenario
+    error recorded) rather than aborting the whole validation run.
+    """
+    chosen = select_pairs(
+        default_pairs(quick) if pairs is None else pairs, only
+    )
+    specs = [spec for pair in chosen for spec in pair.specs()]
+    started = time.perf_counter()
+    result = current_runner().run(specs)
+    elapsed = time.perf_counter() - started
+
+    outcomes: List[PairOutcome] = []
+    for i, pair in enumerate(chosen):
+        packet_out, fluid_out = result.outcomes[2 * i], result.outcomes[2 * i + 1]
+        broken = [
+            f"{o.spec.engine} engine: {o.error}"
+            for o in (packet_out, fluid_out) if not o.ok
+        ]
+        if broken:
+            outcomes.append(PairOutcome(
+                name=pair.name, family=pair.family, protocol=pair.protocol,
+                error="; ".join(broken),
+            ))
+        else:
+            outcomes.append(compare_pair(
+                pair, packet_out.collector, fluid_out.collector
+            ))
+    return ValidationReport(outcomes, quick=quick, elapsed_s=elapsed)
+
+
+def write_report(report: ValidationReport,
+                 path: str = DEFAULT_REPORT) -> Dict:
+    """Write the JSON report (the CI artifact) and return the dict."""
+    payload = report.to_dict()
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    return payload

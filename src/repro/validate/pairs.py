@@ -1,0 +1,242 @@
+"""Matched packet/fluid scenario pairs and their agreement tolerances.
+
+PDQ's evaluation (paper §5) rests on two simulators telling the same
+story: the packet-level ns-2-style stack and the fluid flow-level model.
+A :class:`ValidationPair` pins one scenario cell in both engines — the
+specs differ *only* in ``engine`` — together with the tolerances within
+which the two must agree.
+
+Tolerances are declared per protocol, not globally, because the fluid
+model idealizes different amounts of each protocol's machinery away:
+
+* **RCP** maps almost directly onto explicit-rate fluid allocation, so
+  the engines track each other within a few percent up to ~20 %.
+* **PDQ** adds probe/ACK round trips and switch dampening the fluid
+  model compresses; observed gaps stay under ~30 %.
+* **D3** is rate-*request* based — every sender spends round trips
+  re-requesting its reservation, and under contention the packet stack
+  serves requests first-come-first-serve while the fluid model grants
+  the idealized allocation instantly. Gaps up to ~2x are structural,
+  which is exactly why the looser bound is pinned here: a regression
+  that pushes D3 past it is a real behavior change, not noise.
+
+The ``default_pairs`` grid covers fig3-style query aggregation and
+fig5-style VL2 traffic (the acceptance grids) plus degenerate cells
+(zero flows, a single flow) that bound the agreement analytically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.units import KBYTE, MSEC
+
+#: validation protocols: every protocol with *both* a transport stack and
+#: a fluid rate model (TCP has no fluid model, so it cannot be paired)
+VALIDATION_PROTOCOLS = ("PDQ(Full)", "D3", "RCP")
+
+TOPOLOGY = TopologySpec("single_rooted")
+
+
+@dataclass(frozen=True)
+class Tolerance:
+    """Agreement bounds for one pair (packet measured against fluid).
+
+    ``fct_rtol``       — max relative mean-FCT gap, |pkt - fluid| / fluid
+    ``app_tput_atol``  — max absolute application-throughput gap
+    ``completion_atol`` — max absolute completed-fraction gap
+    """
+
+    fct_rtol: float
+    app_tput_atol: float = 0.25
+    completion_atol: float = 0.15
+
+
+#: per-protocol mean-FCT tolerance (see module docstring for the why;
+#: measured worst cases on the default grids: PDQ 0.45, RCP 0.17, D3 1.40)
+FCT_RTOL: Dict[str, float] = {
+    "PDQ(Full)": 0.55,
+    "RCP": 0.45,
+    "D3": 2.00,
+}
+
+#: per-protocol application-throughput tolerance. PDQ's packet stack
+#: misses deadlines under heavy fan-in (probe/termination round trips)
+#: that the fluid allocator meets exactly; measured worst case 0.22.
+APP_TPUT_ATOL: Dict[str, float] = {
+    "PDQ(Full)": 0.30,
+    "RCP": 0.20,
+    "D3": 0.35,
+}
+
+#: per-protocol completed-fraction tolerance (same mechanism: packet PDQ
+#: early-terminates deadline-missing flows the fluid model completes)
+COMPLETION_ATOL: Dict[str, float] = {
+    "PDQ(Full)": 0.30,
+    "RCP": 0.20,
+    "D3": 0.25,
+}
+
+#: single-uncontended-flow mean-FCT tolerance. Contention idealizations
+#: vanish but *startup* round trips remain — dominant for D3, whose
+#: sender spends RTTs acquiring its reservation before data flows
+#: (measured: RCP 0.04, PDQ 0.18, D3 0.64).
+SINGLE_FLOW_RTOL: Dict[str, float] = {
+    "PDQ(Full)": 0.30,
+    "RCP": 0.25,
+    "D3": 0.85,
+}
+
+
+def tolerance_for(protocol: str,
+                  fct_rtol: Optional[float] = None) -> Tolerance:
+    return Tolerance(
+        fct_rtol=fct_rtol if fct_rtol is not None else FCT_RTOL[protocol],
+        app_tput_atol=APP_TPUT_ATOL[protocol],
+        completion_atol=COMPLETION_ATOL[protocol],
+    )
+
+
+@dataclass(frozen=True)
+class ValidationPair:
+    """One scenario cell expressed in both engines."""
+
+    name: str
+    family: str
+    packet: ScenarioSpec
+    tolerance: Tolerance
+
+    def __post_init__(self) -> None:
+        if self.packet.engine != "packet":
+            raise ValueError(f"pair {self.name!r}: base spec must be packet")
+
+    @property
+    def fluid(self) -> ScenarioSpec:
+        """The matched fluid spec: identical except for the engine."""
+        return self.packet.with_(engine="flow")
+
+    @property
+    def protocol(self) -> str:
+        return self.packet.protocol
+
+    def specs(self) -> Tuple[ScenarioSpec, ScenarioSpec]:
+        return (self.packet, self.fluid)
+
+
+# -- pair families ------------------------------------------------------------------
+
+
+def fig3_pairs(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
+               ) -> List[ValidationPair]:
+    """Fig-3-style query aggregation on the 12-server single-rooted tree:
+    senders h1..h11 fan in to h0, with and without deadlines."""
+    flow_counts = (3, 10) if quick else (3, 10, 18)
+    seeds = (1,) if quick else (1, 2)
+    pairs: List[ValidationPair] = []
+    for protocol in protocols:
+        for n_flows in flow_counts:
+            for mean_deadline in (None, 20 * MSEC):
+                for seed in seeds:
+                    spec = ScenarioSpec(
+                        protocol=protocol,
+                        topology=TOPOLOGY,
+                        workload=WorkloadSpec("fig3.aggregation", {
+                            "n_flows": n_flows,
+                            "mean_size": 100 * KBYTE,
+                            "mean_deadline": mean_deadline,
+                        }),
+                        engine="packet",
+                        seed=seed,
+                        sim_deadline=2.0 if mean_deadline else 4.0,
+                    )
+                    tag = "dl" if mean_deadline else "nodl"
+                    pairs.append(ValidationPair(
+                        name=f"fig3/{protocol}-n{n_flows}-{tag}-s{seed}",
+                        family="fig3",
+                        packet=spec,
+                        tolerance=tolerance_for(protocol),
+                    ))
+    return pairs
+
+
+def fig5_pairs(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
+               ) -> List[ValidationPair]:
+    """Fig-5-style VL2 mix: Poisson arrivals between random host pairs,
+    short flows carrying deadlines, the elephant tail as background."""
+    rates = (1500.0,) if quick else (1000.0, 2500.0)
+    seeds = (1,) if quick else (1, 2)
+    duration = 0.03
+    pairs: List[ValidationPair] = []
+    for protocol in protocols:
+        for rate in rates:
+            for seed in seeds:
+                spec = ScenarioSpec(
+                    protocol=protocol,
+                    topology=TOPOLOGY,
+                    workload=WorkloadSpec("fig5.vl2", {
+                        "rate_per_sec": rate,
+                        "duration": duration,
+                        "mean_deadline": 20 * MSEC,
+                    }),
+                    engine="packet",
+                    seed=seed,
+                    sim_deadline=duration + 1.0,
+                )
+                pairs.append(ValidationPair(
+                    name=f"fig5/{protocol}-r{rate:.0f}-s{seed}",
+                    family="fig5",
+                    packet=spec,
+                    tolerance=tolerance_for(protocol),
+                ))
+    return pairs
+
+
+def edge_pairs(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
+               ) -> List[ValidationPair]:
+    """Degenerate cells that bound agreement analytically: an empty
+    workload (both engines must produce an empty collector) and a single
+    uncontended flow (FCT pinned near size/rate in both engines)."""
+    pairs = [ValidationPair(
+        name="edge/empty",
+        family="edge",
+        packet=ScenarioSpec(
+            protocol="RCP",
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("empty"),
+            engine="packet",
+            sim_deadline=0.5,
+        ),
+        tolerance=Tolerance(fct_rtol=0.0),
+    )]
+    for protocol in protocols:
+        pairs.append(ValidationPair(
+            name=f"edge/single-{protocol}",
+            family="edge",
+            packet=ScenarioSpec(
+                protocol=protocol,
+                topology=TOPOLOGY,
+                workload=WorkloadSpec("single_flow", {
+                    "src": "h1", "dst": "h0",
+                    "size_bytes": 100 * KBYTE,
+                }),
+                engine="packet",
+                sim_deadline=2.0,
+            ),
+            # uncontended, so idealization gaps shrink to startup effects
+            tolerance=tolerance_for(
+                protocol, fct_rtol=SINGLE_FLOW_RTOL[protocol]
+            ),
+        ))
+    return pairs
+
+
+def default_pairs(quick: bool = False) -> List[ValidationPair]:
+    """The standard cross-engine validation grid (CI runs ``quick``)."""
+    return (
+        edge_pairs(quick) + fig3_pairs(quick) + fig5_pairs(quick)
+    )

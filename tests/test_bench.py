@@ -15,7 +15,13 @@ class TestHarness:
         assert "single-bottleneck" in names
         assert "fig8-scale" in names
         assert "fattree-multipath" in names
+        assert "packet-aggregation" in names
+        assert "packet-vl2" in names
         assert len(names) == len(set(names))
+
+    def test_both_engines_covered(self):
+        engines = {s.engine for s in SCENARIOS}
+        assert engines == {"flow", "packet"}
 
     def test_quick_run_with_baseline_parity(self):
         results = run_bench(only=["single-bottleneck"], quick=True)
@@ -41,6 +47,31 @@ class TestHarness:
     def test_unknown_scenario_rejected(self):
         with pytest.raises(ExperimentError, match="unknown benchmark"):
             run_bench(only=["no-such-bench"])
+
+    def test_packet_scenario_times_event_loop(self):
+        """Packet rows report simulator events/sec; the packet engine
+        has no frozen naive twin, so baseline columns stay empty even
+        when the baseline is requested."""
+        results = run_bench(only=["packet-aggregation"], quick=True,
+                            baseline=True)
+        r = results[0]
+        assert r.engine == "packet"
+        assert r.flows > 0
+        assert r.completed > 0
+        assert r.iterations > 1000  # discrete packet events, not epochs
+        assert r.events_per_sec > 0
+        assert r.recomputations == 0
+        assert r.baseline_elapsed_s is None
+        assert r.speedup is None
+        assert r.baseline_parity is None
+
+    def test_report_carries_engine_field(self, tmp_path):
+        results = run_bench(only=["packet-aggregation"], quick=True)
+        report = write_report(results, path=str(tmp_path / "b.json"),
+                              quick=True)
+        bench = report["benchmarks"][0]
+        assert bench["engine"] == "packet"
+        assert bench["speedup"] is None
 
     def test_write_report_schema(self, tmp_path):
         results = run_bench(only=["fattree-multipath"], quick=True,

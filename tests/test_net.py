@@ -107,6 +107,48 @@ class TestLink:
         assert link.bytes_sent == 4500
         assert link.packets_sent == 3
 
+    def test_busy_time_prorated_mid_transmission(self):
+        """Regression: busy time used to be charged in full when a
+        transmission *started*, so a window ending mid-transmission
+        overcounted (utilization > 1). It now accrues as it elapses."""
+        sim, link, dst = self._make()  # 1500B at 1Gbps = 12us tx
+        link.enqueue(_packet(1500))
+        sim.run(until=6e-6)  # halfway through the transmission
+        assert link.busy_time == pytest.approx(6e-6, rel=1e-6)
+        assert link.utilization(0.0, sim.now, 0.0) == pytest.approx(1.0)
+        sim.run()
+        assert link.busy_time == pytest.approx(12e-6, rel=1e-6)
+
+    def test_windowed_utilization_never_exceeds_one(self):
+        sim, link, dst = self._make()
+        for _ in range(4):
+            link.enqueue(_packet(1500))
+        snapshots = [(0.0, 0.0)]
+        # sample every 5us: windows cut transmissions at arbitrary points
+        for k in range(1, 12):
+            sim.run(until=k * 5e-6)
+            u = link.utilization(snapshots[-1][0], sim.now,
+                                 snapshots[-1][1])
+            assert 0.0 <= u <= 1.0 + 1e-9
+            snapshots.append((sim.now, link.busy_time))
+        # every multi-sample window is bounded too, and busy is monotone
+        for (t0, b0) in snapshots:
+            for (t1, b1) in snapshots:
+                if t1 <= t0:
+                    continue
+                assert b1 >= b0 - 1e-15
+                assert 0.0 <= (b1 - b0) / (t1 - t0) <= 1.0 + 1e-9
+
+    def test_busy_time_idle_gap_not_charged(self):
+        sim, link, dst = self._make()
+        link.enqueue(_packet(1500))
+        sim.run()  # transmission done at 12us (plus delivery events)
+        resume = sim.now
+        sim.schedule_at(resume + 100e-6,
+                        lambda: link.enqueue(_packet(1500)))
+        sim.run()
+        assert link.busy_time == pytest.approx(24e-6, rel=1e-6)
+
     def test_wire_loss_drops_packets(self):
         sim, link, dst = self._make()
         link.set_loss(1.0, spawn_rng(1))

@@ -3,6 +3,7 @@
 import pytest
 from hypothesis import given, strategies as st
 
+from repro.errors import FlowListError, ProtocolError
 from repro.utils.ewma import Ewma, RttEstimator
 from repro.utils.rng import spawn_rng
 from repro.utils.sortedlist import SortedFlowList
@@ -27,6 +28,23 @@ class TestEwma:
     def test_default_replaced_by_first_sample(self):
         e = Ewma(alpha=0.5, default=42.0)
         assert e.update(10.0) == 10.0
+
+    def test_default_is_fallback_not_prior(self):
+        """Pinned contract: the configured default (how d3/rcp senders
+        and the PDQ switch seed rtt_avg) carries zero weight once a real
+        sample exists — only real samples shape the average."""
+        seeded = Ewma(alpha=0.5, default=1_000.0)
+        plain = Ewma(alpha=0.5)
+        for sample in (10.0, 20.0, 14.0):
+            seeded.update(sample)
+            plain.update(sample)
+        assert seeded.value == plain.value
+
+    def test_samples_counts_only_real_observations(self):
+        e = Ewma(default=42.0)
+        assert e.samples == 0  # the fallback is not an observation
+        e.update(10.0)
+        assert e.samples == 1
 
     def test_invalid_alpha(self):
         with pytest.raises(ValueError):
@@ -112,6 +130,26 @@ class TestSortedFlowList:
         lst.insert(9)
         assert lst.least_critical() == 9
         assert lst.pop_least_critical() == 9
+
+    def test_empty_pop_raises_flowlist_error(self):
+        lst = SortedFlowList(key=lambda x: x)
+        with pytest.raises(FlowListError, match="empty flow list"):
+            lst.pop_least_critical()
+        # a scheduler bug, so it must be catchable as a protocol error
+        assert issubclass(FlowListError, ProtocolError)
+
+    def test_pop_drains_then_raises(self):
+        lst = SortedFlowList(key=lambda x: x)
+        lst.insert(1)
+        assert lst.pop_least_critical() == 1
+        with pytest.raises(FlowListError):
+            lst.pop_least_critical()
+
+    def test_empty_least_critical_and_index_of(self):
+        lst = SortedFlowList(key=lambda x: x)
+        assert lst.least_critical() is None
+        with pytest.raises(ValueError):
+            lst.index_of(7)
 
     @given(st.lists(st.integers(), min_size=1, max_size=100))
     def test_property_matches_sorted(self, values):
