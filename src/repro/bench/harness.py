@@ -130,6 +130,13 @@ def run_packet_scenario(scenario: BenchScenario, quick: bool = False,
         completed=sum(1 for r in records if r.completed),
         terminated=sum(1 for r in records if r.terminated),
         engine="packet",
+        # heap hygiene: how tombstone-laden the event heap ended up and
+        # how often bounded compaction had to rebuild it
+        extras={
+            "cancelled_ratio": round(sim.cancelled_ratio, 6),
+            "compactions": sim.compactions,
+            "pending_at_exit": sim.pending(),
+        },
     )
 
 

@@ -17,7 +17,7 @@ from repro.core.config import PdqConfig
 from repro.core.receiver import PdqReceiver
 from repro.core.sender import PdqSender
 from repro.core.stack import PdqStack
-from repro.errors import ProtocolError, WorkloadError
+from repro.errors import WorkloadError
 from repro.events.timers import PeriodicTimer
 from repro.metrics.records import FlowRecord
 

@@ -16,7 +16,7 @@ from typing import Callable
 
 from repro.core.config import PdqConfig
 from repro.events.simulator import Simulator
-from repro.events.timers import Timer
+from repro.events.timers import PeriodicTimer
 from repro.net.link import Link
 from repro.units import BITS_PER_BYTE
 
@@ -38,18 +38,21 @@ class PdqRateController:
         self.r_pdq = config.pdq_rate_fraction * link.rate_bps
         self.capacity = self.r_pdq
         self.updates = 0
-        self._timer = Timer(sim, self._update)
+        # the 2-RTT cadence tracks the measured RTT: each update writes
+        # the next period back into the timer before it re-arms
+        self._timer = PeriodicTimer(sim, self._period(), self._update)
 
     @property
     def running(self) -> bool:
-        return self._timer.armed
+        return self._timer.running
 
     def start(self) -> None:
-        if not self._timer.armed:
-            self._timer.start(self._period())
+        if not self._timer.running:
+            self._timer.period = self._period()
+            self._timer.start()
 
     def stop(self) -> None:
-        self._timer.cancel()
+        self._timer.stop()
         self.capacity = self.r_pdq
 
     def set_pdq_rate(self, r_pdq: float) -> None:
@@ -71,4 +74,4 @@ class PdqRateController:
         )
         self.capacity = max(0.0, self.r_pdq - queue_drain_rate)
         self.updates += 1
-        self._timer.start(self._period())
+        self._timer.period = self._period()

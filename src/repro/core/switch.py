@@ -15,7 +15,7 @@ from typing import TYPE_CHECKING, Dict, Optional
 
 from repro.core.comparator import FlowComparator
 from repro.core.config import PdqConfig
-from repro.core.flowlist import FlowEntry, PdqFlowList
+from repro.core.flowlist import PdqFlowList
 from repro.core.rate_controller import PdqRateController
 from repro.net.headers import PdqHeader
 from repro.net.link import Link
@@ -81,7 +81,6 @@ class PdqLinkState:
         §4 -- drivers accepted, everyone else paused -- reachable in O(1)
         probes instead of through admission races)."""
         config = self.config
-        my_id = self.protocol.switch_id
         early_start_budget = 0.0
         allocated = 0.0
         rtt = self.rtt_avg_value()

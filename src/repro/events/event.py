@@ -2,23 +2,32 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Tuple
 
 
 class Event:
-    """A scheduled callback.
+    """A cancellable scheduled callback.
 
-    Events are ordered by ``(time, seq)``: ties in time fire in scheduling
-    order, which makes simulations deterministic. Cancellation is O(1)
-    (the heap entry is tombstoned and skipped when popped).
+    The simulator's heap is keyed by plain ``(time, seq)`` tuples (``seq``
+    is unique, so comparisons never reach the payload and run at native
+    tuple speed); an :class:`Event` is the *handle* riding in the entry,
+    carrying ``(callback, args)`` plus the tombstone flag. Cancellation is
+    O(1): the entry stays in the heap and is skipped (and eventually
+    compacted away) by the simulator.
+
+    Hot paths that never cancel should use
+    :meth:`~repro.events.simulator.Simulator.call_after`, which skips the
+    handle allocation entirely.
     """
 
-    __slots__ = ("time", "seq", "callback", "cancelled", "_cancel_hook")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_cancel_hook")
 
-    def __init__(self, time: float, seq: int, callback: Callable[[], Any]):
+    def __init__(self, time: float, seq: int, callback: Callable[..., Any],
+                 args: Tuple = ()):
         self.time = time
         self.seq = seq
         self.callback = callback
+        self.args = args
         self.cancelled = False
         # set by the owning Simulator so its live-event counter stays
         # exact without scanning the heap
@@ -31,9 +40,6 @@ class Event:
         self.cancelled = True
         if self._cancel_hook is not None:
             self._cancel_hook()
-
-    def __lt__(self, other: "Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = " cancelled" if self.cancelled else ""

@@ -1,12 +1,34 @@
-"""The discrete-event simulator loop."""
+"""The discrete-event simulator loop.
+
+The heap holds two entry shapes, both ordered by a native ``(time, seq)``
+tuple prefix (``seq`` is unique, so comparisons never reach the payload):
+
+* ``(time, seq, callback, args)`` -- the *typed fast path* used by
+  :meth:`Simulator.call_after` / :meth:`Simulator.call_at`: no handle, no
+  closure, not cancellable. Per-packet work (link transmissions, packet
+  deliveries) schedules through this shape.
+* ``(time, seq, event)`` -- a cancellable entry whose
+  :class:`~repro.events.event.Event` handle carries ``(callback, args)``
+  and the tombstone flag. Timers and any caller that keeps the return
+  value of :meth:`Simulator.schedule` use this shape.
+
+Cancelled entries stay in the heap as tombstones; when they exceed a
+bounded fraction of the heap the simulator compacts them away in one
+pass, so pathological cancel churn cannot bloat the heap.
+"""
 
 from __future__ import annotations
 
 import heapq
+from heapq import heappop, heappush
 from typing import Any, Callable, Optional
 
 from repro.errors import SimulationError
 from repro.events.event import Event
+
+#: compaction never triggers below this many tombstones (small heaps are
+#: cheap to scan anyway and the hysteresis keeps cancel() amortized O(1))
+_COMPACT_MIN_TOMBSTONES = 64
 
 
 class Simulator:
@@ -15,48 +37,98 @@ class Simulator:
     Typical use::
 
         sim = Simulator()
-        sim.schedule(1e-3, lambda: print("fires at t=1ms"))
+        sim.schedule(1e-3, print, "fires at t=1ms")
         sim.run(until=1.0)
 
     Invariants:
 
     * ``now`` is monotonically non-decreasing.
-    * events scheduled at the same timestamp fire in the order scheduled.
+    * events scheduled at the same timestamp fire in the order scheduled
+      (fast-path and cancellable entries interleave in one sequence).
     * scheduling into the past raises :class:`SimulationError`.
     """
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: list[Event] = []
+        self._heap: list = []
         self._seq: int = 0
         self._live: int = 0
+        self._tombstones: int = 0
         self._running: bool = False
         self._stopped: bool = False
         self.processed_events: int = 0
+        self.compactions: int = 0
 
     # -- scheduling ----------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[[], Any]) -> Event:
-        """Schedule ``callback`` to run ``delay`` seconds from now."""
+    def call_after(self, delay: float, callback: Callable[..., Any],
+                   *args: Any) -> None:
+        """Fast path: run ``callback(*args)`` ``delay`` seconds from now.
+
+        No handle is returned and the call cannot be cancelled; in
+        exchange, nothing is allocated beyond the heap tuple itself.
+        """
+        time = self.now + delay
         if delay < 0:
             raise SimulationError(f"negative delay {delay}")
-        return self.schedule_at(self.now + delay, callback)
+        self._live += 1
+        heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
 
-    def schedule_at(self, time: float, callback: Callable[[], Any]) -> Event:
-        """Schedule ``callback`` at absolute simulated ``time``."""
+    def call_at(self, time: float, callback: Callable[..., Any],
+                *args: Any) -> None:
+        """Fast path: run ``callback(*args)`` at absolute ``time``."""
         if time < self.now:
             raise SimulationError(
                 f"cannot schedule at {time} before current time {self.now}"
             )
-        event = Event(time, self._seq, callback)
-        event._cancel_hook = self._note_cancelled
-        self._seq += 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        heappush(self._heap, (time, self._seq, callback, args))
+        self._seq += 1
+
+    def schedule(self, delay: float, callback: Callable[..., Any],
+                 *args: Any) -> Event:
+        """Schedule ``callback(*args)`` ``delay`` seconds from now and
+        return a cancellable :class:`Event` handle."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., Any],
+                    *args: Any) -> Event:
+        """Schedule ``callback(*args)`` at absolute simulated ``time`` and
+        return a cancellable :class:`Event` handle."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule at {time} before current time {self.now}"
+            )
+        event = Event(time, self._seq, callback, args)
+        event._cancel_hook = self._note_cancelled
+        self._live += 1
+        heappush(self._heap, (time, self._seq, event))
+        self._seq += 1
         return event
 
     def _note_cancelled(self) -> None:
         self._live -= 1
+        self._tombstones += 1
+        # bounded compaction: tombstones may never exceed half the heap
+        # (past the hysteresis floor), so cancel churn stays amortized O(1)
+        # and the heap's memory stays proportional to live events
+        if (self._tombstones >= _COMPACT_MIN_TOMBSTONES
+                and self._tombstones * 2 >= len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled tombstone, wherever it sits in the heap."""
+        heap = self._heap
+        heap[:] = [
+            entry for entry in heap
+            if len(entry) == 4 or not entry[2].cancelled
+        ]
+        heapq.heapify(heap)
+        self._tombstones = 0
+        self.compactions += 1
 
     # -- execution -----------------------------------------------------------
 
@@ -66,33 +138,43 @@ class Simulator:
 
         ``until`` is inclusive: an event at exactly ``until`` still fires.
         After returning because of ``until``, ``now`` equals ``until`` so a
-        subsequent ``run`` resumes cleanly.
+        subsequent ``run`` resumes cleanly. After :meth:`stop`, ``now``
+        stays at the stopping event's timestamp and a subsequent ``run``
+        resumes from there.
         """
         if self._running:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
         fired = 0
+        heap = self._heap
         try:
-            while self._heap:
+            while heap:
                 if self._stopped:
                     break
                 if max_events is not None and fired >= max_events:
                     break
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
+                entry = heap[0]
+                time = entry[0]
+                if until is not None and time > until:
                     break
-                heapq.heappop(self._heap)
-                self._live -= 1
-                # a fired event is no longer live: a late cancel() (e.g. a
-                # timer stopped from its own callback) must not decrement
-                # the counter a second time
-                event._cancel_hook = None
-                self.now = event.time
-                event.callback()
+                heappop(heap)
+                if len(entry) == 4:
+                    self._live -= 1
+                    self.now = time
+                    entry[2](*entry[3])
+                else:
+                    event = entry[2]
+                    if event.cancelled:
+                        self._tombstones -= 1
+                        continue
+                    self._live -= 1
+                    # a fired event is no longer live: a late cancel()
+                    # (e.g. a timer stopped from its own callback) must
+                    # not decrement the counter a second time
+                    event._cancel_hook = None
+                    self.now = time
+                    event.callback(*event.args)
                 fired += 1
                 self.processed_events += 1
             if until is not None and not self._stopped and self.now < until:
@@ -112,12 +194,22 @@ class Simulator:
         O(1): a counter maintained on schedule, cancel and pop."""
         return self._live
 
+    @property
+    def cancelled_ratio(self) -> float:
+        """Fraction of the heap that is cancelled tombstones right now.
+
+        Bounded by the compaction rule at ~0.5 (plus the hysteresis
+        floor); the bench harness records it as a heap-hygiene
+        diagnostic."""
+        return self._tombstones / len(self._heap) if self._heap else 0.0
+
     def peek_time(self) -> Optional[float]:
         """Timestamp of the next live event, or None if none are queued.
 
         Cancelled tombstones at the top of the heap are garbage-collected
         in passing; the set of live events is unchanged."""
         heap = self._heap
-        while heap and heap[0].cancelled:
-            heapq.heappop(heap)
-        return heap[0].time if heap else None
+        while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
+            heappop(heap)
+            self._tombstones -= 1
+        return heap[0][0] if heap else None

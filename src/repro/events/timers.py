@@ -7,6 +7,13 @@ Transport protocols need two recurring idioms:
 * :class:`PeriodicTimer` -- a repeating callback whose period can change
   between firings (PDQ's rate-controller update every 2 RTTs, probe timers
   whose interval is set by Suppressed Probing).
+
+Retransmission timers are pushed back on nearly every ACK, so a naive
+cancel-and-repush would churn the heap once per ACK. :class:`Timer`
+instead keeps the *logical* expiry in a deferred-expiry field: pushing a
+timer back just overwrites the field, and when the stale heap entry fires
+it re-schedules itself at the real expiry -- one heap push per burst of
+push-backs instead of one per push-back, and zero tombstones.
 """
 
 from __future__ import annotations
@@ -18,44 +25,76 @@ from repro.events.simulator import Simulator
 
 
 class Timer:
-    """One-shot, restartable timeout."""
+    """One-shot, restartable timeout with lazy push-back."""
+
+    __slots__ = ("_sim", "_callback", "_event", "_deadline")
 
     def __init__(self, sim: Simulator, callback: Callable[[], Any]):
         self._sim = sim
         self._callback = callback
+        # the underlying heap entry may lag behind the logical deadline:
+        # _event.time <= _deadline always holds while armed
         self._event: Optional[Event] = None
+        self._deadline: Optional[float] = None
 
     @property
     def armed(self) -> bool:
-        return self._event is not None and not self._event.cancelled
+        return self._deadline is not None
 
     @property
     def expiry(self) -> Optional[float]:
         """Absolute time at which the timer will fire, or None."""
-        return self._event.time if self.armed else None
+        return self._deadline
 
     def start(self, delay: float) -> None:
         """(Re)arm the timer ``delay`` seconds from now, replacing any
-        previously armed expiry."""
-        self.cancel()
-        self._event = self._sim.schedule(delay, self._fire)
+        previously armed expiry.
+
+        Pushing the expiry *back* (the retransmission-timer common case)
+        only updates the deadline field; the heap is untouched until the
+        stale entry fires and re-schedules itself at the real expiry.
+        Pulling the expiry *earlier* cancels and re-pushes.
+        """
+        at = self._sim.now + delay
+        event = self._event
+        if event is not None and not event.cancelled and event.time <= at:
+            self._deadline = at  # lazy push-back: no heap traffic
+            return
+        if event is not None:
+            event.cancel()
+        self._deadline = at
+        self._event = self._sim.schedule_at(at, self._fire)
 
     def cancel(self) -> None:
+        self._deadline = None
         if self._event is not None:
             self._event.cancel()
             self._event = None
 
     def _fire(self) -> None:
+        deadline = self._deadline
+        if deadline is None:  # cancelled; stale entry only (defensive)
+            self._event = None
+            return
+        if deadline > self._sim.now:
+            # the expiry was pushed back since this entry was scheduled:
+            # chase the real deadline with one fresh entry
+            self._event = self._sim.schedule_at(deadline, self._fire)
+            return
         self._event = None
+        self._deadline = None
         self._callback()
 
 
 class PeriodicTimer:
     """Repeating timer; the period may be changed at any time.
 
-    The callback may call :meth:`stop` (or change :attr:`period`) and the
-    change takes effect for the next firing.
+    The callback may call :meth:`stop`, :meth:`start` (restarting the
+    cadence from the moment of the call) or change :attr:`period`, and
+    the change takes effect for the next firing.
     """
+
+    __slots__ = ("_sim", "period", "_callback", "_event", "_running", "_epoch")
 
     def __init__(self, sim: Simulator, period: float, callback: Callable[[], Any]):
         if period <= 0:
@@ -65,6 +104,10 @@ class PeriodicTimer:
         self._callback = callback
         self._event: Optional[Event] = None
         self._running = False
+        # bumped by every start()/stop(): _fire only re-schedules if the
+        # callback did not itself restart the timer mid-fire (a restart
+        # used to be silently overwritten, leaving a duplicate event)
+        self._epoch = 0
 
     @property
     def running(self) -> bool:
@@ -75,11 +118,13 @@ class PeriodicTimer:
         period)."""
         self.stop()
         self._running = True
+        self._epoch += 1
         delay = self.period if first_delay is None else first_delay
         self._event = self._sim.schedule(delay, self._fire)
 
     def stop(self) -> None:
         self._running = False
+        self._epoch += 1
         if self._event is not None:
             self._event.cancel()
             self._event = None
@@ -87,6 +132,7 @@ class PeriodicTimer:
     def _fire(self) -> None:
         if not self._running:
             return
+        epoch = self._epoch
         self._callback()
-        if self._running:
+        if self._running and self._epoch == epoch:
             self._event = self._sim.schedule(self.period, self._fire)

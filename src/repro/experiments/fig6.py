@@ -8,7 +8,7 @@ only a few packets of queue, and drop nothing.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.config import PdqConfig
 from repro.core.stack import PdqStack

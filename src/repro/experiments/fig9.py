@@ -110,6 +110,6 @@ def run_fig9b(loss_rates: Sequence[float] = (0.0, 0.01, 0.03),
         raw[p][loss] = mean(values)
     base = raw["PDQ(Full)"][0.0]
     return {
-        p: {l: v / base for l, v in series.items()}
+        p: {loss: v / base for loss, v in series.items()}
         for p, series in raw.items()
     }

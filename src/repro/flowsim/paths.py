@@ -9,7 +9,7 @@ packet-vs-flow-level comparison depends on that correspondence.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.errors import RoutingError
 from repro.net.routing import ecmp_hash

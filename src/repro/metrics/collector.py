@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional
 
 from repro.errors import ExperimentError
 from repro.metrics.records import FlowRecord
@@ -10,10 +10,47 @@ from repro.workload.flow import FlowSpec
 
 
 class MetricsCollector:
-    """Registry of flow outcomes; endpoints report into it."""
+    """Registry of flow outcomes; endpoints report into it.
+
+    The collector also tracks how many registered flows are still
+    *unresolved* (neither completed nor terminated) and notifies
+    completion observers the moment the count hits zero — the packet
+    engine's :meth:`~repro.net.network.Network.run_until_quiet` hooks
+    ``sim.stop`` in there so a run ends on the event that resolved the
+    last flow instead of polling in chunks.
+    """
 
     def __init__(self) -> None:
         self.records: Dict[int, FlowRecord] = {}
+        self._unresolved = 0
+        self._observers: List[Callable[[], None]] = []
+
+    # -- completion observers ----------------------------------------------------
+
+    def add_completion_observer(
+        self, callback: Callable[[], None]
+    ) -> Callable[[], None]:
+        """Call ``callback()`` whenever the unresolved-flow count reaches
+        zero; returns a zero-argument unsubscribe function."""
+        self._observers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._observers:
+                self._observers.remove(callback)
+
+        return unsubscribe
+
+    def unfinished_count(self) -> int:
+        """Number of registered flows neither completed nor terminated.
+
+        O(1): maintained incrementally by the event hooks."""
+        return self._unresolved
+
+    def _resolve_one(self) -> None:
+        self._unresolved -= 1
+        if self._unresolved == 0:
+            for callback in list(self._observers):
+                callback()
 
     # -- event hooks (called by simulators/endpoints) ---------------------------
 
@@ -22,6 +59,7 @@ class MetricsCollector:
             raise ExperimentError(f"flow {spec.fid} registered twice")
         record = FlowRecord(spec=spec)
         self.records[spec.fid] = record
+        self._unresolved += 1
         return record
 
     def on_start(self, fid: int, time: float) -> None:
@@ -34,13 +72,18 @@ class MetricsCollector:
         record = self.records[fid]
         if record.completion_time is None:
             record.completion_time = time
+            if not record.terminated:
+                self._resolve_one()
 
     def on_terminated(self, fid: int, time: float, reason: str) -> None:
         record = self.records[fid]
         if not record.completed:
+            newly_resolved = not record.terminated
             record.terminated = True
             record.termination_time = time
             record.termination_reason = reason
+            if newly_resolved:
+                self._resolve_one()
 
     def on_retransmit(self, fid: int) -> None:
         self.records[fid].retransmissions += 1
@@ -67,6 +110,10 @@ class MetricsCollector:
         for item in data["records"]:
             record = FlowRecord.from_dict(item)
             collector.records[record.spec.fid] = record
+        collector._unresolved = sum(
+            1 for r in collector.records.values()
+            if not r.completed and not r.terminated
+        )
         return collector
 
     # -- queries ------------------------------------------------------------------

@@ -59,6 +59,17 @@ class Link:
         self._transmitting = False
         self._tx_started = 0.0  # start of the in-flight transmission
 
+        # single-event transmission pipeline: each packet's serialization
+        # finish chains into its propagation arrival through these
+        # preallocated bound methods on the simulator's no-handle fast
+        # path -- zero closures and zero cancellable handles per packet.
+        # prop_delay and dst.processing_delay are frozen here: mutating
+        # them after construction is unsupported (deliveries would keep
+        # the cached sum)
+        self._finish_cb = self._finish
+        self._deliver_cb = dst.receive
+        self._arrival_delay = prop_delay + dst.processing_delay
+
     # -- configuration ---------------------------------------------------------
 
     def set_loss(self, rate: float, rng: np.random.Generator) -> None:
@@ -86,7 +97,7 @@ class Link:
         self._transmitting = True
         self._tx_started = self.sim.now
         delay = tx_time(packet.size, self.rate_bps)
-        self.sim.schedule(delay, lambda p=packet: self._finish(p))
+        self.sim.call_after(delay, self._finish_cb, packet)
 
     def _finish(self, packet: Packet) -> None:
         # busy time is charged as it elapses (pro-rated via the property
@@ -104,8 +115,8 @@ class Link:
         if lost:
             self.wire_losses += 1
         else:
-            delay = self.prop_delay + self.dst.processing_delay
-            self.sim.schedule(delay, lambda p=packet: self.dst.receive(p, self))
+            self.sim.call_after(self._arrival_delay, self._deliver_cb,
+                                packet, self)
         self._start_next()
 
     # -- introspection ------------------------------------------------------------

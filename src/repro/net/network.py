@@ -159,11 +159,24 @@ class Network:
     # -- flow launching ---------------------------------------------------------------------
 
     def launch(self, flows: Iterable[FlowSpec]) -> None:
+        """Register flows and schedule their starts.
+
+        Arrivals are batched: one dispatcher event per distinct arrival
+        time, not one event per flow. Flows sharing a timestamp start in
+        launch order, exactly as per-flow events would have fired."""
+        batches: Dict[float, list] = {}
         for spec in flows:
             record = self.metrics.register(spec)
-            self.sim.schedule_at(
-                spec.arrival, lambda s=spec, r=record: self._start_flow(s, r)
-            )
+            batch = batches.get(spec.arrival)
+            if batch is None:
+                batch = batches[spec.arrival] = []
+            batch.append((spec, record))
+        for arrival in sorted(batches):
+            self.sim.call_at(arrival, self._start_flow_batch, batches[arrival])
+
+    def _start_flow_batch(self, batch) -> None:
+        for spec, record in batch:
+            self._start_flow(spec, record)
 
     def _start_flow(self, spec: FlowSpec, record) -> None:
         src = self.host(spec.src)
@@ -181,15 +194,20 @@ class Network:
 
     def run_until_quiet(self, deadline: float, max_events: int = 50_000_000) -> None:
         """Run until all flows resolved (completed or terminated) or the
-        simulated ``deadline`` passes."""
-        step = deadline / 20.0
-        while self.sim.now < deadline:
-            if not self.metrics.unfinished():
-                break
-            self.sim.run(until=min(deadline, self.sim.now + step),
-                         max_events=max_events)
-            if not self.sim.pending():
-                break
+        simulated ``deadline`` passes.
+
+        Completion-driven: a completion observer on the collector calls
+        ``sim.stop()`` inside the event that resolves the last flow, so
+        the loop processes zero further events — no chunked polling, no
+        idle spins on short workloads. ``sim.now`` is left at the
+        resolving event's timestamp."""
+        if not self.metrics.unfinished_count():
+            return
+        unsubscribe = self.metrics.add_completion_observer(self.sim.stop)
+        try:
+            self.sim.run(until=deadline, max_events=max_events)
+        finally:
+            unsubscribe()
 
     # -- diagnostics ---------------------------------------------------------------------------
 

@@ -34,7 +34,7 @@ class Router:
         for link in links:
             self._out_links[link.src.id].append(link)
         for out in self._out_links.values():
-            out.sort(key=lambda l: l.link_id)
+            out.sort(key=lambda lk: lk.link_id)
         # hop distance to each destination, computed lazily per destination
         self._dist_cache: Dict[int, Dict[int, int]] = {}
         self._path_cache: Dict[Tuple[int, int, int], Tuple[Link, ...]] = {}

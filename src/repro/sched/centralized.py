@@ -13,7 +13,7 @@ formal-property checks (distributed PDQ's equilibrium must match it).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Sequence, Tuple
+from typing import Dict, Mapping, Sequence, Tuple
 
 Edge = Tuple[str, str]
 

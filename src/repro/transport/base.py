@@ -12,7 +12,7 @@ TCP (window-based) has its own sender in :mod:`repro.transport.tcp`.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, Optional, Set
 
 from repro.errors import ProtocolError
 from repro.events.timers import Timer
@@ -290,9 +290,12 @@ class RateBasedSender(EndpointBase):
         self.process_feedback(packet)
         if first_handshake:
             self._backoff = 1.0
-            self._rto_timer.cancel()
+            # start() replaces the armed expiry in place (lazy push-back:
+            # no cancel/re-push churn on the heap)
             if self.unacked:
                 self._rto_timer.start(self.rtt.rto())
+            else:
+                self._rto_timer.cancel()
         if self.check_early_termination():
             return
         self._schedule_send()

@@ -16,7 +16,7 @@ floor keeps the feedback loop alive while a standing queue drains).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING, Dict
 
 from repro.events.timers import Timer
 from repro.net.headers import RcpHeader

@@ -166,9 +166,13 @@ class TcpSender(EndpointBase):
             self.cwnd += acked_packets  # slow start
         else:
             self.cwnd += acked_packets / self.cwnd  # congestion avoidance
-        self._rto_timer.cancel()
+        # restart-in-place: on almost every new ACK the fresh expiry sits
+        # at or past the old one, so the lazy push-back path leaves the
+        # event heap untouched (one push per RTO burst, not per ACK)
         if self.snd_nxt > self.snd_una:
             self._rto_timer.start(self.rtt.rto() * self._backoff)
+        else:
+            self._rto_timer.cancel()
 
     def _on_dupack(self) -> None:
         self.dupacks += 1

@@ -15,7 +15,6 @@ from typing import List, Sequence
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.units import KBYTE
 from repro.utils.rng import SeedLike, spawn_rng
 from repro.workload.flow import FlowSpec
 from repro.workload.trace import TracePacket, flows_from_trace

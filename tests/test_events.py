@@ -196,6 +196,130 @@ class TestSimulator:
         assert len(times) == len(delays)
 
 
+class TestTypedFastPath:
+    """call_after/call_at: the no-handle, closure-free scheduling path."""
+
+    def test_call_after_passes_args(self):
+        sim = Simulator()
+        got = []
+        sim.call_after(0.5, got.append, ("x", 2))
+        sim.run()
+        assert got == [("x", 2)]
+
+    def test_schedule_passes_args_too(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(0.5, lambda a, b: got.append((a, b)), "y", 3)
+        sim.run()
+        assert got == [("y", 3)]
+
+    def test_same_timestamp_fifo_across_both_entry_shapes(self):
+        # fast-path and cancellable entries share one seq stream, so ties
+        # fire strictly in scheduling order regardless of shape
+        sim = Simulator()
+        fired = []
+        sim.call_after(1.0, fired.append, 0)
+        sim.schedule(1.0, fired.append, 1)
+        sim.call_at(1.0, fired.append, 2)
+        sim.schedule_at(1.0, fired.append, 3)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+
+    def test_until_inclusive_for_fast_path(self):
+        sim = Simulator()
+        fired = []
+        sim.call_at(1.0, fired.append, "at")
+        sim.call_after(1.0000001, fired.append, "after")
+        sim.run(until=1.0)
+        assert fired == ["at"]
+        assert sim.now == 1.0
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulator().call_after(-0.1, lambda: None)
+
+    def test_call_at_in_past_rejected(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: sim.call_at(0.5, lambda: None))
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    def test_counts_in_pending(self):
+        sim = Simulator()
+        sim.call_after(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        assert sim.pending() == 2
+        sim.run()
+        assert sim.pending() == 0
+
+
+class TestCancellationSemantics:
+    def test_cancel_own_event_from_its_callback_is_noop(self):
+        sim = Simulator()
+        holder = {}
+
+        def fire():
+            holder["event"].cancel()  # already fired: must not double-count
+
+        holder["event"] = sim.schedule(1.0, fire)
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.processed_events == 2
+
+    def test_cancel_sibling_at_same_timestamp_from_callback(self):
+        sim = Simulator()
+        fired = []
+        second = None
+
+        def first_cb():
+            fired.append("a")
+            second.cancel()  # same-timestamp sibling, not yet fired
+
+        sim.schedule(1.0, first_cb)
+        second = sim.schedule(1.0, lambda: fired.append("b"))
+        sim.run()
+        assert fired == ["a"]
+        assert sim.pending() == 0
+
+    def test_stop_then_resume_processes_remaining_events(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: (fired.append(1), sim.stop()))
+        sim.schedule(2.0, lambda: fired.append(2))
+        sim.run()
+        assert fired == [1]
+        assert sim.now == 1.0  # stop leaves now at the stopping event
+        sim.run()  # resumes: _stopped resets on entry
+        assert fired == [1, 2]
+        assert sim.now == 2.0
+
+    def test_compaction_collects_tombstones_below_heap_top(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(0.5, lambda: fired.append("top"))  # stays the heap top
+        doomed = [sim.schedule(1.0 + i * 1e-6, lambda: fired.append("no"))
+                  for i in range(5000)]
+        for event in doomed:
+            event.cancel()
+        # bounded compaction rebuilt the heap without popping anything:
+        # the cancelled entries below the top are gone, not just skipped
+        assert sim.compactions >= 1
+        assert len(sim._heap) < 200
+        assert sim.pending() == 1
+        sim.run()
+        assert fired == ["top"]
+
+    def test_cancelled_ratio_diagnostic(self):
+        sim = Simulator()
+        assert sim.cancelled_ratio == 0.0
+        events = [sim.schedule(1.0, lambda: None) for _ in range(10)]
+        events[0].cancel()
+        assert sim.cancelled_ratio == pytest.approx(0.1)
+        sim.run()
+        assert sim.cancelled_ratio == 0.0
+
+
 class TestTimer:
     def test_fires_once(self):
         sim = Simulator()
@@ -232,6 +356,67 @@ class TestTimer:
         assert timer.armed
         assert timer.expiry == 3.0
 
+    def test_restart_from_own_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) < 3:
+                timer.start(1.0)
+
+        timer = Timer(sim, cb)
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert not timer.armed
+
+    def test_lazy_push_back_fires_once_at_final_expiry(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.start(2.0)  # push-back: heap untouched
+        timer.start(3.0)  # push-back again
+        assert timer.expiry == 3.0
+        assert sim.pending() == 1
+        assert sim.cancelled_ratio == 0.0  # no tombstones from push-backs
+        sim.run()
+        assert fired == [3.0]
+        # the stale entry fired once at t=1 and chased straight to the
+        # real deadline: two heap entries total, not one per push-back
+        assert sim.processed_events == 2
+
+    def test_pull_earlier_reschedules(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(5.0)
+        timer.start(1.0)  # earlier: must cancel and re-push
+        sim.run()
+        assert fired == [1.0]
+
+    def test_cancel_during_lazy_window_suppresses_fire(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        timer.start(2.0)  # lazy: underlying entry still at t=1
+        timer.cancel()
+        assert not timer.armed
+        sim.run()
+        assert fired == []
+
+    def test_push_back_after_fire_rearms(self):
+        sim = Simulator()
+        fired = []
+        timer = Timer(sim, lambda: fired.append(sim.now))
+        timer.start(1.0)
+        sim.run()
+        timer.start(1.0)
+        sim.run()
+        assert fired == [1.0, 2.0]
+
 
 class TestPeriodicTimer:
     def test_fires_repeatedly(self):
@@ -264,3 +449,50 @@ class TestPeriodicTimer:
     def test_rejects_nonpositive_period(self):
         with pytest.raises(ValueError):
             PeriodicTimer(Simulator(), 0.0, lambda: None)
+
+    def test_period_change_takes_effect_next_firing(self):
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            timer.period = 0.5
+
+        timer = PeriodicTimer(sim, 1.0, cb)
+        timer.start()
+        sim.run(until=2.2)
+        timer.stop()
+        assert fired == [1.0, 1.5, 2.0]
+
+    def test_start_from_own_callback_leaves_no_duplicate(self):
+        # regression: a callback calling start() mid-fire used to have its
+        # freshly scheduled event overwritten by the post-callback
+        # reschedule, leaving an uncancellable duplicate cadence
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            if len(fired) == 1:
+                timer.start(0.5)  # restart the cadence from t=1.0
+
+        timer = PeriodicTimer(sim, 1.0, cb)
+        timer.start()
+        sim.run(until=4.0)
+        timer.stop()
+        assert fired == [1.0, 1.5, 2.5, 3.5]
+
+    def test_stop_from_own_callback_after_restart(self):
+        sim = Simulator()
+        fired = []
+
+        def cb():
+            fired.append(sim.now)
+            timer.start(0.25)
+            timer.stop()
+
+        timer = PeriodicTimer(sim, 1.0, cb)
+        timer.start()
+        sim.run(until=10.0)
+        assert fired == [1.0]
+        assert sim.pending() == 0

@@ -1,6 +1,5 @@
 """Tests for the switch-side flow list (§3.3.1)."""
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.comparator import FlowComparator, criticality_key

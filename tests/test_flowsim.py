@@ -140,7 +140,6 @@ class TestD3Model:
         assert rates[0] > rates[1]
 
     def test_quenching(self):
-        caps = {("a", "b"): 1 * GBPS}
         spec = FlowSpec(fid=0, src="a", dst="b", size_bytes=1 * MBYTE,
                         deadline=1 * MSEC)
         flow = FlowProgress(spec, [("a", "b")], 1 * GBPS, 150e-6,

@@ -177,3 +177,61 @@ class TestSerialization:
         collector = self._full_collector()
         summary = SummaryStats.from_collector(collector)
         assert SummaryStats.from_dict(summary.to_dict()) == summary
+
+
+class TestCompletionObservers:
+    def test_observer_fires_when_last_flow_resolves(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=0))
+        collector.register(_spec(fid=1))
+        fired = []
+        collector.add_completion_observer(lambda: fired.append(True))
+        assert collector.unfinished_count() == 2
+        collector.on_complete(0, 1.0)
+        assert fired == []
+        collector.on_terminated(1, 2.0, "gave_up")
+        assert fired == [True]
+        assert collector.unfinished_count() == 0
+
+    def test_resolution_counted_once_per_flow(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=0))
+        fired = []
+        collector.add_completion_observer(lambda: fired.append(True))
+        collector.on_terminated(0, 1.0, "gave_up")
+        # a late completion or repeated termination must not re-resolve
+        collector.on_complete(0, 2.0)
+        collector.on_terminated(0, 3.0, "again")
+        assert fired == [True]
+        assert collector.unfinished_count() == 0
+
+    def test_unsubscribe(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=0))
+        fired = []
+        unsubscribe = collector.add_completion_observer(
+            lambda: fired.append(True))
+        unsubscribe()
+        collector.on_complete(0, 1.0)
+        assert fired == []
+
+    def test_registering_after_resolution_rearms(self):
+        collector = MetricsCollector()
+        fired = []
+        collector.add_completion_observer(lambda: fired.append(True))
+        collector.register(_spec(fid=0))
+        collector.on_complete(0, 1.0)
+        collector.register(_spec(fid=1))
+        collector.on_complete(1, 2.0)
+        assert fired == [True, True]
+
+    def test_from_dict_restores_unresolved_count(self):
+        collector = MetricsCollector()
+        collector.register(_spec(fid=0))
+        collector.register(_spec(fid=1))
+        collector.register(_spec(fid=2))
+        collector.on_complete(0, 1.0)
+        collector.on_terminated(1, 1.5, "gave_up")
+        restored = MetricsCollector.from_dict(collector.to_dict())
+        assert restored.unfinished_count() == 1
+        assert len(restored.unfinished()) == 1

@@ -4,7 +4,7 @@ import pytest
 
 from repro.events import Simulator
 from repro.net.link import Link
-from repro.net.node import Host, Switch
+from repro.net.node import Host
 from repro.net.packet import Packet, PacketKind
 from repro.net.queues import DropTailQueue
 from repro.units import GBPS, USEC

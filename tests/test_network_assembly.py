@@ -119,3 +119,64 @@ class TestLossInjection:
         clean = fct_at(0.0)
         lossy = fct_at(0.03)
         assert lossy < clean * 1.6  # paper: +11%; allow generous slack
+
+
+class TestCompletionDrivenStop:
+    def test_zero_extra_steps_after_last_flow_resolves(self):
+        """run_until_quiet must halt on the event that resolves the last
+        flow: no chunk polling, no trailing event processing."""
+        net = Network(SingleBottleneck(2), PdqStack())
+        net.launch([
+            FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                     size_bytes=50 * KBYTE)
+            for i in range(2)
+        ])
+        steps_at_resolution = []
+        net.metrics.add_completion_observer(
+            lambda: steps_at_resolution.append(net.sim.processed_events))
+        net.run_until_quiet(deadline=5.0)
+        assert not net.metrics.unfinished()
+        # the observer runs inside the resolving event's callback, before
+        # the loop counts that event: exactly one step difference means
+        # zero events ran after the one that resolved the last flow
+        assert len(steps_at_resolution) == 1
+        assert net.sim.processed_events == steps_at_resolution[0] + 1
+        # the stop is immediate, not drained: the close handshake
+        # (final ACK, TERM, TERM-ACK) is still queued, and simulated time
+        # sits at the completion instant, far from the deadline
+        assert net.sim.pending() > 0
+        last_completion = max(
+            r.completion_time for r in net.metrics.all_records())
+        assert net.sim.now == last_completion
+
+    def test_run_until_quiet_noop_when_no_flows(self):
+        net = Network(SingleBottleneck(1), PdqStack())
+        net.run_until_quiet(deadline=1.0)
+        assert net.sim.now == 0.0
+        assert net.sim.processed_events == 0
+
+    def test_run_until_quiet_respects_deadline_with_unresolved_flows(self):
+        # a receiver-limited flow cannot finish by the deadline: the run
+        # must end at the deadline with the flow still unresolved
+        config = NetworkConfig(receiver_rate_limits={"recv": 0.001 * GBPS})
+        net = Network(SingleBottleneck(1), PdqStack(), config=config)
+        net.launch([FlowSpec(fid=0, src="send0", dst="recv",
+                             size_bytes=10 * MBYTE)])
+        net.run_until_quiet(deadline=0.01)
+        assert net.metrics.unfinished()
+        assert net.sim.now == 0.01
+
+    def test_resumable_after_completion_stop(self):
+        # stop() from the observer must not wedge the simulator: a later
+        # launch + run picks up where the previous run stopped
+        net = Network(SingleBottleneck(2), PdqStack())
+        net.launch([FlowSpec(fid=0, src="send0", dst="recv",
+                             size_bytes=20 * KBYTE)])
+        net.run_until_quiet(deadline=5.0)
+        assert net.metrics.record(0).completed
+        resumed_at = net.sim.now
+        net.launch([FlowSpec(fid=1, src="send1", dst="recv",
+                             size_bytes=20 * KBYTE,
+                             arrival=resumed_at + 0.001)])
+        net.run_until_quiet(deadline=5.0)
+        assert net.metrics.record(1).completed

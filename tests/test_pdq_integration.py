@@ -6,7 +6,7 @@ from repro.core.config import PdqConfig
 from repro.core.stack import PdqStack
 from repro.net.network import Network
 from repro.topology import SingleBottleneck, SingleRootedTree
-from repro.units import GBPS, KBYTE, MBYTE, MSEC
+from repro.units import KBYTE, MBYTE, MSEC
 from repro.workload.flow import FlowSpec
 
 

@@ -194,7 +194,6 @@ class TestAlgorithm3:
 
     def test_suppressed_probing_raises_interval_with_index(self):
         net, proto, link = make_env(dampening=False)
-        state = proto.state_for(link)
         headers = {}
         for fid, tx in [(1, 1e-3), (2, 2e-3), (3, 3e-3)]:
             pkt = fwd_packet(fid, expected_tx=tx)

@@ -66,7 +66,7 @@ class TestRouter:
         src, dst = net.node("h0"), net.node("h15")
         fwd = net.router.flow_path(9, src.id, dst.id)
         rev = net.router.reverse_path(fwd)
-        assert [l.reverse for l in rev] == list(reversed(fwd))
+        assert [lk.reverse for lk in rev] == list(reversed(fwd))
 
     def test_no_route_to_self(self, fattree_net):
         net = fattree_net
@@ -108,7 +108,7 @@ class TestGraphRouterAgreement:
             pkt_path = net.router.flow_path(
                 fid, net.node(src).id, net.node(dst).id
             )
-            pkt_names = [(l.src.name, l.dst.name) for l in pkt_path]
+            pkt_names = [(lk.src.name, lk.dst.name) for lk in pkt_path]
             flow_path = graph_router.flow_path(fid, src, dst)
             assert pkt_names == list(flow_path)
 

@@ -26,7 +26,6 @@ from repro.validate import (
     default_pairs,
     edge_pairs,
     fig3_pairs,
-    fig5_pairs,
     run_validation,
     select_pairs,
     write_report,

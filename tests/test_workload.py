@@ -5,7 +5,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.errors import WorkloadError
 from repro.topology import SingleRootedTree
-from repro.units import KBYTE, MBYTE, MSEC
+from repro.units import KBYTE, MSEC
 from repro.workload import (
     FlowSpec,
     aggregation_flows,
