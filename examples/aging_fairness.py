@@ -4,19 +4,21 @@
 Pure preemptive SJF can starve large flows under a sustained stream of
 smaller ones. The paper's aging knob raises a flow's criticality by
 2^(alpha * waiting_time), letting operators bound worst-case completion
-times. This example sweeps the aging rate on a loaded fat-tree (flow-level
-simulation) and prints the max/mean FCT trade-off curve against RCP's
-fair-sharing reference.
+times. This example re-parameterizes fig 12's declared experiment panel
+(a labeled axis mixing the RCP reference into the PDQ aging sweep) and
+runs it on a loaded fat-tree (flow-level simulation), printing the
+max/mean FCT trade-off curve against RCP's fair-sharing reference.
 
 Run:  python examples/aging_fairness.py
 """
 
-from repro.experiments.fig12 import run_fig12
+from repro.experiments import run_panel
+from repro.experiments.fig12 import fig12_panel
 
 
 def main() -> None:
     rates = (0.0, 1.0, 2.0, 6.0, 10.0)
-    result = run_fig12(aging_rates=rates, seeds=(1,))
+    result = run_panel(fig12_panel(aging_rates=rates, seeds=(1,)))
 
     print("16-server fat-tree, Poisson random-pair traffic at 85% load\n")
     print(f"{'aging rate':>10s} {'max FCT':>10s} {'mean FCT':>10s}")

@@ -3,51 +3,57 @@
 
 The paper's motivating datacenter workload (§5.2): many workers answer an
 aggregator under soft-real-time deadlines; a response missing its deadline
-is dropped from the result. This example runs the same query-aggregation
-scenario under all four protocols and reports application throughput (the
-fraction of flows meeting their deadlines) and what happened to each flow.
+is dropped from the result. The whole study is *data*: an experiment
+declared inline (the same schema ``python -m repro run-spec FILE.json``
+loads from disk — see examples/specs/) and executed through the ambient
+campaign runner, one scenario per protocol.
 
 Run:  python examples/deadline_aggregation.py
 """
 
-from repro import Network, SingleRootedTree
-from repro.experiments.scenario import make_stack
-from repro.units import KBYTE, MSEC
-from repro.workload import (
-    aggregation_flows,
-    exponential_deadlines,
-    uniform_sizes,
-)
+from repro.experiments import load_experiment, run_experiment
 
-N_FLOWS = 14
-SEED = 11
-
-
-def build_workload():
-    sizes = uniform_sizes(N_FLOWS, 100 * KBYTE, rng=SEED)
-    deadlines = exponential_deadlines(N_FLOWS, mean=20 * MSEC, rng=SEED)
-    workers = [f"h{i}" for i in range(1, 12)]  # h0 is the aggregator
-    return aggregation_flows(workers, "h0", sizes, deadlines=deadlines,
-                             rng=SEED)
+STUDY = {
+    "name": "deadline-aggregation",
+    "title": "14 worker responses -> aggregator h0, deadlines exp(20 ms)",
+    "panels": [
+        {
+            "name": "protocol-comparison",
+            "base": {
+                "protocol": "PDQ(Full)",
+                "topology": {"kind": "single_rooted"},
+                "workload": {
+                    "kind": "fig3.aggregation",
+                    "params": {
+                        "n_flows": 14,
+                        "mean_size": 100_000.0,
+                        "mean_deadline": 0.020,
+                    },
+                },
+                "engine": "packet",
+                "seed": 11,
+                "sim_deadline": 2.0,
+            },
+            "axes": [["protocol", ["PDQ(Full)", "D3", "RCP", "TCP"]]],
+            "reducer": "table",
+            "reducer_params": {
+                "metrics": ["application_throughput",
+                            "completion_fraction", "mean_fct"],
+            },
+        },
+    ],
+}
 
 
 def main() -> None:
-    flows = build_workload()
-    print(f"{N_FLOWS} worker responses -> aggregator h0, deadlines "
-          "exp(20 ms) with a 3 ms floor\n")
-    print(f"{'protocol':10s} {'met':>4s} {'missed':>7s} {'terminated':>11s} "
-          f"{'app throughput':>15s}")
-    for protocol in ("PDQ(Full)", "D3", "RCP", "TCP"):
-        network = Network(SingleRootedTree(), make_stack(protocol))
-        network.launch(flows)
-        network.run_until_quiet(deadline=2.0)
-        records = network.metrics.all_records()
-        met = sum(1 for r in records if r.met_deadline)
-        terminated = sum(1 for r in records if r.terminated)
-        missed = len(records) - met - terminated
-        throughput = network.metrics.application_throughput()
-        print(f"{protocol:10s} {met:4d} {missed:7d} {terminated:11d} "
-              f"{throughput:14.1%}")
+    experiment = load_experiment(STUDY)
+    print(f"{experiment.title}\n")
+    table = run_experiment(experiment)["protocol-comparison"]
+    print(f"{'protocol':10s} {'app throughput':>15s} {'completed':>10s} "
+          f"{'mean fct':>10s}")
+    for protocol, app_tput, completed, mean_fct in table["rows"]:
+        print(f"{protocol:10s} {app_tput:14.1%} {completed:9.1%} "
+              f"{mean_fct * 1e3:8.2f}ms")
 
     print(
         "\nPDQ schedules earliest-deadline-first with preemption and sheds "

@@ -8,32 +8,57 @@ from paused subflows to the one with the least remaining work. For a large
 transfer this multiplies throughput until the subflow count exceeds the
 usable path diversity.
 
+The sweep is one declarative Panel: a *labeled* axis varies the protocol
+and the ``n_subflows`` option together (1 subflow = single-path PDQ), on
+the builtin ``single_flow`` workload kind.
+
 Run:  python examples/multipath_bcube.py
 """
 
-from repro import BCube, FlowSpec, MpdqStack, Network, PdqStack
+from repro.campaign import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.experiments import Panel, run_panel
 from repro.units import MBYTE
 
+SUBFLOW_COUNTS = (1, 2, 3, 4, 6)
 
-def fct_with(stack, flows) -> float:
-    network = Network(BCube(n=2, k=3), stack)
-    network.launch(flows)
-    network.run_until_quiet(deadline=1.0)
-    return network.metrics.mean_fct()
+
+def subflow_panel() -> Panel:
+    # h0 (address 0000) -> h15 (address 1111): all four digits differ, so
+    # four parallel paths exist
+    return Panel(
+        name="mpdq-subflows",
+        title="4 MB transfer h0 -> h15 on BCube(2,3)",
+        base=ScenarioSpec(
+            protocol="PDQ(Full)",
+            topology=TopologySpec("bcube", {"n": 2, "k": 3}),
+            workload=WorkloadSpec("single_flow", {
+                "src": "h0", "dst": "h15", "size_bytes": 4 * MBYTE,
+            }),
+            engine="packet",
+            sim_deadline=1.0,
+            options={"n_subflows": 1},
+        ),
+        axes=(("subflows", tuple(
+            (count, {"protocol": "PDQ(Full)" if count == 1 else "M-PDQ",
+                     "options.n_subflows": count})
+            for count in SUBFLOW_COUNTS
+        )),),
+        reducer="series",
+        reducer_params={"x": "subflows", "metric": "mean_fct"},
+    )
 
 
 def main() -> None:
-    # h0 (address 0000) -> h15 (address 1111): all four digits differ, so
-    # four parallel paths exist
-    flows = [FlowSpec(fid=0, src="h0", dst="h15", size_bytes=4 * MBYTE)]
+    panel = subflow_panel()
+    print(f"{panel.title}, 1 Gbps links\n")
+    fct_by_count = run_panel(panel)
 
-    print("4 MB transfer h0 -> h15 on BCube(2,3), 1 Gbps links\n")
+    base = fct_by_count[1]
     print(f"{'configuration':16s} {'mean FCT':>10s} {'speedup':>8s}")
-    base = fct_with(PdqStack(), flows)
     print(f"{'PDQ (1 path)':16s} {base * 1e3:8.2f}ms {'1.00x':>8s}")
-    for subflows in (2, 3, 4, 6):
-        fct = fct_with(MpdqStack(n_subflows=subflows), flows)
-        print(f"M-PDQ({subflows} subflows) {fct * 1e3:8.2f}ms "
+    for count in SUBFLOW_COUNTS[1:]:
+        fct = fct_by_count[count]
+        print(f"M-PDQ({count} subflows) {fct * 1e3:8.2f}ms "
               f"{base / fct:7.2f}x")
 
     print(

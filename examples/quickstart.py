@@ -44,6 +44,11 @@ def main() -> None:
         f"The long flow took {long_flow.fct * 1e3:.2f} ms: its own 8.4 ms "
         "plus the ~0.9 ms it stood aside."
     )
+    print(
+        "\nNext step: declare whole scenario grids as data instead of "
+        "wiring networks by hand -- see examples/deadline_aggregation.py "
+        "and examples/specs/*.json (run with `python -m repro run-spec`)."
+    )
 
 
 if __name__ == "__main__":

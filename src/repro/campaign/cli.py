@@ -3,8 +3,16 @@
 Subcommands::
 
     repro run-fig N [--jobs J] [--cache DIR | --no-cache] [--dry-run]
-        Reproduce every panel of paper figure N at reduced scale, routing
-        all scenario grids through a (parallel, cached) campaign runner.
+        Reproduce every panel of paper figure N at reduced scale. Figures
+        are declared :class:`~repro.experiments.api.Experiment`s resolved
+        from the experiment registry and routed through a (parallel,
+        cached) campaign runner.
+
+    repro run-spec FILE.json [--jobs J] [--dry-run] [--out PATH]
+        Run a user-authored experiment file — scenario grids, search
+        directives, reducers — through the same campaign machinery.
+        ``--dry-run`` validates the schema and every registry reference
+        without executing a scenario.
 
     repro sweep [--protocols ...] [--patterns ...] [--jobs J] ...
         Run a Fig-4-style protocol x pattern x seed grid through the
@@ -28,77 +36,30 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
-import importlib
 import json
 import os
 import sys
 import time
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
 from repro.campaign.runner import CampaignRunner, ScenarioOutcome
-from repro.campaign.spec import (
-    ScenarioSpec,
-    TopologySpec,
-    WorkloadSpec,
-    expand_grid,
-)
+from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.campaign.store import ResultStore
 from repro.campaign.context import use_runner
 from repro.errors import CampaignError, ReproError
+from repro.experiments.api import (
+    Panel,
+    figure_numbers,
+    get_experiment,
+    load_experiment_file,
+    run_panel,
+    validate_experiment,
+)
 
 DEFAULT_CACHE = os.environ.get("REPRO_CACHE_DIR", ".repro-cache")
 
-#: figure number -> [(panel label, "module:function", kwargs)]
-FIGURES: Dict[int, List[Tuple[str, str, Dict[str, Any]]]] = {
-    1: [("fig1", "repro.experiments.fig1:run", {})],
-    3: [
-        ("fig3a", "repro.experiments.fig3:run_fig3a", {}),
-        ("fig3b", "repro.experiments.fig3:run_fig3b", {}),
-        ("fig3c", "repro.experiments.fig3:run_fig3c", {}),
-        ("fig3d", "repro.experiments.fig3:run_fig3d", {}),
-        ("fig3e", "repro.experiments.fig3:run_fig3e", {}),
-    ],
-    4: [
-        ("fig4a", "repro.experiments.fig4:run_fig4a", {}),
-        ("fig4b", "repro.experiments.fig4:run_fig4b", {}),
-    ],
-    5: [
-        ("fig5a", "repro.experiments.fig5:run_fig5a", {}),
-        ("fig5b", "repro.experiments.fig5:run_fig5b", {}),
-        ("fig5c", "repro.experiments.fig5:run_fig5c", {}),
-    ],
-    6: [("fig6", "repro.experiments.fig6:run_fig6", {})],
-    7: [("fig7", "repro.experiments.fig7:run_fig7", {})],
-    8: [
-        ("fig8a", "repro.experiments.fig8:run_fig8a", {}),
-        ("fig8b", "repro.experiments.fig8:run_fct_vs_size",
-         {"family": "fattree"}),
-        ("fig8c", "repro.experiments.fig8:run_fct_vs_size",
-         {"family": "bcube"}),
-        ("fig8d", "repro.experiments.fig8:run_fct_vs_size",
-         {"family": "jellyfish"}),
-        ("fig8e", "repro.experiments.fig8:run_fig8e", {}),
-    ],
-    9: [
-        ("fig9a", "repro.experiments.fig9:run_fig9a", {}),
-        ("fig9b", "repro.experiments.fig9:run_fig9b", {}),
-    ],
-    10: [("fig10", "repro.experiments.fig10:run_fig10", {})],
-    11: [
-        ("fig11a", "repro.experiments.fig11:run_fig11a", {}),
-        ("fig11b", "repro.experiments.fig11:run_fig11b", {}),
-        ("fig11c", "repro.experiments.fig11:run_fig11c", {}),
-    ],
-    12: [("fig12", "repro.experiments.fig12:run_fig12", {})],
-}
-
 SWEEP_PATTERNS = ("Aggregation", "Stride(1)")
 SWEEP_PROTOCOLS = ("PDQ(Full)", "RCP", "TCP")
-
-
-def _resolve(target: str) -> Callable:
-    module_name, _, attr = target.partition(":")
-    return getattr(importlib.import_module(module_name), attr)
 
 
 def _print_progress(outcome: ScenarioOutcome, done: int, total: int) -> None:
@@ -128,15 +89,17 @@ def _make_runner(args: argparse.Namespace, verbose: bool) -> CampaignRunner:
 # -- run-fig ------------------------------------------------------------------------
 
 
-def sweep_specs(
+def sweep_panel(
     protocols: Sequence[str] = SWEEP_PROTOCOLS,
     patterns: Sequence[str] = SWEEP_PATTERNS,
     n_flows: int = 6,
     seeds: Sequence[int] = (1,),
     mean_deadline: Optional[float] = None,
     sim_deadline: float = 2.0,
-) -> List[ScenarioSpec]:
-    """The default multi-protocol Fig-4-style sweep grid."""
+) -> Panel:
+    """The default multi-protocol Fig-4-style sweep, as a declared
+    :class:`~repro.experiments.api.Panel` (the same surface figures and
+    user spec files use)."""
     base = ScenarioSpec(
         protocol=protocols[0],
         topology=TopologySpec("single_rooted"),
@@ -148,40 +111,115 @@ def sweep_specs(
         engine="packet",
         sim_deadline=sim_deadline,
     )
-    return expand_grid(
-        base,
-        **{
-            "workload.pattern": list(patterns),
-            "protocol": list(protocols),
-            "seed": list(seeds),
+    return Panel(
+        name="sweep",
+        title="protocol x pattern x seed sweep",
+        base=base,
+        axes=(("workload.pattern", tuple(patterns)),
+              ("protocol", tuple(protocols)),
+              ("seed", tuple(seeds))),
+        reducer="table",
+        reducer_params={
+            "metrics": ["mean_fct", "application_throughput",
+                        "completion_fraction"],
         },
     )
 
 
+def sweep_specs(*args, **kwargs) -> List[ScenarioSpec]:
+    """The default sweep grid (see :func:`sweep_panel`)."""
+    return sweep_panel(*args, **kwargs).expand()
+
+
+def _printable(value):
+    """Make a panel result JSON-serializable: composite-axis cells key
+    result dicts by *tuples*, which ``json.dumps`` rejects (``default=``
+    only applies to values, not keys)."""
+    if isinstance(value, dict):
+        return {
+            k if isinstance(k, str) else str(k): _printable(v)
+            for k, v in value.items()
+        }
+    if isinstance(value, (list, tuple)):
+        return [_printable(v) for v in value]
+    return value
+
+
+def _run_panels(panels: Sequence[Panel],
+                args: argparse.Namespace) -> dict:
+    """Execute panels through a CLI-configured runner, printing each
+    panel's JSON result; returns {panel name: printable result}."""
+    results = {}
+    with _make_runner(args, verbose=True) as runner:
+        for panel in panels:
+            print(f"== {panel.name} ==", flush=True)
+            started = time.perf_counter()
+            with use_runner(runner):
+                results[panel.name] = _printable(run_panel(panel))
+            elapsed = time.perf_counter() - started
+            print(json.dumps(results[panel.name], indent=2, default=str))
+            print(f"-- {panel.name} done in {elapsed:.1f}s", flush=True)
+    return results
+
+
 def _cmd_run_fig(args: argparse.Namespace) -> int:
-    panels = FIGURES.get(args.figure)
-    if not panels:
-        known = ", ".join(str(n) for n in sorted(FIGURES))
+    if args.figure not in figure_numbers():
+        known = ", ".join(str(n) for n in figure_numbers())
         print(f"unknown figure {args.figure}; known figures: {known}",
               file=sys.stderr)
         return 2
+    experiment = get_experiment(f"fig{args.figure}")
     if args.dry_run:
-        print(f"figure {args.figure}: {len(panels)} panel(s)")
-        for label, target, kwargs in panels:
-            extra = f" {kwargs}" if kwargs else ""
-            print(f"  {label}: {target}{extra}")
+        print(f"figure {args.figure}: {len(experiment.panels)} panel(s)")
+        for panel in experiment.panels:
+            extra = (f" {dict(panel.wraps_kwargs)}"
+                     if panel.wraps_kwargs else "")
+            print(f"  {panel.name}: {panel.wraps}{extra}")
         print("dry run: no scenarios executed")
         return 0
-    with _make_runner(args, verbose=True) as runner:
-        for label, target, kwargs in panels:
-            func = _resolve(target)
-            print(f"== {label} ==", flush=True)
-            started = time.perf_counter()
-            with use_runner(runner):
-                result = func(**kwargs)
-            elapsed = time.perf_counter() - started
-            print(json.dumps(result, indent=2, default=str))
-            print(f"-- {label} done in {elapsed:.1f}s", flush=True)
+    _run_panels(experiment.panels, args)
+    return 0
+
+
+# -- run-spec -----------------------------------------------------------------------
+
+
+def _cmd_run_spec(args: argparse.Namespace) -> int:
+    experiment = load_experiment_file(args.file)
+    # resolve every registry reference (topologies, workloads, engines,
+    # reducers, metrics, panel runners) before running anything
+    n_scenarios = validate_experiment(experiment)
+    title = f" — {experiment.title}" if experiment.title else ""
+    print(f"experiment {experiment.name}{title} "
+          f"[key {experiment.key[:12]}]")
+    if args.dry_run:
+        for panel in experiment.panels:
+            if panel.kind == "custom":
+                detail = f"custom runner {panel.runner}"
+            elif panel.kind == "search":
+                detail = (f"search over {panel.search.axis} x "
+                          f"{len(panel.cells())} cell(s), "
+                          f"reducer {panel.reducer or 'table'}")
+            else:
+                detail = (f"{len(panel.expand())} scenario(s), "
+                          f"reducer {panel.reducer or 'table'}")
+            print(f"  {panel.name} [{panel.kind}]: {detail}")
+        print(f"dry run: no scenarios executed "
+              f"({n_scenarios} grid scenario(s) declared)")
+        return 0
+    results = _run_panels(experiment.panels, args)
+    if args.out:
+        payload = {
+            "schema": 1,
+            "experiment": experiment.name,
+            "title": experiment.title,
+            "key": experiment.key,
+            "results": results,
+        }
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.out}")
     return 0
 
 
@@ -424,6 +462,17 @@ def build_parser() -> argparse.ArgumentParser:
     run_fig.add_argument("figure", type=int)
     _add_runner_args(run_fig)
     run_fig.set_defaults(func=_cmd_run_fig)
+
+    run_spec = sub.add_parser(
+        "run-spec",
+        help="run a user-authored JSON experiment file "
+             "(see examples/specs/)",
+    )
+    run_spec.add_argument("file", help="experiment spec (JSON)")
+    run_spec.add_argument("--out", default=None,
+                          help="also write results as JSON to this path")
+    _add_runner_args(run_spec)
+    run_spec.set_defaults(func=_cmd_run_spec)
 
     sweep = sub.add_parser(
         "sweep", help="run a protocol x pattern x seed scenario grid"

@@ -36,7 +36,7 @@ from typing import (
     Tuple,
 )
 
-from repro.errors import CampaignError, ExperimentError
+from repro.errors import ExperimentError
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.campaign.spec import ScenarioSpec
@@ -211,9 +211,9 @@ def execute_spec(spec: "ScenarioSpec") -> "MetricsCollector":
     """
     adapter = _ENGINES.get(spec.engine)
     if adapter is None:
-        raise CampaignError(
-            f"unknown engine {spec.engine!r}; known: {engine_kinds()}"
-        )
+        from repro.campaign.registry import unknown_kind
+
+        raise unknown_kind("engine", spec.engine, engine_kinds())
     topology = spec.topology.build()
     flows = spec.workload.build(topology, spec.seed)
     options = dict(spec.options)

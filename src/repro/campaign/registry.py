@@ -13,8 +13,9 @@ first resolution rather than here (which would create an import cycle).
 
 from __future__ import annotations
 
+import difflib
 import importlib
-from typing import Any, Callable, Dict, List, Mapping
+from typing import Any, Callable, Dict, List, Mapping, Sequence
 
 from repro.errors import CampaignError
 from repro.topology.bcube import BCube
@@ -26,11 +27,27 @@ from repro.topology.single_rooted import SingleRootedTree
 _TOPOLOGIES: Dict[str, Callable[..., Any]] = {}
 _WORKLOADS: Dict[str, Callable[..., Any]] = {}
 
-#: experiment modules that register workload kinds on import
-_EXPERIMENT_MODULES = tuple(
-    f"repro.experiments.fig{n}" for n in (3, 4, 5, 8, 9, 10, 11, 12)
-)
+#: every module that registers experiment-surface kinds on import —
+#: workloads here, experiments/reducers/panel runners in
+#: :mod:`repro.experiments.api`. ONE list shared by both lazy loaders,
+#: so the two registries cannot drift apart when a module is added.
+EXPERIMENT_MODULES = tuple(
+    f"repro.experiments.fig{n}" for n in (1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+) + ("repro.validate.pairs",)
 _experiments_loaded = False
+
+
+def unknown_kind(what: str, kind: Any,
+                 known: Sequence[str]) -> CampaignError:
+    """A consistent "unknown kind" error for every registry: names the
+    registered kinds and, when one is close, the likely typo fix."""
+    known = sorted(str(k) for k in known)
+    listing = ", ".join(known) if known else "(none registered)"
+    message = f"unknown {what} kind {kind!r}; registered: {listing}"
+    close = difflib.get_close_matches(str(kind), known, n=1, cutoff=0.6)
+    if close:
+        message += f". Did you mean {close[0]!r}?"
+    return CampaignError(message)
 
 
 def register_topology(kind: str) -> Callable:
@@ -57,7 +74,7 @@ def _load_experiment_workloads() -> None:
     global _experiments_loaded
     if _experiments_loaded:
         return
-    for module in _EXPERIMENT_MODULES:
+    for module in EXPERIMENT_MODULES:
         importlib.import_module(module)
     # only after every import succeeded: a transient failure above must
     # surface again on the next call, not decay into "unknown kind"
@@ -76,9 +93,7 @@ def workload_kinds() -> List[str]:
 def build_topology(kind: str, params: Mapping[str, Any]):
     builder = _TOPOLOGIES.get(kind)
     if builder is None:
-        raise CampaignError(
-            f"unknown topology kind {kind!r}; known: {topology_kinds()}"
-        )
+        raise unknown_kind("topology", kind, topology_kinds())
     return builder(**params)
 
 
@@ -89,10 +104,21 @@ def build_workload(kind: str, topology, seed: int,
         _load_experiment_workloads()
         builder = _WORKLOADS.get(kind)
     if builder is None:
-        raise CampaignError(
-            f"unknown workload kind {kind!r}; known: {workload_kinds()}"
-        )
+        raise unknown_kind("workload", kind, workload_kinds())
     return builder(topology, seed, **params)
+
+
+def validate_spec_kinds(spec) -> None:
+    """Check a :class:`~repro.campaign.spec.ScenarioSpec`'s topology and
+    workload kinds against the live registries without building anything
+    (the spec's engine is already validated at construction). Raises the
+    same close-match :class:`CampaignError` the builders would."""
+    if spec.topology.kind not in _TOPOLOGIES:
+        raise unknown_kind("topology", spec.topology.kind, topology_kinds())
+    if spec.workload.kind not in _WORKLOADS:
+        _load_experiment_workloads()
+    if spec.workload.kind not in _WORKLOADS:
+        raise unknown_kind("workload", spec.workload.kind, workload_kinds())
 
 
 # -- builtin topology kinds ---------------------------------------------------------

@@ -121,10 +121,9 @@ class ScenarioSpec:
 
     def __post_init__(self) -> None:
         if self.engine not in engine_kinds():
-            raise CampaignError(
-                f"unknown engine {self.engine!r}; "
-                f"expected one of {engine_kinds()}"
-            )
+            from repro.campaign.registry import unknown_kind
+
+            raise unknown_kind("engine", self.engine, engine_kinds())
         if not isinstance(self.topology, TopologySpec):
             raise CampaignError("topology must be a TopologySpec")
         if not isinstance(self.workload, WorkloadSpec):
@@ -229,6 +228,79 @@ class ScenarioSpec:
         return replace(spec, **flat) if flat else spec
 
 
+def is_labeled_cell(value: Any) -> bool:
+    """True for a ``(label, {field: value, ...})`` labeled axis cell.
+
+    The single classification rule shared by grid expansion and the
+    experiment API's axis canonicalization — keep them in lockstep, or
+    a panel's content hash and its executed cells diverge.
+    """
+    return (isinstance(value, (list, tuple)) and len(value) == 2
+            and isinstance(value[1], Mapping))
+
+
+def _axis_cells(name: str, values: Sequence[Any]) -> List[Tuple[Any, Dict]]:
+    """Normalize one grid axis into (display value, with_ kwargs) cells.
+
+    Three value forms are understood:
+
+    * *plain* — ``protocol=["RCP", "D3"]``: the value is both the cell's
+      display value and the value assigned to the axis field;
+    * *composite* — a comma-joined name (``"protocol,options.n_subflows"``)
+      with tuple values of matching arity, for axes whose fields must
+      vary together; the display value is the tuple;
+    * *labeled* — values are ``(label, {field: value, ...})`` pairs: the
+      mapping is applied through :meth:`ScenarioSpec.with_` and the label
+      is the cell's display value. This expresses non-field axes (named
+      schemes, protocol/option bundles) and even non-cartesian grids —
+      an assignment may touch any fields, or none.
+    """
+    if not values:
+        raise CampaignError(f"empty grid axis {name!r}")
+    parts = [p.strip() for p in name.split(",")] if "," in name else None
+    cells: List[Tuple[Any, Dict]] = []
+    for value in values:
+        if is_labeled_cell(value):
+            label, assignments = value
+            cells.append((label, dict(assignments)))
+        elif parts is not None:
+            if not isinstance(value, (list, tuple)) or len(value) != len(parts):
+                raise CampaignError(
+                    f"composite axis {name!r} needs {len(parts)}-tuples, "
+                    f"got {value!r}"
+                )
+            cells.append((tuple(value), dict(zip(parts, value))))
+        else:
+            cells.append((value, {name: value}))
+    return cells
+
+
+def expand_cells(
+    base: ScenarioSpec, axes: Mapping[str, Sequence[Any]],
+) -> List[Tuple[Dict[str, Any], ScenarioSpec]]:
+    """Cartesian product of spec axes with per-cell coordinates.
+
+    Like :func:`expand_grid` but returns ``(combo, spec)`` pairs, where
+    ``combo`` maps each axis name to that cell's display value — the
+    coordinates reducers group results by. Axis values may be plain,
+    composite, or labeled (see :func:`_axis_cells`); later axes vary
+    fastest.
+    """
+    names = list(axes)
+    normalized = [_axis_cells(name, axes[name]) for name in names]
+    out: List[Tuple[Dict[str, Any], ScenarioSpec]] = []
+    for combo in itertools.product(*normalized):
+        assignments: Dict[str, Any] = {}
+        for _, kwargs in combo:
+            assignments.update(kwargs)
+        spec = base.with_(**assignments) if assignments else base
+        out.append((
+            {name: display for name, (display, _) in zip(names, combo)},
+            spec,
+        ))
+    return out
+
+
 def expand_grid(base: ScenarioSpec,
                 **axes: Sequence[Any]) -> List[ScenarioSpec]:
     """Cartesian product of spec axes around a base spec.
@@ -238,12 +310,12 @@ def expand_grid(base: ScenarioSpec,
     axes vary fastest::
 
         expand_grid(base, protocol=["PDQ(Full)", "RCP"], seed=[1, 2, 3])
+
+    Values may also use the composite and labeled forms documented on
+    :func:`_axis_cells`. Note the contract this implies: any 2-element
+    ``(value, mapping)`` axis value *is* a labeled cell
+    (:func:`is_labeled_cell`) whose mapping is applied through
+    :meth:`ScenarioSpec.with_` — a plain value of that exact shape
+    cannot be swept directly.
     """
-    names = list(axes)
-    for name in names:
-        if not axes[name]:
-            raise CampaignError(f"empty grid axis {name!r}")
-    specs = []
-    for combo in itertools.product(*(axes[name] for name in names)):
-        specs.append(base.with_(**dict(zip(names, combo))))
-    return specs
+    return [spec for _, spec in expand_cells(base, axes)]

@@ -1,11 +1,39 @@
-"""Experiment harness: one module per paper figure.
+"""Experiment harness: the declarative Experiment API plus one module
+per paper figure.
 
-Each ``figN`` module exposes ``run_*`` functions that regenerate the
-corresponding figure's rows/series at configurable scale (benchmarks use
-reduced defaults; paper-scale parameters are documented per function) and
-return plain dictionaries the benchmark layer formats into tables.
+:mod:`repro.experiments.api` defines the surface — :class:`Panel`
+(scenario grid + optional search directive + named reducer),
+:class:`Experiment` (an ordered set of panels), and the registries that
+resolve experiments, reducers, and custom panel runners by name. Each
+``figN`` module declares its figure as an Experiment and keeps thin
+``run_*`` wrappers with the historical signatures; user-authored JSON
+experiment files load through :func:`load_experiment_file` (the
+``python -m repro run-spec`` subcommand).
 """
 
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    SearchSpec,
+    experiment_kinds,
+    figure_numbers,
+    get_experiment,
+    load_experiment,
+    load_experiment_file,
+    register_experiment,
+    register_panel_runner,
+    run_experiment,
+    run_panel,
+    validate_experiment,
+)
+from repro.experiments.reducers import (
+    collector_metric,
+    get_reducer,
+    metric_kinds,
+    reducer_kinds,
+    register_metric,
+    register_reducer,
+)
 from repro.experiments.scenario import (
     available_protocols,
     execute_spec,
@@ -16,10 +44,29 @@ from repro.experiments.scenario import (
 from repro.experiments.search import binary_search_max
 
 __all__ = [
+    "Experiment",
+    "Panel",
+    "SearchSpec",
     "available_protocols",
-    "execute_spec",
-    "make_stack",
-    "run_packet_level",
-    "run_flow_level",
     "binary_search_max",
+    "collector_metric",
+    "execute_spec",
+    "experiment_kinds",
+    "figure_numbers",
+    "get_experiment",
+    "get_reducer",
+    "load_experiment",
+    "load_experiment_file",
+    "make_stack",
+    "metric_kinds",
+    "reducer_kinds",
+    "register_experiment",
+    "register_metric",
+    "register_panel_runner",
+    "register_reducer",
+    "run_experiment",
+    "run_flow_level",
+    "run_packet_level",
+    "run_panel",
+    "validate_experiment",
 ]

@@ -1,0 +1,650 @@
+"""Declarative experiment surface: Panels, Experiments, and registries.
+
+The paper's evaluation is a matrix of scenario grids reduced to
+per-panel curves. This module makes that matrix *data*:
+
+* a :class:`Panel` declares one figure panel — a scenario grid (a base
+  :class:`~repro.campaign.spec.ScenarioSpec` plus named axes, expanded
+  through the campaign layer's :func:`~repro.campaign.spec.expand_cells`
+  / :func:`~repro.campaign.spec.expand_grid` machinery), an optional
+  :class:`SearchSpec` directive (the paper's §5.2.1 "maximal load at
+  99 % application throughput" binary search), and a named *reducer*
+  (see :mod:`repro.experiments.reducers`) that turns the executed
+  collectors into the panel's rows;
+* an :class:`Experiment` is an ordered set of panels with metadata;
+* registries resolve experiments (``fig3`` … ``fig12``, ``validate``)
+  and custom panel runners by name, exactly like topology/workload
+  kinds in :mod:`repro.campaign.registry`.
+
+Panels that cannot be expressed as a scenario grid (fig 1's analytic
+motivation, fig 6/7's in-run monitors, fig 9's seed-coupled loss
+tuples) register a *panel runner* — an escape hatch that keeps them on
+the same Experiment surface with full provenance.
+
+Experiments canonicalize to sorted-key JSON with a stable SHA-256
+``key`` (pinned by tests, like scenario keys), load from user-authored
+JSON files (``python -m repro run-spec FILE.json``), and execute
+through the ambient campaign runner — so user-defined studies get grid
+expansion, process fan-out, and result caching with zero new code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.campaign.context import run_scenarios
+from repro.campaign.spec import (
+    ScenarioSpec,
+    _axis_cells,
+    canonical_json,
+    expand_cells,
+    is_labeled_cell,
+)
+from repro.errors import CampaignError, ExperimentError
+from repro.experiments.reducers import collector_metric, get_reducer
+from repro.experiments.search import binary_search_max
+from repro.metrics.collector import MetricsCollector
+from repro.utils.stats import mean
+
+
+def _check_fields(what: str, data: Mapping[str, Any],
+                  allowed: Sequence[str]) -> None:
+    """Spec files are validated strictly: a misspelled field would
+    otherwise be silently dropped and its directive never applied."""
+    import difflib
+
+    unknown = sorted(set(data) - set(allowed))
+    if unknown:
+        hints = []
+        for name in unknown:
+            close = difflib.get_close_matches(name, allowed, n=1, cutoff=0.6)
+            if close:
+                hints.append(f"{name!r} (did you mean {close[0]!r}?)")
+            else:
+                hints.append(repr(name))
+        raise CampaignError(
+            f"{what}: unknown field(s) {', '.join(hints)}; "
+            f"allowed: {', '.join(sorted(allowed))}"
+        )
+
+
+def _axes_tuple(axes: Any) -> Tuple[Tuple[str, Tuple[Any, ...]], ...]:
+    """Normalize an axes declaration (mapping or pair sequence, values
+    possibly JSON lists) into the hashable stored form."""
+    pairs = axes.items() if isinstance(axes, Mapping) else axes
+    out = []
+    for name, values in pairs:
+        if not isinstance(name, str):
+            raise CampaignError(f"axis names must be strings, got {name!r}")
+        normalized = []
+        for value in values:
+            if isinstance(value, list):
+                value = tuple(value)
+            if is_labeled_cell(value):
+                value = (value[0], dict(value[1]))
+            normalized.append(value)
+        out.append((name, tuple(normalized)))
+    return tuple(out)
+
+
+@dataclass(frozen=True)
+class SearchSpec:
+    """Declarative "maximal load meeting a target" directive (§5.2.1).
+
+    For every grid cell the executor binary-searches the largest integer
+    ``n`` in ``[lo, hi]`` for which the mean of ``metric`` over the
+    ``seeds`` replicas — each run with the cell's spec and the search
+    ``axis`` set to ``n`` (times ``scale`` when given, for axes like
+    arrival rates that move in steps) — stays at or above ``target``.
+    The reported value is ``n * scale``. ``grow=False`` caps the answer
+    at ``hi`` instead of growing the bracket geometrically.
+
+    ``require_deadlines`` makes a probe pass trivially when its built
+    workload contains no deadline-constrained flow (fig 5a's guard: with
+    nothing to miss, the throughput target is met by definition).
+    """
+
+    axis: str
+    target: float = 0.99
+    metric: str = "application_throughput"
+    seeds: Tuple[int, ...] = (1,)
+    lo: int = 1
+    hi: int = 64
+    grow: bool = True
+    scale: Optional[float] = None
+    require_deadlines: bool = False
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "seeds", tuple(self.seeds))
+
+    def canonical(self) -> Dict[str, Any]:
+        return {
+            "axis": self.axis,
+            "target": self.target,
+            "metric": self.metric,
+            "seeds": list(self.seeds),
+            "lo": self.lo,
+            "hi": self.hi,
+            "grow": self.grow,
+            "scale": self.scale,
+            "require_deadlines": self.require_deadlines,
+        }
+
+    _FIELDS = ("axis", "target", "metric", "seeds", "lo", "hi", "grow",
+               "scale", "require_deadlines")
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchSpec":
+        _check_fields("search directive", data, cls._FIELDS)
+        known = {f: data[f] for f in cls._FIELDS if f in data}
+        if "axis" not in known:
+            raise CampaignError("search directive needs an 'axis'")
+        return cls(**known)
+
+
+@dataclass(frozen=True)
+class Panel:
+    """One declarative figure panel.
+
+    Exactly one execution shape applies:
+
+    * *grid* — ``base`` + ``axes`` (or explicit ``specs``) expanded into
+      scenarios, executed through the ambient campaign runner, and
+      reduced by the registered ``reducer``;
+    * *search* — ``base`` + ``axes`` for the outer cells plus a
+      :class:`SearchSpec` run per cell; the reducer shapes the found
+      values;
+    * *custom* — a registered panel ``runner`` called with ``params``
+      (for panels that need in-run instrumentation the grid model cannot
+      express).
+
+    ``exclude`` drops grid cells whose axis display values match any of
+    the given mappings (fig 8's "TCP has no flow-level model" hole).
+    ``wraps``/``wraps_kwargs`` record the public wrapper function for
+    provenance and CLI listings; they do not affect the content hash.
+    """
+
+    name: str
+    title: str = ""
+    base: Optional[ScenarioSpec] = None
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    specs: Optional[Tuple[ScenarioSpec, ...]] = None
+    exclude: Tuple[Mapping[str, Any], ...] = ()
+    search: Optional[SearchSpec] = None
+    reducer: Optional[str] = None
+    reducer_params: Mapping[str, Any] = field(default_factory=dict)
+    runner: Optional[str] = None
+    params: Mapping[str, Any] = field(default_factory=dict)
+    wraps: str = ""
+    wraps_kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "axes", _axes_tuple(self.axes))
+        if self.specs is not None:
+            object.__setattr__(self, "specs", tuple(self.specs))
+        object.__setattr__(self, "exclude",
+                           tuple(dict(e) for e in self.exclude))
+        object.__setattr__(self, "reducer_params", dict(self.reducer_params))
+        object.__setattr__(self, "params", dict(self.params))
+        object.__setattr__(self, "wraps_kwargs", dict(self.wraps_kwargs))
+        if self.runner is not None:
+            if (self.base is not None or self.specs is not None
+                    or self.search is not None):
+                raise CampaignError(
+                    f"panel {self.name!r}: a custom runner panel declares "
+                    "no grid or search"
+                )
+            if self.reducer is not None or self.reducer_params:
+                raise CampaignError(
+                    f"panel {self.name!r}: a custom runner returns its "
+                    "result directly; reducer/reducer_params would be "
+                    "silently ignored"
+                )
+        elif self.search is not None:
+            if self.base is None or self.specs is not None:
+                raise CampaignError(
+                    f"panel {self.name!r}: a search panel needs a base "
+                    "spec (and no explicit spec list)"
+                )
+        elif self.base is None and self.specs is None:
+            raise CampaignError(
+                f"panel {self.name!r}: declare a grid (base/specs), a "
+                "search, or a custom runner"
+            )
+        if self.exclude:
+            if self.specs is not None:
+                raise CampaignError(
+                    f"panel {self.name!r}: exclude rules only apply to "
+                    "base+axes grids, not explicit spec lists"
+                )
+            axis_names = {name for name, _ in self.axes}
+            for rule in self.exclude:
+                unknown = sorted(set(rule) - axis_names)
+                if unknown:
+                    raise CampaignError(
+                        f"panel {self.name!r}: exclude rule names unknown "
+                        f"axis(es) {unknown}; declared axes: "
+                        f"{sorted(axis_names)}"
+                    )
+
+    @property
+    def kind(self) -> str:
+        if self.runner is not None:
+            return "custom"
+        return "search" if self.search is not None else "grid"
+
+    # -- grid expansion -----------------------------------------------------------
+
+    def cells(self) -> List[Tuple[Dict[str, Any], ScenarioSpec]]:
+        """``(combo, spec)`` grid cells; for search panels these are the
+        outer cells the directive runs once per."""
+        if self.runner is not None:
+            raise CampaignError(
+                f"panel {self.name!r} is a custom panel; it has no grid"
+            )
+        if self.specs is not None:
+            return [({}, spec) for spec in self.specs]
+        cells = expand_cells(self.base, dict(self.axes))
+        if self.exclude:
+            cells = [
+                (combo, spec) for combo, spec in cells
+                if not any(
+                    all(combo.get(k) == v for k, v in rule.items())
+                    for rule in self.exclude
+                )
+            ]
+        return cells
+
+    def expand(self) -> List[ScenarioSpec]:
+        return [spec for _, spec in self.cells()]
+
+    # -- identity -----------------------------------------------------------------
+
+    def canonical(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "base": self.base.canonical() if self.base else None,
+            "axes": [[name, list(values)] for name, values in self.axes],
+            "specs": ([s.canonical() for s in self.specs]
+                      if self.specs is not None else None),
+            "exclude": [dict(e) for e in self.exclude],
+            "search": self.search.canonical() if self.search else None,
+            "reducer": self.reducer,
+            "reducer_params": dict(self.reducer_params),
+            "runner": self.runner,
+            "params": dict(self.params),
+        }
+
+    @property
+    def key(self) -> str:
+        """Stable content hash of the canonical form."""
+        text = canonical_json(self.canonical())
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Panel":
+        _check_fields(
+            f"panel {data.get('name', '?')!r}", data,
+            ("name", "title", "base", "axes", "specs", "exclude",
+             "search", "reducer", "reducer_params", "runner", "params"),
+        )
+        if "name" not in data:
+            raise CampaignError("every panel needs a 'name'")
+        base = data.get("base")
+        specs = data.get("specs")
+        search = data.get("search")
+        return cls(
+            name=data["name"],
+            title=data.get("title", ""),
+            base=ScenarioSpec.from_dict(base) if base is not None else None,
+            axes=data.get("axes", ()),
+            specs=(tuple(ScenarioSpec.from_dict(s) for s in specs)
+                   if specs is not None else None),
+            exclude=tuple(data.get("exclude", ())),
+            search=(SearchSpec.from_dict(search)
+                    if search is not None else None),
+            reducer=data.get("reducer"),
+            reducer_params=data.get("reducer_params", {}),
+            runner=data.get("runner"),
+            params=data.get("params", {}),
+        )
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """An ordered set of panels plus metadata — one declared study."""
+
+    name: str
+    title: str = ""
+    panels: Tuple[Panel, ...] = ()
+    meta: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "panels", tuple(self.panels))
+        object.__setattr__(self, "meta", dict(self.meta))
+        if not self.panels:
+            raise CampaignError(f"experiment {self.name!r} has no panels")
+        names = [p.name for p in self.panels]
+        if len(set(names)) != len(names):
+            raise CampaignError(
+                f"experiment {self.name!r} has duplicate panel names"
+            )
+
+    def panel(self, name: str) -> Panel:
+        for panel in self.panels:
+            if panel.name == name:
+                return panel
+        raise CampaignError(
+            f"experiment {self.name!r} has no panel {name!r}; panels: "
+            f"{[p.name for p in self.panels]}"
+        )
+
+    def canonical(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "panels": [p.canonical() for p in self.panels],
+            "meta": dict(self.meta),
+        }
+
+    @property
+    def key(self) -> str:
+        text = canonical_json(self.canonical())
+        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+    def __hash__(self) -> int:
+        return hash(self.key)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "Experiment":
+        _check_fields("experiment", data,
+                      ("name", "experiment", "title", "panels", "meta"))
+        name = data.get("name") or data.get("experiment")
+        if not name:
+            raise CampaignError(
+                "an experiment file needs a 'name' (or 'experiment') field"
+            )
+        panels = data.get("panels")
+        if not panels:
+            raise CampaignError(f"experiment {name!r} declares no panels")
+        return cls(
+            name=name,
+            title=data.get("title", ""),
+            panels=tuple(Panel.from_dict(p) for p in panels),
+            meta=data.get("meta", {}),
+        )
+
+
+# -- execution ----------------------------------------------------------------------
+
+
+@dataclass
+class PanelRun:
+    """One executed panel, handed to its reducer.
+
+    ``rows`` holds ``(combo, spec, collector)`` per grid cell (in grid
+    order); ``found`` holds ``(combo, value)`` per search cell. Custom
+    panels never build a PanelRun.
+    """
+
+    panel: Panel
+    rows: List[Tuple[Dict[str, Any], ScenarioSpec, MetricsCollector]] = (
+        field(default_factory=list))
+    found: Optional[List[Tuple[Dict[str, Any], Any]]] = None
+
+    def axis_names(self) -> List[str]:
+        return [name for name, _ in self.panel.axes]
+
+    def axis_values(self, name: str) -> List[Any]:
+        """The display values declared for one axis, in order."""
+        for axis, values in self.panel.axes:
+            if axis == name:
+                return [display for display, _ in _axis_cells(axis, values)]
+        raise ExperimentError(
+            f"panel {self.panel.name!r} has no axis {name!r}; "
+            f"axes: {self.axis_names()}"
+        )
+
+    def cell_values(self, by: Sequence[str],
+                    metric: Optional[str]) -> Dict[Tuple[Any, ...], Any]:
+        """Group results ``by`` axes (first-seen order) and average the
+        grouped-out replicas: the named ``metric`` per collector for grid
+        panels, the searched value for search panels."""
+        by = list(by)
+        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+
+        def cell_of(combo: Dict[str, Any]) -> Tuple[Any, ...]:
+            try:
+                return tuple(combo[a] for a in by)
+            except KeyError as exc:
+                raise ExperimentError(
+                    f"panel {self.panel.name!r} has no axis {exc.args[0]!r};"
+                    f" axes: {self.axis_names()}"
+                ) from None
+
+        if self.found is not None:
+            for combo, value in self.found:
+                groups.setdefault(cell_of(combo), []).append(value)
+        else:
+            if metric is None:
+                raise ExperimentError("grid panels need a metric to reduce")
+            fn = collector_metric(metric)
+            for combo, _spec, collector in self.rows:
+                groups.setdefault(cell_of(combo), []).append(fn(collector))
+        return {
+            cell: values[0] if len(values) == 1 else mean(values)
+            for cell, values in groups.items()
+        }
+
+
+def _workload_has_deadlines(spec: ScenarioSpec) -> bool:
+    topology = spec.topology.build()
+    flows = spec.workload.build(topology, spec.seed)
+    return any(f.has_deadline for f in flows)
+
+
+def _run_grid(panel: Panel) -> PanelRun:
+    cells = panel.cells()
+    collectors = run_scenarios([spec for _, spec in cells])
+    return PanelRun(panel, rows=[
+        (combo, spec, collector)
+        for (combo, spec), collector in zip(cells, collectors)
+    ])
+
+
+def _run_search(panel: Panel) -> PanelRun:
+    search = panel.search
+    metric = collector_metric(search.metric)
+    found: List[Tuple[Dict[str, Any], Any]] = []
+    for combo, cell_base in panel.cells():
+
+        def meets_target(n: int, _base: ScenarioSpec = cell_base) -> bool:
+            value = n if search.scale is None else n * search.scale
+            probe_specs = []
+            for seed in search.seeds:
+                spec = _base.with_(seed=seed, **{search.axis: value})
+                if search.require_deadlines and \
+                        not _workload_has_deadlines(spec):
+                    return True
+                probe_specs.append(spec)
+            measured = [metric(c) for c in run_scenarios(probe_specs)]
+            return mean(measured) >= search.target
+
+        best = binary_search_max(meets_target, lo=search.lo, hi=search.hi,
+                                 grow=search.grow)
+        found.append(
+            (combo, best if search.scale is None else best * search.scale)
+        )
+    return PanelRun(panel, found=found)
+
+
+def run_panel(panel: Panel) -> Any:
+    """Execute one panel through the ambient campaign runner and return
+    its reduced result (custom panels return their runner's result)."""
+    if panel.runner is not None:
+        return panel_runner(panel.runner)(**dict(panel.params))
+    run = _run_search(panel) if panel.search is not None else _run_grid(panel)
+    reducer = get_reducer(panel.reducer or "table")
+    return reducer(run, **dict(panel.reducer_params))
+
+
+def run_experiment(experiment: Experiment) -> Dict[str, Any]:
+    """Run every panel in order; results keyed by panel name."""
+    return {panel.name: run_panel(panel) for panel in experiment.panels}
+
+
+# -- registries ---------------------------------------------------------------------
+
+_PANEL_RUNNERS: Dict[str, Callable[..., Any]] = {}
+_EXPERIMENTS: Dict[str, Experiment] = {}
+
+_modules_loaded = False
+
+
+def load_experiment_modules() -> None:
+    """Import every module that registers experiment-surface kinds
+    (the one module list lives in :mod:`repro.campaign.registry`;
+    loaded lazily on first registry miss — importing here would cycle).
+    """
+    from repro.campaign.registry import EXPERIMENT_MODULES
+
+    global _modules_loaded
+    if _modules_loaded:
+        return
+    for module in EXPERIMENT_MODULES:
+        importlib.import_module(module)
+    # only after every import succeeded: a transient failure must surface
+    # again on the next call, not decay into "unknown kind"
+    _modules_loaded = True
+
+
+def register_panel_runner(name: str) -> Callable:
+    """Decorator: register a custom panel runner under ``name``."""
+
+    def decorate(fn: Callable[..., Any]) -> Callable[..., Any]:
+        _PANEL_RUNNERS[name] = fn
+        return fn
+
+    return decorate
+
+
+def panel_runner_kinds() -> List[str]:
+    load_experiment_modules()
+    return sorted(_PANEL_RUNNERS)
+
+
+def panel_runner(name: str) -> Callable[..., Any]:
+    fn = _PANEL_RUNNERS.get(name)
+    if fn is None:
+        load_experiment_modules()
+        fn = _PANEL_RUNNERS.get(name)
+    if fn is None:
+        from repro.campaign.registry import unknown_kind
+
+        raise unknown_kind("panel runner", name, panel_runner_kinds())
+    return fn
+
+
+def bind_runner_params(runner: Callable[..., Any], args: Sequence[Any],
+                       kwargs: Mapping[str, Any]) -> Dict[str, Any]:
+    """Map a wrapper call's positional/keyword arguments onto a panel
+    runner's named parameters (``Panel.params`` is a mapping, so custom
+    panels would otherwise lose positional-call compatibility).
+    Unfilled parameters stay absent, leaving the runner's defaults in
+    charge."""
+    import inspect
+
+    bound = inspect.signature(runner).bind_partial(*args, **kwargs)
+    return dict(bound.arguments)
+
+
+def register_experiment(experiment: Experiment) -> Experiment:
+    """Register a declared experiment under its name (latest wins)."""
+    _EXPERIMENTS[experiment.name] = experiment
+    return experiment
+
+
+def experiment_kinds() -> List[str]:
+    load_experiment_modules()
+    return sorted(_EXPERIMENTS)
+
+
+def get_experiment(name: str) -> Experiment:
+    experiment = _EXPERIMENTS.get(name)
+    if experiment is None:
+        load_experiment_modules()
+        experiment = _EXPERIMENTS.get(name)
+    if experiment is None:
+        from repro.campaign.registry import unknown_kind
+
+        raise unknown_kind("experiment", name, experiment_kinds())
+    return experiment
+
+
+def figure_numbers() -> List[int]:
+    """The registered paper-figure numbers (``figN`` experiments)."""
+    numbers = []
+    for name in experiment_kinds():
+        if name.startswith("fig") and name[3:].isdigit():
+            numbers.append(int(name[3:]))
+    return sorted(numbers)
+
+
+# -- user-authored experiment files -------------------------------------------------
+
+
+def load_experiment(data: Mapping[str, Any]) -> Experiment:
+    """Build an Experiment from plain data (a parsed spec file)."""
+    return Experiment.from_dict(data)
+
+
+def load_experiment_file(path: str) -> Experiment:
+    """Load and parse a user-authored JSON experiment file."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            data = json.load(fh)
+    except OSError as exc:
+        raise CampaignError(f"cannot read experiment file {path}: {exc}")
+    except ValueError as exc:
+        raise CampaignError(f"{path} is not valid JSON: {exc}")
+    if not isinstance(data, Mapping):
+        raise CampaignError(f"{path}: top level must be a JSON object")
+    return load_experiment(data)
+
+
+def validate_experiment(experiment: Experiment) -> int:
+    """Resolve every name a declared experiment references — reducers,
+    metrics, panel runners, topology/workload/engine kinds — and expand
+    its grids, without executing anything. Returns the number of
+    scenarios a (non-search) full run would submit. Raises
+    :class:`CampaignError` with a close-match hint on the first unknown
+    kind, which makes it the ``run-spec --dry-run`` schema check."""
+    from repro.campaign.registry import validate_spec_kinds
+
+    n_scenarios = 0
+    for panel in experiment.panels:
+        if panel.runner is not None:
+            panel_runner(panel.runner)
+            continue
+        get_reducer(panel.reducer or "table")
+        cells = panel.cells()
+        for _combo, spec in cells:
+            validate_spec_kinds(spec)
+        if panel.search is not None:
+            search = panel.search
+            collector_metric(search.metric)
+            if cells:
+                probe = search.lo if search.scale is None \
+                    else search.lo * search.scale
+                # prove the search axis is assignable on this grid
+                cells[0][1].with_(seed=search.seeds[0],
+                                  **{search.axis: probe})
+        else:
+            n_scenarios += len(cells)
+    return n_scenarios

@@ -8,6 +8,9 @@ uniform and Pareto(1.1) size distributions. Schemes:
 * PDQ with Flow Size Estimation (criticality = bytes sent, updated every
   50 KB),
 * RCP as the fair-sharing reference.
+
+The scheme axis is a *labeled* grid axis (each label bundles a protocol
+with its engine options), reduced by the generic ``series`` reducer.
 """
 
 from __future__ import annotations
@@ -19,11 +22,15 @@ from repro.campaign import (
     TopologySpec,
     WorkloadSpec,
     register_workload,
-    run_scenarios,
+)
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    register_experiment,
+    run_panel,
 )
 from repro.units import KBYTE
 from repro.utils.rng import spawn_rng
-from repro.utils.stats import mean
 from repro.workload.flow import FlowSpec
 from repro.workload.patterns import aggregation_flows
 from repro.workload.sizes import pareto_sizes, uniform_sizes
@@ -32,12 +39,14 @@ SCHEMES = ("PDQ perfect", "PDQ random", "PDQ estimation", "RCP")
 N_SENDERS = 10
 TOPOLOGY = TopologySpec("single_bottleneck", {"n_senders": N_SENDERS})
 
-#: scheme name -> (protocol, engine options)
-_SCHEME_RUNS = {
-    "PDQ perfect": ("PDQ(Full)", {}),
-    "PDQ random": ("PDQ(Full)", {"criticality_mode": "random"}),
-    "PDQ estimation": ("PDQ(Full)", {"criticality_mode": "estimate"}),
-    "RCP": ("RCP", {}),
+#: scheme name -> spec-axis assignments (protocol + engine options)
+_SCHEME_AXES = {
+    "PDQ perfect": {"protocol": "PDQ(Full)"},
+    "PDQ random": {"protocol": "PDQ(Full)",
+                   "options.criticality_mode": "random"},
+    "PDQ estimation": {"protocol": "PDQ(Full)",
+                       "options.criticality_mode": "estimate"},
+    "RCP": {"protocol": "RCP"},
 }
 
 
@@ -60,44 +69,51 @@ def _build_workload(topology, seed: int, dist: str, n_flows: int,
     return _workload(dist, n_flows, seed, mean_size)
 
 
-def _scheme_spec(scheme: str, dist: str, n_flows: int, seed: int,
-                 mean_size: float) -> ScenarioSpec:
-    try:
-        protocol, options = _SCHEME_RUNS[scheme]
-    except KeyError:
-        raise ValueError(f"unknown scheme {scheme!r}") from None
-    return ScenarioSpec(
-        protocol=protocol,
-        topology=TOPOLOGY,
-        workload=WorkloadSpec("fig10.aggregation", {
-            "dist": dist,
-            "n_flows": n_flows,
-            "mean_size": mean_size,
-        }),
-        engine="flow",
-        seed=seed,
-        options=options,
+def _scheme_axis(schemes: Sequence[str]) -> tuple:
+    cells = []
+    for scheme in schemes:
+        try:
+            cells.append((scheme, _SCHEME_AXES[scheme]))
+        except KeyError:
+            raise ValueError(f"unknown scheme {scheme!r}") from None
+    return tuple(cells)
+
+
+def fig10_panel(distributions: Sequence[str] = ("uniform", "pareto"),
+                schemes: Sequence[str] = SCHEMES,
+                seeds: Sequence[int] = tuple(range(1, 9)),
+                n_flows: int = 10,
+                mean_size: float = 100 * KBYTE) -> Panel:
+    return Panel(
+        name="fig10",
+        title="mean FCT per scheme under inaccurate flow information",
+        base=ScenarioSpec(
+            protocol="PDQ(Full)",
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("fig10.aggregation", {
+                "dist": distributions[0],
+                "n_flows": n_flows,
+                "mean_size": mean_size,
+            }),
+            engine="flow",
+        ),
+        axes=(("workload.dist", tuple(distributions)),
+              ("scheme", _scheme_axis(schemes)),
+              ("seed", tuple(seeds))),
+        reducer="series",
+        reducer_params={"series": "workload.dist", "x": "scheme",
+                        "metric": "mean_fct"},
+        wraps="repro.experiments.fig10:run_fig10",
     )
 
 
-def run_fig10(distributions: Sequence[str] = ("uniform", "pareto"),
-              schemes: Sequence[str] = SCHEMES,
-              seeds: Sequence[int] = tuple(range(1, 9)),
-              n_flows: int = 10,
-              mean_size: float = 100 * KBYTE) -> Dict[str, Dict[str, float]]:
+def run_fig10(*args, **kwargs) -> Dict[str, Dict[str, float]]:
     """Mean FCT (seconds) per scheme per size distribution."""
-    grid = [(dist, scheme, s)
-            for dist in distributions for scheme in schemes for s in seeds]
-    collectors = run_scenarios(
-        _scheme_spec(scheme, dist, n_flows, s, mean_size)
-        for (dist, scheme, s) in grid
-    )
-    by_cell: Dict[tuple, List[float]] = {}
-    for (dist, scheme, _s), metrics in zip(grid, collectors):
-        by_cell.setdefault((dist, scheme), []).append(metrics.mean_fct())
-    results: Dict[str, Dict[str, float]] = {}
-    for dist in distributions:
-        results[dist] = {
-            scheme: mean(by_cell[(dist, scheme)]) for scheme in schemes
-        }
-    return results
+    return run_panel(fig10_panel(*args, **kwargs))
+
+
+register_experiment(Experiment(
+    name="fig10",
+    title="resilience to inaccurate flow information",
+    panels=(fig10_panel(),),
+))

@@ -3,6 +3,10 @@
 (a) mean FCT vs load (fraction of sending hosts): PDQ vs M-PDQ(3 subflows)
 (b) mean FCT vs number of subflows at full load
 (c) max deadline flows at 99 % application throughput vs subflows
+
+The PDQ/M-PDQ choice rides a *labeled* axis (1 subflow means single-path
+PDQ, so the protocol and ``n_subflows`` option vary together); all three
+panels are declarative grids/searches on the Experiment API.
 """
 
 from __future__ import annotations
@@ -14,13 +18,17 @@ from repro.campaign import (
     TopologySpec,
     WorkloadSpec,
     register_workload,
-    run_scenarios,
 )
-from repro.experiments.search import binary_search_max
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    SearchSpec,
+    register_experiment,
+    run_panel,
+)
 from repro.topology.bcube import BCube
 from repro.units import KBYTE, MSEC
 from repro.utils.rng import spawn_rng
-from repro.utils.stats import mean
 from repro.workload.deadlines import exponential_deadlines
 from repro.workload.flow import FlowSpec
 from repro.workload.sizes import uniform_sizes
@@ -67,60 +75,6 @@ def _build_permutation_subset(topology, seed: int, load: float,
                                topo=topology)
 
 
-def _subset_spec(protocol: str, load: float, seed: int, mean_size: float,
-                 n_subflows: int) -> ScenarioSpec:
-    return ScenarioSpec(
-        protocol=protocol,
-        topology=TOPOLOGY,
-        workload=WorkloadSpec("fig11.permutation_subset", {
-            "load": load,
-            "mean_size": mean_size,
-        }),
-        engine="packet",
-        seed=seed,
-        sim_deadline=4.0,
-        options={"n_subflows": n_subflows},
-    )
-
-
-def run_fig11a(loads: Sequence[float] = (0.25, 0.5, 1.0),
-               seeds: Sequence[int] = (1, 2),
-               mean_size: float = 1000 * KBYTE,
-               n_subflows: int = 3) -> Dict[str, Dict[float, float]]:
-    """Mean FCT (seconds) vs load for PDQ and M-PDQ."""
-    results: Dict[str, Dict[float, float]] = {"PDQ": {}, "M-PDQ": {}}
-    names = (("PDQ", "PDQ(Full)"), ("M-PDQ", "M-PDQ"))
-    grid = [(load, name, protocol, s)
-            for load in loads for (name, protocol) in names for s in seeds]
-    collectors = run_scenarios(
-        _subset_spec(protocol, load, s, mean_size, n_subflows)
-        for (load, _name, protocol, s) in grid
-    )
-    by_cell: Dict[tuple, List[float]] = {}
-    for (load, name, _p, _s), metrics in zip(grid, collectors):
-        by_cell.setdefault((name, load), []).append(metrics.mean_fct())
-    for (name, load), values in by_cell.items():
-        results[name][load] = mean(values)
-    return results
-
-
-def run_fig11b(subflow_counts: Sequence[int] = (1, 2, 3, 4, 6, 8),
-               seeds: Sequence[int] = (1, 2),
-               mean_size: float = 1000 * KBYTE) -> Dict[int, float]:
-    """Mean FCT (seconds) vs number of subflows at 100 % load; 1 subflow
-    means single-path PDQ."""
-    grid = [(count, s) for count in subflow_counts for s in seeds]
-    collectors = run_scenarios(
-        _subset_spec("PDQ(Full)" if count == 1 else "M-PDQ", 1.0, s,
-                     mean_size, count)
-        for (count, s) in grid
-    )
-    by_count: Dict[int, List[float]] = {}
-    for (count, _s), metrics in zip(grid, collectors):
-        by_count.setdefault(count, []).append(metrics.mean_fct())
-    return {count: mean(values) for count, values in by_count.items()}
-
-
 @register_workload("fig11.random_pairs")
 def _build_random_pairs(topology, seed: int, n_flows: int, mean_size: float,
                         mean_deadline: float) -> List[FlowSpec]:
@@ -140,40 +94,120 @@ def _build_random_pairs(topology, seed: int, n_flows: int, mean_size: float,
     return flows
 
 
-def run_fig11c(subflow_counts: Sequence[int] = (1, 2, 4),
-               seeds: Sequence[int] = (1,),
-               mean_size: float = 1000 * KBYTE,
-               mean_deadline: float = 30 * MSEC,
-               target: float = 0.99,
-               hi: int = 32) -> Dict[int, int]:
-    """Max deadline flows at 99 % application throughput vs subflows.
+def _subflow_axis(counts: Sequence[int]) -> tuple:
+    """Labeled axis: 1 subflow = single-path PDQ, more = M-PDQ."""
+    return tuple(
+        (count, {"protocol": "PDQ(Full)" if count == 1 else "M-PDQ",
+                 "options.n_subflows": count})
+        for count in counts
+    )
 
-    The flow count is swept by running multiple permutation rounds over a
-    random host subset (more flows than hosts reuse senders)."""
-    results: Dict[int, int] = {}
-    for count in subflow_counts:
-        protocol = "PDQ(Full)" if count == 1 else "M-PDQ"
 
-        def ok(n: int, _p=protocol, _c=count) -> bool:
-            collectors = run_scenarios(
-                ScenarioSpec(
-                    protocol=_p,
-                    topology=TOPOLOGY,
-                    workload=WorkloadSpec("fig11.random_pairs", {
-                        "n_flows": n,
-                        "mean_size": mean_size,
-                        "mean_deadline": mean_deadline,
-                    }),
-                    engine="packet",
-                    seed=s,
-                    sim_deadline=2.0,
-                    options={"n_subflows": _c},
-                )
-                for s in seeds
-            )
-            return mean(
-                m.application_throughput() for m in collectors
-            ) >= target
+def fig11a_panel(loads: Sequence[float] = (0.25, 0.5, 1.0),
+                 seeds: Sequence[int] = (1, 2),
+                 mean_size: float = 1000 * KBYTE,
+                 n_subflows: int = 3) -> Panel:
+    return Panel(
+        name="fig11a",
+        title="mean FCT vs load: PDQ vs M-PDQ",
+        base=ScenarioSpec(
+            protocol="PDQ(Full)",
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("fig11.permutation_subset", {
+                "load": loads[0],
+                "mean_size": mean_size,
+            }),
+            engine="packet",
+            sim_deadline=4.0,
+            options={"n_subflows": n_subflows},
+        ),
+        axes=(("workload.load", tuple(loads)),
+              ("scheme", (("PDQ", {"protocol": "PDQ(Full)"}),
+                          ("M-PDQ", {"protocol": "M-PDQ"}))),
+              ("seed", tuple(seeds))),
+        reducer="series",
+        reducer_params={"series": "scheme", "x": "workload.load",
+                        "metric": "mean_fct"},
+        wraps="repro.experiments.fig11:run_fig11a",
+    )
 
-        results[count] = binary_search_max(ok, hi=hi)
-    return results
+
+def fig11b_panel(subflow_counts: Sequence[int] = (1, 2, 3, 4, 6, 8),
+                 seeds: Sequence[int] = (1, 2),
+                 mean_size: float = 1000 * KBYTE) -> Panel:
+    return Panel(
+        name="fig11b",
+        title="mean FCT vs number of subflows at full load",
+        base=ScenarioSpec(
+            protocol="PDQ(Full)",
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("fig11.permutation_subset", {
+                "load": 1.0,
+                "mean_size": mean_size,
+            }),
+            engine="packet",
+            sim_deadline=4.0,
+            options={"n_subflows": subflow_counts[0]},
+        ),
+        axes=(("subflows", _subflow_axis(subflow_counts)),
+              ("seed", tuple(seeds))),
+        reducer="series",
+        reducer_params={"x": "subflows", "metric": "mean_fct"},
+        wraps="repro.experiments.fig11:run_fig11b",
+    )
+
+
+def fig11c_panel(subflow_counts: Sequence[int] = (1, 2, 4),
+                 seeds: Sequence[int] = (1,),
+                 mean_size: float = 1000 * KBYTE,
+                 mean_deadline: float = 30 * MSEC,
+                 target: float = 0.99,
+                 hi: int = 32) -> Panel:
+    # the flow count is swept by running multiple permutation rounds over
+    # a random host subset (more flows than hosts reuse senders)
+    return Panel(
+        name="fig11c",
+        title="max deadline flows at 99 % throughput vs subflows",
+        base=ScenarioSpec(
+            protocol="PDQ(Full)",
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("fig11.random_pairs", {
+                "n_flows": 1,
+                "mean_size": mean_size,
+                "mean_deadline": mean_deadline,
+            }),
+            engine="packet",
+            sim_deadline=2.0,
+            options={"n_subflows": subflow_counts[0]},
+        ),
+        axes=(("subflows", _subflow_axis(subflow_counts)),),
+        search=SearchSpec(axis="workload.n_flows", target=target,
+                          metric="application_throughput",
+                          seeds=tuple(seeds), hi=hi),
+        reducer="series",
+        reducer_params={"x": "subflows"},
+        wraps="repro.experiments.fig11:run_fig11c",
+    )
+
+
+def run_fig11a(*args, **kwargs) -> Dict[str, Dict[float, float]]:
+    """Mean FCT (seconds) vs load for PDQ and M-PDQ."""
+    return run_panel(fig11a_panel(*args, **kwargs))
+
+
+def run_fig11b(*args, **kwargs) -> Dict[int, float]:
+    """Mean FCT (seconds) vs number of subflows at 100 % load; 1 subflow
+    means single-path PDQ."""
+    return run_panel(fig11b_panel(*args, **kwargs))
+
+
+def run_fig11c(*args, **kwargs) -> Dict[int, int]:
+    """Max deadline flows at 99 % application throughput vs subflows."""
+    return run_panel(fig11c_panel(*args, **kwargs))
+
+
+register_experiment(Experiment(
+    name="fig11",
+    title="multipath PDQ on BCube(2,3)",
+    panels=(fig11a_panel(), fig11b_panel(), fig11c_panel()),
+))

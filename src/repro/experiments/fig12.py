@@ -12,6 +12,10 @@ reference.
 The paper measures t in units of 100 ms against ~100 ms worst-case FCTs;
 reduced-scale runs have ~10x smaller FCTs, so ``aging_time_unit`` defaults
 to 10 ms to preserve the dimensionless shape.
+
+The RCP reference and the PDQ aging sweep are one *labeled* axis — a
+non-cartesian grid (RCP takes no aging options) the Experiment API
+expresses directly.
 """
 
 from __future__ import annotations
@@ -23,9 +27,15 @@ from repro.campaign import (
     TopologySpec,
     WorkloadSpec,
     register_workload,
-    run_scenarios,
+)
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    register_experiment,
+    run_panel,
 )
 from repro.experiments.fig8 import topology_for
+from repro.experiments.reducers import register_reducer
 from repro.units import GBPS, KBYTE
 from repro.utils.rng import spawn_rng
 from repro.utils.stats import mean
@@ -66,21 +76,45 @@ def _build_workload(topology, seed: int, duration: float,
                                mean_size)
 
 
-def run_fig12(aging_rates: Sequence[float] = (0.0, 2.0, 6.0, 10.0),
-              seeds: Sequence[int] = (1, 2),
-              n_servers: int = 16,
-              duration: float = 0.04,
-              load: float = 0.85,
-              mean_size: float = 100 * KBYTE,
-              aging_time_unit: float = 0.01) -> Dict[str, Dict[float, float]]:
-    """Max and mean FCT (seconds) vs aging rate, plus RCP references."""
+@register_reducer("fig12.aging_table")
+def _reduce_aging(run) -> dict:
+    """Max/mean FCT per aging rate plus the flat RCP reference rows."""
+    aging_rates = [v for v in run.axis_values("variant") if v != "RCP"]
+    by_variant: Dict[object, List] = {}
+    for combo, _spec, metrics in run.rows:
+        by_variant.setdefault(combo["variant"], []).append(metrics)
+    rcp_max = mean(m.max_fct() for m in by_variant["RCP"])
+    rcp_mean = mean(m.mean_fct() for m in by_variant["RCP"])
     results: Dict[str, Dict[float, float]] = {
         "PDQ max": {}, "PDQ mean": {}, "RCP max": {}, "RCP mean": {},
     }
+    for alpha in aging_rates:
+        runs = by_variant[alpha]
+        results["PDQ max"][alpha] = mean(m.max_fct() for m in runs)
+        results["PDQ mean"][alpha] = mean(m.mean_fct() for m in runs)
+        results["RCP max"][alpha] = rcp_max
+        results["RCP mean"][alpha] = rcp_mean
+    return results
 
-    def _spec(protocol: str, seed: int, options: Dict) -> ScenarioSpec:
-        return ScenarioSpec(
-            protocol=protocol,
+
+def fig12_panel(aging_rates: Sequence[float] = (0.0, 2.0, 6.0, 10.0),
+                seeds: Sequence[int] = (1, 2),
+                n_servers: int = 16,
+                duration: float = 0.04,
+                load: float = 0.85,
+                mean_size: float = 100 * KBYTE,
+                aging_time_unit: float = 0.01) -> Panel:
+    variant_axis = (("RCP", {"protocol": "RCP"}),) + tuple(
+        (alpha, {"protocol": "PDQ(Full)",
+                 "options.aging_rate": alpha,
+                 "options.aging_time_unit": aging_time_unit})
+        for alpha in aging_rates
+    )
+    return Panel(
+        name="fig12",
+        title="flow aging prevents starvation",
+        base=ScenarioSpec(
+            protocol="RCP",
             topology=TopologySpec("fattree", {"n_servers": n_servers}),
             workload=WorkloadSpec("fig12.poisson_pairs", {
                 "duration": duration,
@@ -88,32 +122,21 @@ def run_fig12(aging_rates: Sequence[float] = (0.0, 2.0, 6.0, 10.0),
                 "mean_size": mean_size,
             }),
             engine="flow",
-            seed=seed,
             sim_deadline=20.0,
-            options=options,
-        )
-
-    grid = [("RCP", None, s) for s in seeds] + [
-        ("PDQ(Full)", alpha, s) for alpha in aging_rates for s in seeds
-    ]
-    collectors = run_scenarios(
-        _spec(
-            protocol, s,
-            {} if alpha is None else {"aging_rate": alpha,
-                                      "aging_time_unit": aging_time_unit},
-        )
-        for (protocol, alpha, s) in grid
+        ),
+        axes=(("variant", variant_axis), ("seed", tuple(seeds))),
+        reducer="fig12.aging_table",
+        wraps="repro.experiments.fig12:run_fig12",
     )
-    by_cell: Dict[object, List] = {}
-    for (protocol, alpha, _s), metrics in zip(grid, collectors):
-        by_cell.setdefault(alpha if protocol != "RCP" else "RCP",
-                           []).append(metrics)
-    rcp_max = mean(m.max_fct() for m in by_cell["RCP"])
-    rcp_mean = mean(m.mean_fct() for m in by_cell["RCP"])
-    for alpha in aging_rates:
-        runs = by_cell[alpha]
-        results["PDQ max"][alpha] = mean(m.max_fct() for m in runs)
-        results["PDQ mean"][alpha] = mean(m.mean_fct() for m in runs)
-        results["RCP max"][alpha] = rcp_max
-        results["RCP mean"][alpha] = rcp_mean
-    return results
+
+
+def run_fig12(*args, **kwargs) -> Dict[str, Dict[float, float]]:
+    """Max and mean FCT (seconds) vs aging rate, plus RCP references."""
+    return run_panel(fig12_panel(*args, **kwargs))
+
+
+register_experiment(Experiment(
+    name="fig12",
+    title="flow aging prevents starvation",
+    panels=(fig12_panel(),),
+))

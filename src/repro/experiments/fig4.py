@@ -5,27 +5,34 @@
 (b) no deadlines: mean FCT normalized to PDQ(Full)
 
 Patterns: Aggregation, Stride(1), Stride(N/2), Staggered Prob(0.7),
-Staggered Prob(0.3), Random Permutation.
+Staggered Prob(0.3), Random Permutation. Both panels are declared
+through the Experiment API; ``run_fig4a``/``run_fig4b`` are thin
+wrappers kept for their historical signatures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.campaign import (
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
     register_workload,
-    run_scenarios,
 )
 from repro.errors import ExperimentError
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    SearchSpec,
+    register_experiment,
+    run_panel,
+)
+from repro.experiments.reducers import register_reducer
 from repro.experiments.scenario import normalize
-from repro.experiments.search import binary_search_max
 from repro.topology.single_rooted import SingleRootedTree
 from repro.units import KBYTE, MSEC
 from repro.utils.rng import spawn_rng
-from repro.utils.stats import mean
 from repro.workload.deadlines import exponential_deadlines
 from repro.workload.flow import FlowSpec
 from repro.workload.patterns import (
@@ -94,11 +101,11 @@ def _build_pattern(topology, seed: int, pattern: str, n_flows: int,
     return pattern_flows(pattern, n_flows, seed, mean_size, mean_deadline)
 
 
-def _spec(protocol: str, pattern: str, n_flows: int, seed: int,
-          mean_deadline: Optional[float],
-          sim_deadline: float) -> ScenarioSpec:
+def _base_spec(pattern: str, n_flows: int,
+               mean_deadline: Optional[float],
+               sim_deadline: float) -> ScenarioSpec:
     return ScenarioSpec(
-        protocol=protocol,
+        protocol=DEFAULT_PROTOCOLS[0],
         topology=TOPOLOGY,
         workload=WorkloadSpec("fig4.pattern", {
             "pattern": pattern,
@@ -106,50 +113,75 @@ def _spec(protocol: str, pattern: str, n_flows: int, seed: int,
             "mean_deadline": mean_deadline,
         }),
         engine="packet",
-        seed=seed,
         sim_deadline=sim_deadline,
     )
 
 
-def run_fig4a(patterns: Sequence[str] = PATTERNS,
-              protocols: Sequence[str] = DEFAULT_PROTOCOLS,
-              seeds: Sequence[int] = (1,),
-              mean_deadline: float = 20 * MSEC,
-              target: float = 0.99,
-              hi: int = 32) -> Dict[str, Dict[str, float]]:
-    """Normalized max flows at 99 % application throughput."""
-    results: Dict[str, Dict[str, float]] = {}
-    for pattern in patterns:
-        absolute: Dict[str, float] = {}
-        for protocol in protocols:
-            def ok(n: int, _p=protocol, _pat=pattern) -> bool:
-                collectors = run_scenarios(
-                    _spec(_p, _pat, n, seed, mean_deadline, 2.0)
-                    for seed in seeds
-                )
-                values = [m.application_throughput() for m in collectors]
-                return mean(values) >= target
-
-            absolute[protocol] = binary_search_max(ok, hi=hi)
-        results[pattern] = normalize(absolute, "PDQ(Full)")
+@register_reducer("fig4.normalized")
+def _reduce_normalized(run, metric: str = "mean_fct",
+                       reference: str = "PDQ(Full)") -> dict:
+    """{pattern: {protocol: value normalized to the reference protocol}};
+    grid panels reduce ``metric``, search panels the found maxima."""
+    cells = run.cell_values(("workload.pattern", "protocol"), metric)
+    results = {}
+    for pattern in run.axis_values("workload.pattern"):
+        absolute = {
+            protocol: cells[(pattern, protocol)]
+            for protocol in run.axis_values("protocol")
+        }
+        results[pattern] = normalize(absolute, reference)
     return results
 
 
-def run_fig4b(patterns: Sequence[str] = PATTERNS,
-              protocols: Sequence[str] = DEFAULT_PROTOCOLS,
-              seeds: Sequence[int] = (1, 2),
-              n_flows: int = 12) -> Dict[str, Dict[str, float]]:
-    """Mean FCT normalized to PDQ(Full), deadline-unconstrained."""
-    grid = [(pattern, p, s)
-            for pattern in patterns for p in protocols for s in seeds]
-    collectors = run_scenarios(
-        _spec(p, pattern, n_flows, s, None, 4.0) for (pattern, p, s) in grid
+def fig4a_panel(patterns: Sequence[str] = PATTERNS,
+                protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+                seeds: Sequence[int] = (1,),
+                mean_deadline: float = 20 * MSEC,
+                target: float = 0.99,
+                hi: int = 32) -> Panel:
+    return Panel(
+        name="fig4a",
+        title="normalized max flows at 99 % application throughput",
+        base=_base_spec(patterns[0], 1, mean_deadline, 2.0),
+        axes=(("workload.pattern", tuple(patterns)),
+              ("protocol", tuple(protocols))),
+        search=SearchSpec(axis="workload.n_flows", target=target,
+                          metric="application_throughput",
+                          seeds=tuple(seeds), hi=hi),
+        reducer="fig4.normalized",
+        wraps="repro.experiments.fig4:run_fig4a",
     )
-    by_cell: Dict[tuple, List[float]] = {}
-    for (pattern, p, _s), metrics in zip(grid, collectors):
-        by_cell.setdefault((pattern, p), []).append(metrics.mean_fct())
-    results: Dict[str, Dict[str, float]] = {}
-    for pattern in patterns:
-        absolute = {p: mean(by_cell[(pattern, p)]) for p in protocols}
-        results[pattern] = normalize(absolute, "PDQ(Full)")
-    return results
+
+
+def fig4b_panel(patterns: Sequence[str] = PATTERNS,
+                protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+                seeds: Sequence[int] = (1, 2),
+                n_flows: int = 12) -> Panel:
+    return Panel(
+        name="fig4b",
+        title="mean FCT normalized to PDQ(Full), no deadlines",
+        base=_base_spec(patterns[0], n_flows, None, 4.0),
+        axes=(("workload.pattern", tuple(patterns)),
+              ("protocol", tuple(protocols)),
+              ("seed", tuple(seeds))),
+        reducer="fig4.normalized",
+        reducer_params={"metric": "mean_fct"},
+        wraps="repro.experiments.fig4:run_fig4b",
+    )
+
+
+def run_fig4a(*args, **kwargs):
+    """Normalized max flows at 99 % application throughput."""
+    return run_panel(fig4a_panel(*args, **kwargs))
+
+
+def run_fig4b(*args, **kwargs):
+    """Mean FCT normalized to PDQ(Full), deadline-unconstrained."""
+    return run_panel(fig4b_panel(*args, **kwargs))
+
+
+register_experiment(Experiment(
+    name="fig4",
+    title="sending patterns on the 12-server tree",
+    panels=(fig4a_panel(), fig4b_panel()),
+))

@@ -5,21 +5,31 @@
 (b) VL2-like workload: long-flow FCT normalized to PDQ(Full)
 (c) EDU1-like workload (synthetic trace -> Bro-like summaries): FCT
     normalized to PDQ(Full)
+
+All three panels are declared through the Experiment API; the
+``run_fig5*`` functions are thin wrappers kept for their historical
+signatures.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import List, Sequence
 
 from repro.campaign import (
     ScenarioSpec,
     TopologySpec,
     WorkloadSpec,
     register_workload,
-    run_scenarios,
 )
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    SearchSpec,
+    register_experiment,
+    run_panel,
+)
+from repro.experiments.reducers import register_reducer
 from repro.experiments.scenario import normalize
-from repro.experiments.search import binary_search_max
 from repro.topology.single_rooted import SingleRootedTree
 from repro.units import KBYTE, MSEC
 from repro.utils.rng import spawn_rng
@@ -78,10 +88,10 @@ def _build_edu1(topology, seed: int, duration: float,
     return edu1_flow_summaries(hosts, duration, flows_per_second, rng=seed)
 
 
-def _vl2_spec(protocol: str, rate_per_sec: float, duration: float, seed: int,
-              mean_deadline: float, sim_deadline: float) -> ScenarioSpec:
+def _vl2_base(rate_per_sec: float, duration: float, mean_deadline: float,
+              sim_deadline: float) -> ScenarioSpec:
     return ScenarioSpec(
-        protocol=protocol,
+        protocol=DEFAULT_PROTOCOLS[0],
         topology=TOPOLOGY,
         workload=WorkloadSpec("fig5.vl2", {
             "rate_per_sec": rate_per_sec,
@@ -89,94 +99,119 @@ def _vl2_spec(protocol: str, rate_per_sec: float, duration: float, seed: int,
             "mean_deadline": mean_deadline,
         }),
         engine="packet",
-        seed=seed,
         sim_deadline=sim_deadline,
     )
 
 
-def run_fig5a(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
-              protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP", "TCP"),
-              seeds: Sequence[int] = (1,),
-              duration: float = 0.04,
-              rate_step: float = 1000.0,
-              hi_steps: int = 10,
-              target: float = 0.99) -> Dict[str, Dict[float, float]]:
-    """Sustainable arrival rate (flows/sec) at 99 % application throughput
-    of the deadline-constrained short flows. The search is capped at
-    ``hi_steps * rate_step`` (the offered load already far exceeds the
-    fabric there)."""
-    results: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
-    for deadline in mean_deadlines:
-        for protocol in protocols:
-            def ok(steps: int, _p=protocol, _d=deadline) -> bool:
-                # building the workload is cheap; simulating it is not,
-                # so the no-deadline early exit stays driver-side
-                specs = []
-                for seed in seeds:
-                    flows = vl2_workload(steps * rate_step, duration, seed,
-                                         mean_deadline=_d)
-                    if not any(f.has_deadline for f in flows):
-                        return True
-                    specs.append(_vl2_spec(_p, steps * rate_step, duration,
-                                           seed, _d, duration + 1.0))
-                values = [
-                    m.application_throughput() for m in run_scenarios(specs)
-                ]
-                return mean(values) >= target
+@register_reducer("fig5.long_fct")
+def _reduce_long_fct(run, long_cutoff: int = 100 * KBYTE,
+                     reference: str = "PDQ(Full)") -> dict:
+    """Long-flow mean FCT per protocol, normalized to the reference.
 
-            steps = binary_search_max(ok, hi=hi_steps, grow=False)
-            results[protocol][deadline] = steps * rate_step
-    return results
-
-
-def run_fig5b(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
-              seeds: Sequence[int] = (1, 2),
-              rate_per_sec: float = 2000.0,
-              duration: float = 0.03,
-              long_cutoff: int = 100 * KBYTE) -> Dict[str, float]:
-    """Long-flow mean FCT normalized to PDQ(Full) under the VL2 mix."""
-    grid = [(p, s) for p in protocols for s in seeds]
-    collectors = run_scenarios(
-        _vl2_spec(p, rate_per_sec, duration, s, 20 * MSEC, duration + 2.0)
-        for (p, s) in grid
-    )
-    by_protocol: Dict[str, List[float]] = {}
-    for (p, _s), metrics in zip(grid, collectors):
-        # the collector carries each FlowSpec, so the long-flow subset
-        # needs no driver-side workload rebuild
+    The collector carries each FlowSpec, so the long-flow subset needs
+    no driver-side workload rebuild."""
+    by_protocol = {}
+    for combo, _spec, metrics in run.rows:
         long_fids = [
             r.spec.fid for r in metrics.all_records()
             if r.spec.size_bytes >= long_cutoff
         ]
-        by_protocol.setdefault(p, []).append(
+        by_protocol.setdefault(combo["protocol"], []).append(
             metrics.mean_fct(only=long_fids)
         )
     absolute = {p: mean(values) for p, values in by_protocol.items()}
-    return normalize(absolute, "PDQ(Full)")
+    return normalize(absolute, reference)
 
 
-def run_fig5c(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
-              seeds: Sequence[int] = (1, 2),
-              duration: float = 0.05,
-              flows_per_second: float = 2000.0) -> Dict[str, float]:
-    """EDU1-like trace-driven workload: mean FCT normalized to PDQ(Full)."""
-    grid = [(p, s) for p in protocols for s in seeds]
-    collectors = run_scenarios(
-        ScenarioSpec(
-            protocol=p,
+def fig5a_panel(mean_deadlines: Sequence[float] = (20 * MSEC, 40 * MSEC),
+                protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP", "TCP"),
+                seeds: Sequence[int] = (1,),
+                duration: float = 0.04,
+                rate_step: float = 1000.0,
+                hi_steps: int = 10,
+                target: float = 0.99) -> Panel:
+    # the search is capped at hi_steps * rate_step (grow=False): the
+    # offered load already far exceeds the fabric there. A probe whose
+    # workload draws no deadline flow passes trivially
+    # (require_deadlines), keeping the no-deadline early exit
+    # driver-side where building the workload is cheap.
+    return Panel(
+        name="fig5a",
+        title="sustainable arrival rate at 99 % application throughput",
+        base=_vl2_base(rate_step, duration, mean_deadlines[0],
+                       duration + 1.0),
+        axes=(("workload.mean_deadline", tuple(mean_deadlines)),
+              ("protocol", tuple(protocols))),
+        search=SearchSpec(axis="workload.rate_per_sec", target=target,
+                          metric="application_throughput",
+                          seeds=tuple(seeds), hi=hi_steps, grow=False,
+                          scale=rate_step, require_deadlines=True),
+        reducer="series",
+        reducer_params={"series": "protocol",
+                        "x": "workload.mean_deadline"},
+        wraps="repro.experiments.fig5:run_fig5a",
+    )
+
+
+def fig5b_panel(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+                seeds: Sequence[int] = (1, 2),
+                rate_per_sec: float = 2000.0,
+                duration: float = 0.03,
+                long_cutoff: int = 100 * KBYTE) -> Panel:
+    return Panel(
+        name="fig5b",
+        title="long-flow FCT normalized to PDQ(Full) under the VL2 mix",
+        base=_vl2_base(rate_per_sec, duration, 20 * MSEC, duration + 2.0),
+        axes=(("protocol", tuple(protocols)), ("seed", tuple(seeds))),
+        reducer="fig5.long_fct",
+        reducer_params={"long_cutoff": long_cutoff},
+        wraps="repro.experiments.fig5:run_fig5b",
+    )
+
+
+def fig5c_panel(protocols: Sequence[str] = DEFAULT_PROTOCOLS,
+                seeds: Sequence[int] = (1, 2),
+                duration: float = 0.05,
+                flows_per_second: float = 2000.0) -> Panel:
+    return Panel(
+        name="fig5c",
+        title="EDU1-like trace workload: FCT normalized to PDQ(Full)",
+        base=ScenarioSpec(
+            protocol=DEFAULT_PROTOCOLS[0],
             topology=TOPOLOGY,
             workload=WorkloadSpec("fig5.edu1", {
                 "duration": duration,
                 "flows_per_second": flows_per_second,
             }),
             engine="packet",
-            seed=s,
             sim_deadline=duration + 2.0,
-        )
-        for (p, s) in grid
+        ),
+        axes=(("protocol", tuple(protocols)), ("seed", tuple(seeds))),
+        reducer="series",
+        reducer_params={"x": "protocol", "metric": "mean_fct",
+                        "normalize_to": "PDQ(Full)"},
+        wraps="repro.experiments.fig5:run_fig5c",
     )
-    by_protocol: Dict[str, List[float]] = {}
-    for (p, _s), metrics in zip(grid, collectors):
-        by_protocol.setdefault(p, []).append(metrics.mean_fct())
-    absolute = {p: mean(values) for p, values in by_protocol.items()}
-    return normalize(absolute, "PDQ(Full)")
+
+
+def run_fig5a(*args, **kwargs):
+    """Sustainable arrival rate (flows/sec) at 99 % application
+    throughput of the deadline-constrained short flows."""
+    return run_panel(fig5a_panel(*args, **kwargs))
+
+
+def run_fig5b(*args, **kwargs):
+    """Long-flow mean FCT normalized to PDQ(Full) under the VL2 mix."""
+    return run_panel(fig5b_panel(*args, **kwargs))
+
+
+def run_fig5c(*args, **kwargs):
+    """EDU1-like trace-driven workload: mean FCT normalized to PDQ(Full)."""
+    return run_panel(fig5c_panel(*args, **kwargs))
+
+
+register_experiment(Experiment(
+    name="fig5",
+    title="realistic datacenter workloads (VL2 mix, EDU1 trace)",
+    panels=(fig5a_panel(), fig5b_panel(), fig5c_panel()),
+))

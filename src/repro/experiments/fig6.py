@@ -4,6 +4,10 @@ Five ~1 MB flows start together; PDQ should complete them serially in SJF
 order, finish around 42 ms (raw 40 ms + ~3 % header overhead + 2-RTT
 initialization), keep the bottleneck ~100 % utilized at switchovers, hold
 only a few packets of queue, and drop nothing.
+
+This panel samples per-flow throughput *inside* the run, which the
+scenario-grid model cannot express, so it registers a custom panel
+runner on the Experiment API surface.
 """
 
 from __future__ import annotations
@@ -13,17 +17,24 @@ from typing import Dict, List, Tuple
 from repro.core.config import PdqConfig
 from repro.core.stack import PdqStack
 from repro.events.timers import PeriodicTimer
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    bind_runner_params,
+    register_experiment,
+    register_panel_runner,
+    run_panel,
+)
 from repro.net.network import Network
 from repro.topology.single_bottleneck import SingleBottleneck
 from repro.units import MBYTE, MSEC
 from repro.workload.flow import FlowSpec
 
 
-def run_fig6(n_flows: int = 5, flow_size: int = 1 * MBYTE,
-             sample_interval: float = 1 * MSEC,
-             sim_deadline: float = 0.2) -> Dict[str, object]:
-    """Returns per-flow throughput series, utilization/queue series and the
-    headline summary values."""
+@register_panel_runner("fig6.convergence")
+def _run_convergence(n_flows: int = 5, flow_size: int = 1 * MBYTE,
+                     sample_interval: float = 1 * MSEC,
+                     sim_deadline: float = 0.2) -> Dict[str, object]:
     topo = SingleBottleneck(n_flows)
     net = Network(topo, PdqStack(PdqConfig.full()))
     monitor = net.monitor("sw0", "recv", interval=sample_interval)
@@ -83,3 +94,28 @@ def run_fig6(n_flows: int = 5, flow_size: int = 1 * MBYTE,
             "drops": 0,
         },
     }
+
+
+def fig6_panel(*args, **params) -> Panel:
+    """Parameters: ``n_flows``, ``flow_size``, ``sample_interval``,
+    ``sim_deadline`` (see the panel runner's defaults)."""
+    return Panel(
+        name="fig6",
+        title="convergence dynamics: seamless flow switching",
+        runner="fig6.convergence",
+        params=bind_runner_params(_run_convergence, args, params),
+        wraps="repro.experiments.fig6:run_fig6",
+    )
+
+
+def run_fig6(*args, **params) -> Dict[str, object]:
+    """Returns per-flow throughput series, utilization/queue series and
+    the headline summary values."""
+    return run_panel(fig6_panel(*args, **params))
+
+
+register_experiment(Experiment(
+    name="fig6",
+    title="convergence dynamics (seamless flow switching)",
+    panels=(fig6_panel(),),
+))

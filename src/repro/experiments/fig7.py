@@ -4,6 +4,9 @@ A long-lived flow starts at t=0; 50 short (20 KB) flows all start at
 t=10 ms. PDQ should preempt the long flow, serve the burst with high
 utilization (paper: 91.7 % average during the preemption period), keep the
 queue around 5-10 packets, and resume the long flow afterwards.
+
+Like fig 6, this panel samples throughput inside the run, so it
+registers a custom panel runner on the Experiment API surface.
 """
 
 from __future__ import annotations
@@ -13,6 +16,14 @@ from typing import Dict, List
 from repro.core.config import PdqConfig
 from repro.core.stack import PdqStack
 from repro.events.timers import PeriodicTimer
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    bind_runner_params,
+    register_experiment,
+    register_panel_runner,
+    run_panel,
+)
 from repro.net.network import Network
 from repro.topology.single_bottleneck import SingleBottleneck
 from repro.units import KBYTE, MBYTE, MSEC
@@ -20,10 +31,11 @@ from repro.utils.rng import spawn_rng
 from repro.workload.flow import FlowSpec
 
 
-def run_fig7(n_short: int = 50, short_size: int = 20 * KBYTE,
-             long_size: int = 6 * MBYTE, burst_at: float = 10 * MSEC,
-             sample_interval: float = 1 * MSEC,
-             sim_deadline: float = 0.3, seed: int = 1) -> Dict[str, object]:
+@register_panel_runner("fig7.burst")
+def _run_burst(n_short: int = 50, short_size: int = 20 * KBYTE,
+               long_size: int = 6 * MBYTE, burst_at: float = 10 * MSEC,
+               sample_interval: float = 1 * MSEC,
+               sim_deadline: float = 0.3, seed: int = 1) -> Dict[str, object]:
     topo = SingleBottleneck(n_short + 1)
     net = Network(topo, PdqStack(PdqConfig.full()))
     monitor = net.monitor("sw0", "recv", interval=sample_interval)
@@ -85,3 +97,26 @@ def run_fig7(n_short: int = 50, short_size: int = 20 * KBYTE,
             "queue_packets": "5-10",
         },
     }
+
+
+def fig7_panel(*args, **params) -> Panel:
+    """Parameters: ``n_short``, ``short_size``, ``long_size``,
+    ``burst_at``, ``sample_interval``, ``sim_deadline``, ``seed``."""
+    return Panel(
+        name="fig7",
+        title="robustness to bursty traffic",
+        runner="fig7.burst",
+        params=bind_runner_params(_run_burst, args, params),
+        wraps="repro.experiments.fig7:run_fig7",
+    )
+
+
+def run_fig7(*args, **params) -> Dict[str, object]:
+    return run_panel(fig7_panel(*args, **params))
+
+
+register_experiment(Experiment(
+    name="fig7",
+    title="robustness to bursty traffic",
+    panels=(fig7_panel(),),
+))

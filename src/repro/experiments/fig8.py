@@ -6,6 +6,11 @@ flow-level cross-validation.
 (b) fat-tree, no deadlines: mean FCT vs network size
 (c,d) BCube / Jellyfish: mean FCT vs network size
 (e) per-flow CDF of RCP FCT / PDQ FCT (flow level, ~128 servers)
+
+Panels (a)-(d) are declarative grids/searches on the Experiment API
+(the engine is just another axis, and the ``exclude`` rule expresses
+"TCP has no flow-level model"); (e) pairs per-flow FCTs across two runs,
+so it registers a custom panel runner.
 """
 
 from __future__ import annotations
@@ -21,11 +26,20 @@ from repro.campaign import (
 )
 from repro.campaign.registry import build_topology
 from repro.errors import ExperimentError
-from repro.experiments.search import binary_search_max
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    SearchSpec,
+    bind_runner_params,
+    register_experiment,
+    register_panel_runner,
+    run_panel,
+)
+from repro.experiments.reducers import register_reducer
 from repro.topology.base import Topology
 from repro.units import KBYTE, MSEC
 from repro.utils.rng import spawn_rng
-from repro.utils.stats import cdf_points, fraction_at_most, mean
+from repro.utils.stats import cdf_points, fraction_at_most
 from repro.workload.deadlines import exponential_deadlines
 from repro.workload.flow import FlowSpec
 from repro.workload.patterns import random_permutation_flows
@@ -33,6 +47,7 @@ from repro.workload.sizes import uniform_sizes
 
 
 FAMILIES = ("fattree", "bcube", "jellyfish")
+_FAMILY_PANELS = {"fattree": "fig8b", "bcube": "fig8c", "jellyfish": "fig8d"}
 
 
 def _topo_spec(family: str, n_servers: int) -> TopologySpec:
@@ -92,91 +107,85 @@ def _build_random_pairs(topology, seed: int, n_flows: int,
     return _subset_deadline_workload(topology, n_flows, seed, mean_deadline)
 
 
-def run_fig8a(sizes: Sequence[int] = (16, 54),
-              protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP"),
-              levels: Sequence[str] = ("packet", "flow"),
-              seeds: Sequence[int] = (1,),
-              mean_deadline: float = 20 * MSEC,
-              target: float = 0.99,
-              hi: int = 64) -> Dict[str, Dict[int, int]]:
-    """Max deadline flows at 99 % app throughput; keys are
-    '<protocol>/<level>'."""
-    results: Dict[str, Dict[int, int]] = {}
-    for n_servers in sizes:
-        topo_spec = _topo_spec("fattree", n_servers)
-        for level in levels:
-            for protocol in protocols:
-                key = f"{protocol}/{level}"
-                results.setdefault(key, {})
-
-                def ok(n: int, _p=protocol, _l=level) -> bool:
-                    collectors = run_scenarios(
-                        ScenarioSpec(
-                            protocol=_p,
-                            topology=topo_spec,
-                            workload=WorkloadSpec("fig8.random_pairs", {
-                                "n_flows": n,
-                                "mean_deadline": mean_deadline,
-                            }),
-                            engine=_l,
-                            seed=seed,
-                            sim_deadline=2.0,
-                        )
-                        for seed in seeds
-                    )
-                    values = [
-                        m.application_throughput() for m in collectors
-                    ]
-                    return mean(values) >= target
-
-                results[key][n_servers] = binary_search_max(ok, hi=hi)
+@register_reducer("fig8.per_level")
+def _reduce_per_level(run, metric: str = "mean_fct") -> dict:
+    """{'<protocol>/<level>': {n_servers: value}} — searched maxima or
+    the mean of ``metric`` over seeds."""
+    cells = run.cell_values(
+        ("topology.n_servers", "engine", "protocol"),
+        metric,
+    )
+    results: Dict[str, Dict[int, float]] = {}
+    for (n_servers, level, protocol), value in cells.items():
+        results.setdefault(f"{protocol}/{level}", {})[n_servers] = value
     return results
 
 
-def run_fct_vs_size(family: str,
-                    sizes: Sequence[int] = (16, 54),
-                    protocols: Sequence[str] = ("PDQ(Full)", "RCP"),
-                    levels: Sequence[str] = ("packet", "flow"),
-                    seeds: Sequence[int] = (1,),
-                    flows_per_server: int = 2) -> Dict[str, Dict[int, float]]:
-    """Fig 8b/c/d: mean FCT (seconds) vs network size for one topology
-    family; keys are '<protocol>/<level>'. TCP only exists at packet
-    level."""
-    results: Dict[str, Dict[int, float]] = {}
-    grid = [
-        (n_servers, level, protocol, seed)
-        for n_servers in sizes
-        for level in levels
-        for protocol in protocols
-        if not (level == "flow" and protocol == "TCP")
-        for seed in seeds
-    ]
-    collectors = run_scenarios(
-        ScenarioSpec(
-            protocol=protocol,
-            topology=_topo_spec(family, n_servers),
+def fig8a_panel(sizes: Sequence[int] = (16, 54),
+                protocols: Sequence[str] = ("PDQ(Full)", "D3", "RCP"),
+                levels: Sequence[str] = ("packet", "flow"),
+                seeds: Sequence[int] = (1,),
+                mean_deadline: float = 20 * MSEC,
+                target: float = 0.99,
+                hi: int = 64) -> Panel:
+    return Panel(
+        name="fig8a",
+        title="max deadline flows at 99 % throughput vs fat-tree size",
+        base=ScenarioSpec(
+            protocol=protocols[0],
+            topology=_topo_spec("fattree", sizes[0]),
+            workload=WorkloadSpec("fig8.random_pairs", {
+                "n_flows": 1,
+                "mean_deadline": mean_deadline,
+            }),
+            engine=levels[0],
+            sim_deadline=2.0,
+        ),
+        axes=(("topology.n_servers", tuple(sizes)),
+              ("engine", tuple(levels)),
+              ("protocol", tuple(protocols))),
+        search=SearchSpec(axis="workload.n_flows", target=target,
+                          metric="application_throughput",
+                          seeds=tuple(seeds), hi=hi),
+        reducer="fig8.per_level",
+        wraps="repro.experiments.fig8:run_fig8a",
+    )
+
+
+def fct_vs_size_panel(family: str,
+                      sizes: Sequence[int] = (16, 54),
+                      protocols: Sequence[str] = ("PDQ(Full)", "RCP"),
+                      levels: Sequence[str] = ("packet", "flow"),
+                      seeds: Sequence[int] = (1,),
+                      flows_per_server: int = 2) -> Panel:
+    return Panel(
+        name=_FAMILY_PANELS.get(family, f"fig8-{family}"),
+        title=f"mean FCT vs network size ({family})",
+        base=ScenarioSpec(
+            protocol=protocols[0],
+            topology=_topo_spec(family, sizes[0]),
             workload=WorkloadSpec("fig8.permutation", {
                 "flows_per_server": flows_per_server,
             }),
-            engine=level,
-            seed=seed,
+            engine=levels[0],
             sim_deadline=4.0,
-        )
-        for (n_servers, level, protocol, seed) in grid
+        ),
+        axes=(("topology.n_servers", tuple(sizes)),
+              ("engine", tuple(levels)),
+              ("protocol", tuple(protocols)),
+              ("seed", tuple(seeds))),
+        # TCP only exists at packet level
+        exclude=({"engine": "flow", "protocol": "TCP"},),
+        reducer="fig8.per_level",
+        reducer_params={"metric": "mean_fct"},
+        wraps="repro.experiments.fig8:run_fct_vs_size",
+        wraps_kwargs={"family": family},
     )
-    by_cell: Dict[tuple, List[float]] = {}
-    for (n_servers, level, protocol, _s), metrics in zip(grid, collectors):
-        by_cell.setdefault((f"{protocol}/{level}", n_servers), []).append(
-            metrics.mean_fct()
-        )
-    for (key, n_servers), values in by_cell.items():
-        results.setdefault(key, {})[n_servers] = mean(values)
-    return results
 
 
-def run_fig8e(n_servers: int = 128, flows_per_server: int = 2,
-              seeds: Sequence[int] = (1,)) -> Dict[str, object]:
-    """CDF of per-flow RCP FCT / PDQ FCT ratios (flow level)."""
+@register_panel_runner("fig8.rcp_pdq_cdf")
+def _run_cdf(n_servers: int = 128, flows_per_server: int = 2,
+             seeds: Sequence[int] = (1,)) -> Dict[str, object]:
     def spec_for(protocol: str, seed: int) -> ScenarioSpec:
         return ScenarioSpec(
             protocol=protocol,
@@ -215,3 +224,41 @@ def run_fig8e(n_servers: int = 128, flows_per_server: int = 2,
             "worst_inflation": 2.57,
         },
     }
+
+
+def fig8e_panel(*args, **params) -> Panel:
+    """Parameters: ``n_servers``, ``flows_per_server``, ``seeds``."""
+    return Panel(
+        name="fig8e",
+        title="CDF of per-flow RCP FCT / PDQ FCT (flow level)",
+        runner="fig8.rcp_pdq_cdf",
+        params=bind_runner_params(_run_cdf, args, params),
+        wraps="repro.experiments.fig8:run_fig8e",
+    )
+
+
+def run_fig8a(*args, **kwargs):
+    """Max deadline flows at 99 % app throughput; keys are
+    '<protocol>/<level>'."""
+    return run_panel(fig8a_panel(*args, **kwargs))
+
+
+def run_fct_vs_size(family: str, *args, **kwargs):
+    """Fig 8b/c/d: mean FCT (seconds) vs network size for one topology
+    family; keys are '<protocol>/<level>'. TCP only exists at packet
+    level."""
+    return run_panel(fct_vs_size_panel(family, *args, **kwargs))
+
+
+def run_fig8e(*args, **params):
+    """CDF of per-flow RCP FCT / PDQ FCT ratios (flow level)."""
+    return run_panel(fig8e_panel(*args, **params))
+
+
+register_experiment(Experiment(
+    name="fig8",
+    title="network scale, topology generality, cross-validation",
+    panels=(fig8a_panel(), fct_vs_size_panel("fattree"),
+            fct_vs_size_panel("bcube"), fct_vs_size_panel("jellyfish"),
+            fig8e_panel()),
+))

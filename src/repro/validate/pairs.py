@@ -20,9 +20,16 @@ model idealizes different amounts of each protocol's machinery away:
   which is exactly why the looser bound is pinned here: a regression
   that pushes D3 past it is a real behavior change, not noise.
 
-The ``default_pairs`` grid covers fig3-style query aggregation and
-fig5-style VL2 traffic (the acceptance grids) plus degenerate cells
-(zero flows, a single flow) that bound the agreement analytically.
+The grids themselves are declared through the Experiment API: each pair
+family is a :class:`~repro.experiments.api.Panel` whose axes include
+``engine`` — validation, figures, and sweeps share one declarative
+surface. ``default_pairs`` derives the :class:`ValidationPair` list the
+harness runs from those panels, and the registered ``validate``
+experiment (plus the ``validate.agreement`` reducer) makes the same
+grids runnable from ``run-spec`` files. The ``default_pairs`` grid
+covers fig3-style query aggregation and fig5-style VL2 traffic (the
+acceptance grids) plus degenerate cells (zero flows, a single flow)
+that bound the agreement analytically.
 """
 
 from __future__ import annotations
@@ -31,6 +38,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.errors import ExperimentError
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    register_experiment,
+)
+from repro.experiments.reducers import register_reducer
 from repro.units import KBYTE, MSEC
 
 #: validation protocols: every protocol with *both* a transport stack and
@@ -38,6 +52,9 @@ from repro.units import KBYTE, MSEC
 VALIDATION_PROTOCOLS = ("PDQ(Full)", "D3", "RCP")
 
 TOPOLOGY = TopologySpec("single_rooted")
+
+#: the cross-engine pairing axis: one cell, both engines
+ENGINES = ("packet", "flow")
 
 
 @dataclass(frozen=True)
@@ -125,113 +142,185 @@ class ValidationPair:
         return (self.packet, self.fluid)
 
 
-# -- pair families ------------------------------------------------------------------
+# -- pair families as declared panels -----------------------------------------------
 
 
-def fig3_pairs(quick: bool = False,
-               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
-               ) -> List[ValidationPair]:
+def fig3_panel(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS) -> Panel:
     """Fig-3-style query aggregation on the 12-server single-rooted tree:
-    senders h1..h11 fan in to h0, with and without deadlines."""
+    senders h1..h11 fan in to h0, with and without deadlines. The
+    no-deadline cells get a longer horizon (labeled axis: the deadline
+    and the simulated horizon vary together)."""
     flow_counts = (3, 10) if quick else (3, 10, 18)
     seeds = (1,) if quick else (1, 2)
-    pairs: List[ValidationPair] = []
-    for protocol in protocols:
-        for n_flows in flow_counts:
-            for mean_deadline in (None, 20 * MSEC):
-                for seed in seeds:
-                    spec = ScenarioSpec(
-                        protocol=protocol,
-                        topology=TOPOLOGY,
-                        workload=WorkloadSpec("fig3.aggregation", {
-                            "n_flows": n_flows,
-                            "mean_size": 100 * KBYTE,
-                            "mean_deadline": mean_deadline,
-                        }),
-                        engine="packet",
-                        seed=seed,
-                        sim_deadline=2.0 if mean_deadline else 4.0,
-                    )
-                    tag = "dl" if mean_deadline else "nodl"
-                    pairs.append(ValidationPair(
-                        name=f"fig3/{protocol}-n{n_flows}-{tag}-s{seed}",
-                        family="fig3",
-                        packet=spec,
-                        tolerance=tolerance_for(protocol),
-                    ))
-    return pairs
+    deadline_axis = (
+        (None, {"workload.mean_deadline": None, "sim_deadline": 4.0}),
+        (20 * MSEC, {"workload.mean_deadline": 20 * MSEC,
+                     "sim_deadline": 2.0}),
+    )
+    return Panel(
+        name="fig3-agreement" + ("-quick" if quick else ""),
+        title="fig3 aggregation: packet vs fluid agreement",
+        base=ScenarioSpec(
+            protocol=protocols[0],
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("fig3.aggregation", {
+                "n_flows": flow_counts[0],
+                "mean_size": 100 * KBYTE,
+                "mean_deadline": None,
+            }),
+            engine="packet",
+            sim_deadline=4.0,
+        ),
+        axes=(("protocol", tuple(protocols)),
+              ("workload.n_flows", flow_counts),
+              ("deadline", deadline_axis),
+              ("seed", seeds),
+              ("engine", ENGINES)),
+        reducer="validate.agreement",
+        reducer_params={"family": "fig3"},
+    )
 
 
-def fig5_pairs(quick: bool = False,
-               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
-               ) -> List[ValidationPair]:
+def fig5_panel(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS) -> Panel:
     """Fig-5-style VL2 mix: Poisson arrivals between random host pairs,
     short flows carrying deadlines, the elephant tail as background."""
     rates = (1500.0,) if quick else (1000.0, 2500.0)
     seeds = (1,) if quick else (1, 2)
     duration = 0.03
-    pairs: List[ValidationPair] = []
-    for protocol in protocols:
-        for rate in rates:
-            for seed in seeds:
-                spec = ScenarioSpec(
-                    protocol=protocol,
-                    topology=TOPOLOGY,
-                    workload=WorkloadSpec("fig5.vl2", {
-                        "rate_per_sec": rate,
-                        "duration": duration,
-                        "mean_deadline": 20 * MSEC,
-                    }),
-                    engine="packet",
-                    seed=seed,
-                    sim_deadline=duration + 1.0,
-                )
-                pairs.append(ValidationPair(
-                    name=f"fig5/{protocol}-r{rate:.0f}-s{seed}",
-                    family="fig5",
-                    packet=spec,
-                    tolerance=tolerance_for(protocol),
-                ))
-    return pairs
+    return Panel(
+        name="fig5-agreement" + ("-quick" if quick else ""),
+        title="fig5 VL2 mix: packet vs fluid agreement",
+        base=ScenarioSpec(
+            protocol=protocols[0],
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("fig5.vl2", {
+                "rate_per_sec": rates[0],
+                "duration": duration,
+                "mean_deadline": 20 * MSEC,
+            }),
+            engine="packet",
+            sim_deadline=duration + 1.0,
+        ),
+        axes=(("protocol", tuple(protocols)),
+              ("workload.rate_per_sec", rates),
+              ("seed", seeds),
+              ("engine", ENGINES)),
+        reducer="validate.agreement",
+        reducer_params={"family": "fig5"},
+    )
 
 
-def edge_pairs(quick: bool = False,
-               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
-               ) -> List[ValidationPair]:
-    """Degenerate cells that bound agreement analytically: an empty
-    workload (both engines must produce an empty collector) and a single
-    uncontended flow (FCT pinned near size/rate in both engines)."""
-    pairs = [ValidationPair(
-        name="edge/empty",
-        family="edge",
-        packet=ScenarioSpec(
+def edge_empty_panel() -> Panel:
+    """An empty workload: both engines must produce an empty collector."""
+    return Panel(
+        name="edge-empty-agreement",
+        title="empty workload: emptiness agrees",
+        base=ScenarioSpec(
             protocol="RCP",
             topology=TOPOLOGY,
             workload=WorkloadSpec("empty"),
             engine="packet",
             sim_deadline=0.5,
         ),
-        tolerance=Tolerance(fct_rtol=0.0),
-    )]
-    for protocol in protocols:
+        axes=(("engine", ENGINES),),
+        reducer="validate.agreement",
+        # the exact bounds edge_pairs() pins (Tolerance defaults)
+        reducer_params={"family": "edge", "fct_rtol": 0.0,
+                        "app_tput_atol": 0.25, "completion_atol": 0.15},
+    )
+
+
+def edge_single_panel(
+        protocols: Sequence[str] = VALIDATION_PROTOCOLS) -> Panel:
+    """A single uncontended flow: FCT pinned near size/rate in both
+    engines, so idealization gaps shrink to startup effects."""
+    return Panel(
+        name="edge-single-agreement",
+        title="single uncontended flow: startup-only gaps",
+        base=ScenarioSpec(
+            protocol=protocols[0],
+            topology=TOPOLOGY,
+            workload=WorkloadSpec("single_flow", {
+                "src": "h1", "dst": "h0",
+                "size_bytes": 100 * KBYTE,
+            }),
+            engine="packet",
+            sim_deadline=2.0,
+        ),
+        axes=(("protocol", tuple(protocols)), ("engine", ENGINES)),
+        reducer="validate.agreement",
+        # uncontended single flows get the tighter startup-only bounds,
+        # exactly as edge_pairs() declares them
+        reducer_params={"family": "edge",
+                        "fct_rtol_by_protocol": dict(SINGLE_FLOW_RTOL)},
+    )
+
+
+# -- pairs derived from the panels --------------------------------------------------
+
+
+def pairs_from_panel(panel: Panel, family: str, name_for,
+                     tolerance_for_cell) -> List[ValidationPair]:
+    """One :class:`ValidationPair` per packet-engine grid cell of a
+    panel whose axes include ``engine``; ``name_for(combo)`` and
+    ``tolerance_for_cell(combo, spec)`` shape the pair."""
+    pairs = []
+    for combo, spec in panel.cells():
+        if combo.get("engine") != "packet":
+            continue
         pairs.append(ValidationPair(
-            name=f"edge/single-{protocol}",
-            family="edge",
-            packet=ScenarioSpec(
-                protocol=protocol,
-                topology=TOPOLOGY,
-                workload=WorkloadSpec("single_flow", {
-                    "src": "h1", "dst": "h0",
-                    "size_bytes": 100 * KBYTE,
-                }),
-                engine="packet",
-                sim_deadline=2.0,
-            ),
-            # uncontended, so idealization gaps shrink to startup effects
-            tolerance=tolerance_for(
-                protocol, fct_rtol=SINGLE_FLOW_RTOL[protocol]
-            ),
+            name=name_for(combo),
+            family=family,
+            packet=spec,
+            tolerance=tolerance_for_cell(combo, spec),
         ))
+    return pairs
+
+
+def fig3_pairs(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
+               ) -> List[ValidationPair]:
+    def name_for(combo) -> str:
+        tag = "dl" if combo["deadline"] else "nodl"
+        return (f"fig3/{combo['protocol']}-n{combo['workload.n_flows']}"
+                f"-{tag}-s{combo['seed']}")
+
+    return pairs_from_panel(
+        fig3_panel(quick, protocols), "fig3", name_for,
+        lambda combo, spec: tolerance_for(spec.protocol),
+    )
+
+
+def fig5_pairs(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
+               ) -> List[ValidationPair]:
+    def name_for(combo) -> str:
+        return (f"fig5/{combo['protocol']}"
+                f"-r{combo['workload.rate_per_sec']:.0f}-s{combo['seed']}")
+
+    return pairs_from_panel(
+        fig5_panel(quick, protocols), "fig5", name_for,
+        lambda combo, spec: tolerance_for(spec.protocol),
+    )
+
+
+def edge_pairs(quick: bool = False,
+               protocols: Sequence[str] = VALIDATION_PROTOCOLS,
+               ) -> List[ValidationPair]:
+    pairs = pairs_from_panel(
+        edge_empty_panel(), "edge",
+        lambda combo: "edge/empty",
+        lambda combo, spec: Tolerance(fct_rtol=0.0),
+    )
+    pairs += pairs_from_panel(
+        edge_single_panel(protocols), "edge",
+        lambda combo: f"edge/single-{combo['protocol']}",
+        lambda combo, spec: tolerance_for(
+            spec.protocol, fct_rtol=SINGLE_FLOW_RTOL[spec.protocol]
+        ),
+    )
     return pairs
 
 
@@ -240,3 +329,71 @@ def default_pairs(quick: bool = False) -> List[ValidationPair]:
     return (
         edge_pairs(quick) + fig3_pairs(quick) + fig5_pairs(quick)
     )
+
+
+# -- the agreement reducer ----------------------------------------------------------
+
+
+@register_reducer("validate.agreement")
+def _reduce_agreement(run, family: str = "custom",
+                      fct_rtol: Optional[float] = None,
+                      app_tput_atol: Optional[float] = None,
+                      completion_atol: Optional[float] = None,
+                      fct_rtol_by_protocol: Optional[Dict[str, float]] = None,
+                      ) -> dict:
+    """Pair each grid cell across its ``engine`` axis and run the
+    harness tolerance checks; tolerances default to the per-protocol
+    bounds, overridable per panel (``fct_rtol_by_protocol`` wins over
+    the builtin table, the flat ``fct_rtol`` over both). This is how a
+    ``run-spec`` file declares its own cross-engine validation cells."""
+    from repro.validate.harness import compare_pair
+
+    cell_axes = [a for a in run.axis_names() if a != "engine"]
+    cells: Dict[tuple, Dict[str, tuple]] = {}
+    for combo, spec, collector in run.rows:
+        if "engine" not in combo:
+            raise ExperimentError(
+                "validate.agreement needs an 'engine' axis pairing "
+                "packet and flow runs"
+            )
+        cell = tuple(combo[a] for a in cell_axes)
+        cells.setdefault(cell, {})[combo["engine"]] = (spec, collector)
+    outcomes = []
+    for cell, engines in cells.items():
+        if set(engines) != set(ENGINES):
+            raise ExperimentError(
+                f"cell {cell!r} must run exactly the engines {ENGINES}, "
+                f"got {sorted(engines)}"
+            )
+        packet_spec, packet = engines["packet"]
+        _, fluid = engines["flow"]
+        protocol = packet_spec.protocol
+        rtol = fct_rtol
+        if rtol is None and fct_rtol_by_protocol is not None:
+            rtol = fct_rtol_by_protocol.get(protocol)
+        tolerance = Tolerance(
+            fct_rtol=(rtol if rtol is not None
+                      else FCT_RTOL.get(protocol, 0.5)),
+            app_tput_atol=(app_tput_atol if app_tput_atol is not None
+                           else APP_TPUT_ATOL.get(protocol, 0.25)),
+            completion_atol=(completion_atol if completion_atol is not None
+                             else COMPLETION_ATOL.get(protocol, 0.20)),
+        )
+        label = "-".join(str(v) for v in cell) if cell else "cell"
+        pair = ValidationPair(name=f"{family}/{label}", family=family,
+                              packet=packet_spec, tolerance=tolerance)
+        outcomes.append(compare_pair(pair, packet, fluid).to_dict())
+    return {
+        "family": family,
+        "ok": all(o["ok"] for o in outcomes),
+        "n_pairs": len(outcomes),
+        "pairs": outcomes,
+    }
+
+
+register_experiment(Experiment(
+    name="validate",
+    title="cross-engine packet/fluid agreement grids",
+    panels=(edge_empty_panel(), edge_single_panel(), fig3_panel(),
+            fig5_panel()),
+))

@@ -1,0 +1,535 @@
+"""Tests for the declarative Experiment API (panels, reducers, registry,
+``run-spec``) and the figure-migration pins.
+
+The golden fixtures under ``tests/data/`` were captured from the
+pre-migration imperative ``figN`` modules (``capture_golden.py``): every
+migrated panel must reproduce those results byte-identically (after a
+canonicalizing JSON round-trip), and ``run-fig N --dry-run`` plus the
+validation pair grids must be unchanged.
+"""
+
+import importlib
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.campaign import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.campaign.cli import main as cli_main
+from repro.campaign.registry import build_topology, validate_spec_kinds
+from repro.errors import CampaignError, ExperimentError
+from repro.experiments.api import (
+    Experiment,
+    Panel,
+    SearchSpec,
+    experiment_kinds,
+    figure_numbers,
+    get_experiment,
+    load_experiment_file,
+    run_panel,
+    validate_experiment,
+)
+from repro.experiments.reducers import collector_metric, get_reducer
+from repro.units import KBYTE
+
+DATA = Path(__file__).parent / "data"
+SPECS_DIR = Path(__file__).parent.parent / "examples" / "specs"
+
+
+def _load_capture_module():
+    spec = importlib.util.spec_from_file_location(
+        "capture_golden", DATA / "capture_golden.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+_CAPTURE = _load_capture_module()
+GOLDEN = json.loads((DATA / "experiment_golden.json").read_text())
+CLI_PINS = json.loads((DATA / "cli_pins.json").read_text())
+
+
+def _flow_base(**overrides) -> ScenarioSpec:
+    spec = dict(
+        protocol="RCP",
+        topology=TopologySpec("single_rooted"),
+        workload=WorkloadSpec("fig3.aggregation", {
+            "n_flows": 2,
+            "mean_size": 100 * KBYTE,
+            "mean_deadline": None,
+        }),
+        engine="flow",
+    )
+    spec.update(overrides)
+    return ScenarioSpec(**spec)
+
+
+# -- byte-identical figure outputs ------------------------------------------------
+
+
+class TestGoldenFigureOutputs:
+    """Every migrated panel reproduces the pre-migration output."""
+
+    @pytest.mark.parametrize("name", sorted(GOLDEN))
+    def test_panel_matches_pre_migration_output(self, name):
+        target, kwargs = _CAPTURE.GOLDEN_CALLS[name]
+        module_name, _, attr = target.partition(":")
+        func = getattr(importlib.import_module(module_name), attr)
+        assert _CAPTURE.canonicalize(func(**kwargs)) == GOLDEN[name]
+
+
+class TestCliPins:
+    @pytest.mark.parametrize("figure", sorted(CLI_PINS["dry_run"], key=int))
+    def test_run_fig_dry_run_output_unchanged(self, figure, capsys):
+        assert cli_main(["run-fig", figure, "--dry-run"]) == 0
+        assert capsys.readouterr().out == CLI_PINS["dry_run"][figure]
+
+    @pytest.mark.parametrize("mode", ["quick", "full"])
+    def test_validation_pair_grids_unchanged(self, mode):
+        from repro.validate.pairs import default_pairs
+
+        got = [
+            {"name": p.name, "family": p.family, "packet_key": p.packet.key,
+             "fluid_key": p.fluid.key,
+             "tolerance": [p.tolerance.fct_rtol, p.tolerance.app_tput_atol,
+                           p.tolerance.completion_atol]}
+            for p in default_pairs(mode == "quick")
+        ]
+        assert got == CLI_PINS["pairs"][mode]
+
+    def test_no_figures_dict_remains(self):
+        import repro.campaign.cli as cli
+
+        assert not hasattr(cli, "FIGURES")
+
+
+# -- spec hashing -----------------------------------------------------------------
+
+
+def _pinned_panel() -> Panel:
+    return Panel(
+        name="pinned",
+        base=_flow_base(),
+        axes=(
+            ("protocol", ("RCP", "D3")),
+            ("scheme", (("plain", {"options.n_subflows": 1}),
+                        ("striped", {"options.n_subflows": 2}))),
+            ("seed", (1, 2)),
+        ),
+        reducer="series",
+        reducer_params={"x": "protocol", "metric": "mean_fct"},
+    )
+
+
+class TestSpecHashes:
+    def test_panel_key_is_stable_across_versions(self):
+        """Pinned: canonicalization changes silently break caches and
+        user spec files."""
+        assert _pinned_panel().key == (
+            "1fc9d5eec1d908b2616fdf38c05c6bac"
+            "eb2b2db82ab57427037d47ee12ddad5f"
+        )
+
+    def test_experiment_key_is_stable_across_versions(self):
+        experiment = Experiment(name="pinned-exp", title="ignored",
+                                panels=(_pinned_panel(),),
+                                meta={"note": "pin"})
+        assert experiment.key == (
+            "371fc2ce8f83f360a6b06ebf05cb97bc"
+            "58d7f72a97efd67a64fec620f3d024bf"
+        )
+
+    def test_title_and_wraps_do_not_change_the_key(self):
+        a = _pinned_panel()
+        b = Panel(name="pinned", title="a title", wraps="mod:func",
+                  wraps_kwargs={"x": 1}, base=a.base, axes=a.axes,
+                  reducer=a.reducer, reducer_params=a.reducer_params)
+        assert a.key == b.key
+
+    def test_canonical_roundtrip_preserves_key(self):
+        panel = _pinned_panel()
+        restored = Panel.from_dict(
+            json.loads(json.dumps(panel.canonical()))
+        )
+        assert restored.key == panel.key
+        assert [s.key for s in restored.expand()] == \
+            [s.key for s in panel.expand()]
+
+    def test_search_panel_roundtrip(self):
+        panel = Panel(
+            name="searchy",
+            base=_flow_base(),
+            axes=(("protocol", ("RCP",)),),
+            search=SearchSpec(axis="workload.n_flows", target=0.5,
+                              seeds=(1, 2), hi=8, scale=2.0),
+        )
+        restored = Panel.from_dict(json.loads(json.dumps(panel.canonical())))
+        assert restored.key == panel.key
+        assert restored.search == panel.search
+
+
+# -- grid expansion ---------------------------------------------------------------
+
+
+class TestPanelGrids:
+    def test_labeled_axis_sets_multiple_fields(self):
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("scheme", (("one", {"protocol": "RCP"}),
+                              ("two", {"protocol": "PDQ(Full)",
+                                       "options.criticality_mode":
+                                       "random"}))),),
+        )
+        cells = panel.cells()
+        assert [combo["scheme"] for combo, _ in cells] == ["one", "two"]
+        assert cells[0][1].options == {}
+        assert cells[1][1].protocol == "PDQ(Full)"
+        assert cells[1][1].options == {"criticality_mode": "random"}
+
+    def test_composite_axis_zips_fields(self):
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("protocol,seed", (("RCP", 1), ("D3", 2))),),
+        )
+        cells = panel.cells()
+        assert len(cells) == 2
+        assert cells[1][0]["protocol,seed"] == ("D3", 2)
+        assert cells[1][1].protocol == "D3"
+        assert cells[1][1].seed == 2
+
+    def test_composite_axis_arity_checked(self):
+        with pytest.raises(CampaignError):
+            Panel(name="p", base=_flow_base(),
+                  axes=(("protocol,seed", (("RCP",),)),)).cells()
+
+    def test_exclude_drops_matching_cells(self):
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("engine", ("packet", "flow")),
+                  ("protocol", ("RCP", "TCP"))),
+            exclude=({"engine": "flow", "protocol": "TCP"},),
+        )
+        combos = [combo for combo, _ in panel.cells()]
+        assert len(combos) == 3
+        assert {"engine": "flow", "protocol": "TCP"} not in combos
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(CampaignError):
+            Panel(name="p", base=_flow_base(),
+                  axes=(("protocol", ()),)).cells()
+
+    def test_panel_shape_validation(self):
+        with pytest.raises(CampaignError):
+            Panel(name="nothing")
+        with pytest.raises(CampaignError):
+            Panel(name="both", runner="fig1.motivation", base=_flow_base())
+        with pytest.raises(CampaignError):
+            Panel(name="search-needs-base",
+                  search=SearchSpec(axis="workload.n_flows"))
+
+    def test_exclude_must_name_declared_axes(self):
+        with pytest.raises(CampaignError, match="unknown axis"):
+            Panel(name="p", base=_flow_base(),
+                  axes=(("engine", ("packet", "flow")),),
+                  exclude=({"engin": "flow"},))
+
+    def test_exclude_rejected_on_explicit_specs(self):
+        with pytest.raises(CampaignError, match="explicit spec list"):
+            Panel(name="p", specs=(_flow_base(),),
+                  exclude=({"protocol": "TCP"},))
+
+    def test_custom_panel_rejects_ignored_reducer(self):
+        with pytest.raises(CampaignError, match="silently ignored"):
+            Panel(name="p", runner="fig1.motivation", reducer="series")
+
+    def test_custom_panel_wrappers_accept_positional_args(self):
+        from repro.experiments.fig6 import fig6_panel
+        from repro.experiments.fig9 import fig9b_panel
+
+        assert fig6_panel(2).params == {"n_flows": 2}
+        assert fig9b_panel((0.0,), ("PDQ(Full)",)).params == {
+            "loss_rates": (0.0,), "protocols": ("PDQ(Full)",),
+        }
+        with pytest.raises(TypeError):
+            fig6_panel(1, 2, 3, 4, 5)  # more args than the runner takes
+
+    def test_duplicate_panel_names_rejected(self):
+        panel = Panel(name="p", base=_flow_base(),
+                      axes=(("seed", (1,)),))
+        with pytest.raises(CampaignError):
+            Experiment(name="e", panels=(panel, panel))
+
+
+# -- execution --------------------------------------------------------------------
+
+
+class TestPanelExecution:
+    def test_grid_panel_series_reducer(self):
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("protocol", ("RCP", "D3")), ("seed", (1, 2))),
+            reducer="series",
+            reducer_params={"x": "protocol", "metric": "mean_fct"},
+        )
+        result = run_panel(panel)
+        assert set(result) == {"RCP", "D3"}
+        assert all(v > 0 for v in result.values())
+
+    def test_table_reducer_schema(self):
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("protocol", ("RCP",)), ("seed", (1, 2))),
+            reducer="table",
+            reducer_params={"metrics": ["mean_fct",
+                                        "completion_fraction"]},
+        )
+        result = run_panel(panel)
+        assert result["columns"] == ["protocol", "mean_fct",
+                                     "completion_fraction"]
+        assert len(result["rows"]) == 1
+        assert result["rows"][0][0] == "RCP"
+        assert result["rows"][0][2] == 1.0
+
+    def test_search_capped_at_hi(self):
+        # target 0.0 always passes; grow=False returns hi after two probes
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("protocol", ("RCP",)),),
+            search=SearchSpec(axis="workload.n_flows", target=0.0,
+                              metric="completion_fraction", hi=4,
+                              grow=False),
+            reducer="series",
+            reducer_params={"x": "protocol"},
+        )
+        assert run_panel(panel) == {"RCP": 4}
+
+    def test_search_require_deadlines_short_circuits(self):
+        # the workload draws no deadlines, so every probe passes without
+        # running a single scenario
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("protocol", ("RCP",)),),
+            search=SearchSpec(axis="workload.n_flows", target=0.99,
+                              hi=4, grow=False, require_deadlines=True),
+            reducer="series",
+            reducer_params={"x": "protocol"},
+        )
+        assert run_panel(panel) == {"RCP": 4}
+
+    def test_normalize_to_flat_series(self):
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("protocol", ("RCP", "D3")), ("seed", (1,))),
+            reducer="series",
+            reducer_params={"x": "protocol", "metric": "mean_fct",
+                            "normalize_to": "RCP"},
+        )
+        result = run_panel(panel)
+        assert result["RCP"] == 1.0
+
+    def test_agreement_reducer_needs_engine_axis(self):
+        panel = Panel(
+            name="p", base=_flow_base(),
+            axes=(("protocol", ("RCP",)),),
+            reducer="validate.agreement",
+        )
+        with pytest.raises(ExperimentError):
+            run_panel(panel)
+
+    def test_run_experiment_keys_by_panel(self):
+        from repro.experiments.api import run_experiment
+
+        experiment = Experiment(name="e", panels=(
+            Panel(name="a", base=_flow_base(), axes=(("seed", (1,)),),
+                  reducer="series",
+                  reducer_params={"x": "seed", "metric": "mean_fct"}),
+        ))
+        result = run_experiment(experiment)
+        assert list(result) == ["a"]
+
+
+# -- registries and errors --------------------------------------------------------
+
+
+class TestRegistries:
+    def test_figures_and_validate_registered(self):
+        kinds = experiment_kinds()
+        assert "validate" in kinds
+        assert figure_numbers() == [1, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12]
+        assert [p.name for p in get_experiment("fig3").panels] == [
+            "fig3a", "fig3b", "fig3c", "fig3d", "fig3e",
+        ]
+
+    def test_unknown_kind_errors_suggest_close_matches(self):
+        with pytest.raises(CampaignError, match="fattree"):
+            build_topology("fatree", {})
+        with pytest.raises(CampaignError,
+                           match="Did you mean 'fig3.aggregation'"):
+            validate_spec_kinds(_flow_base(
+                workload=WorkloadSpec("fig3.agregation", {"n_flows": 2}),
+            ))
+        with pytest.raises(CampaignError, match="Did you mean 'packet'"):
+            ScenarioSpec(
+                protocol="RCP", topology=TopologySpec("single_rooted"),
+                workload=WorkloadSpec("empty"), engine="packat",
+            )
+        with pytest.raises(CampaignError, match="Did you mean 'series'"):
+            get_reducer("serie")
+        with pytest.raises(CampaignError, match="Did you mean 'mean_fct'"):
+            collector_metric("mean_fc")
+        with pytest.raises(CampaignError, match="Did you mean 'fig5'"):
+            get_experiment("fig55")
+
+    def test_experiment_registry_unknown(self):
+        with pytest.raises(CampaignError, match="registered"):
+            get_experiment("no-such-experiment")
+
+
+# -- run-spec files ---------------------------------------------------------------
+
+
+EXAMPLE_SPECS = sorted(SPECS_DIR.glob("*.json"))
+
+
+class TestRunSpecFiles:
+    def test_examples_exist(self):
+        assert len(EXAMPLE_SPECS) >= 2
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_SPECS, ids=[p.stem for p in EXAMPLE_SPECS]
+    )
+    def test_example_file_roundtrip(self, path):
+        experiment = load_experiment_file(str(path))
+        # every registry reference resolves and every grid expands
+        validate_experiment(experiment)
+        restored = Experiment.from_dict(
+            json.loads(json.dumps(experiment.canonical()))
+        )
+        assert restored.key == experiment.key
+
+    @pytest.mark.parametrize(
+        "path", EXAMPLE_SPECS, ids=[p.stem for p in EXAMPLE_SPECS]
+    )
+    def test_example_file_dry_run_cli(self, path, capsys):
+        assert cli_main(["run-spec", str(path), "--dry-run"]) == 0
+        out = capsys.readouterr().out
+        assert "dry run: no scenarios executed" in out
+
+    def test_smallest_example_runs_end_to_end(self, tmp_path, capsys):
+        out_path = tmp_path / "results.json"
+        rc = cli_main([
+            "run-spec", str(SPECS_DIR / "aggregation_deadline_sweep.json"),
+            "--jobs", "0", "--no-cache", "--out", str(out_path),
+        ])
+        assert rc == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["experiment"] == "aggregation-deadline-sweep"
+        series = payload["results"]["app-throughput"]
+        assert set(series) == {"PDQ(Full)", "D3", "RCP"}
+        table = payload["results"]["summary-table"]
+        assert table["columns"][0] == "protocol"
+
+    def test_run_spec_caches_scenarios(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        argv = ["run-spec",
+                str(SPECS_DIR / "aggregation_deadline_sweep.json"),
+                "--jobs", "0", "--cache", cache]
+        assert cli_main(argv) == 0
+        capsys.readouterr()
+        assert cli_main(argv) == 0
+        out = capsys.readouterr().out
+        assert "cached" in out
+
+    def test_bad_file_reports_campaign_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({
+            "name": "bad",
+            "panels": [{
+                "name": "p",
+                "base": {
+                    "protocol": "RCP",
+                    "topology": {"kind": "single_rooted"},
+                    "workload": {"kind": "no.such.kind"},
+                    "engine": "flow",
+                },
+                "axes": [["seed", [1]]],
+            }],
+        }))
+        assert cli_main(["run-spec", str(bad), "--dry-run"]) == 1
+        assert "unknown workload kind" in capsys.readouterr().err
+
+    def test_unknown_reducer_caught_by_dry_run(self, tmp_path, capsys):
+        bad = tmp_path / "bad_reducer.json"
+        bad.write_text(json.dumps({
+            "name": "bad",
+            "panels": [{
+                "name": "p",
+                "base": {
+                    "protocol": "RCP",
+                    "topology": {"kind": "single_rooted"},
+                    "workload": {"kind": "empty"},
+                    "engine": "flow",
+                },
+                "axes": [["seed", [1]]],
+                "reducer": "serie",
+            }],
+        }))
+        assert cli_main(["run-spec", str(bad), "--dry-run"]) == 1
+        assert "Did you mean 'series'" in capsys.readouterr().err
+
+    def test_not_json_reports_campaign_error(self, tmp_path, capsys):
+        bad = tmp_path / "nope.json"
+        bad.write_text("{not json")
+        assert cli_main(["run-spec", str(bad), "--dry-run"]) == 1
+        assert "not valid JSON" in capsys.readouterr().err
+
+    def test_misspelled_panel_field_rejected(self):
+        with pytest.raises(CampaignError, match="did you mean 'exclude'"):
+            Panel.from_dict({
+                "name": "p",
+                "base": _flow_base().canonical(),
+                "axes": [["seed", [1]]],
+                "exlude": [{"protocol": "TCP"}],
+            })
+        with pytest.raises(CampaignError,
+                           match="did you mean 'require_deadlines'"):
+            SearchSpec.from_dict({"axis": "workload.n_flows",
+                                  "require_deadline": True})
+        with pytest.raises(CampaignError, match="did you mean 'panels'"):
+            Experiment.from_dict({"name": "e", "panles": []})
+
+    def test_composite_axis_result_survives_cli_json(self, tmp_path,
+                                                     capsys):
+        """Tuple-keyed reducer output must not crash the CLI dump."""
+        spec = tmp_path / "composite.json"
+        spec.write_text(json.dumps({
+            "name": "composite",
+            "panels": [{
+                "name": "p",
+                "base": _flow_base().canonical(),
+                "axes": [["protocol,seed", [["RCP", 1], ["D3", 2]]]],
+                "reducer": "series",
+                "reducer_params": {"x": "protocol,seed",
+                                   "metric": "mean_fct"},
+            }],
+        }))
+        rc = cli_main(["run-spec", str(spec), "--jobs", "0", "--no-cache"])
+        assert rc == 0
+        assert "('RCP', 1)" in capsys.readouterr().out
+
+
+class TestValidateExperimentTolerances:
+    def test_edge_panels_declare_harness_tolerances(self):
+        """The registered validate experiment must gate edge cells with
+        the same bounds the harness path (edge_pairs) pins."""
+        from repro.validate.pairs import SINGLE_FLOW_RTOL
+
+        experiment = get_experiment("validate")
+        single = experiment.panel("edge-single-agreement")
+        assert single.reducer_params["fct_rtol_by_protocol"] == \
+            SINGLE_FLOW_RTOL
+        empty = experiment.panel("edge-empty-agreement")
+        assert empty.reducer_params["fct_rtol"] == 0.0
+        assert empty.reducer_params["completion_atol"] == 0.15
