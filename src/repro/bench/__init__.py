@@ -12,6 +12,7 @@ trajectory across PRs.
 from repro.bench.harness import (
     BenchResult,
     run_bench,
+    write_history,
     write_report,
 )
 from repro.bench.scenarios import SCENARIOS, BenchScenario
@@ -21,5 +22,6 @@ __all__ = [
     "BenchScenario",
     "SCENARIOS",
     "run_bench",
+    "write_history",
     "write_report",
 ]

@@ -215,3 +215,36 @@ def write_report(results: Sequence[BenchResult], path: str = DEFAULT_REPORT,
         json.dump(report, fh, indent=2)
         fh.write("\n")
     return report
+
+
+DEFAULT_HISTORY = "BENCH_history.jsonl"
+
+
+def write_history(results: Sequence[BenchResult],
+                  path: str = DEFAULT_HISTORY, quick: bool = False) -> Dict:
+    """Append one timestamped summary row to the bench history JSONL.
+
+    One line per ``repro bench`` invocation (not per benchmark), so the
+    file reads as a performance trajectory across PRs: ``git log`` for
+    wall times. Returns the row appended.
+    """
+    row = {
+        "schema": 1,
+        "suite": "flowsim",
+        "quick": quick,
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "python": platform.python_version(),
+        "benchmarks": {
+            r.name: {
+                "engine": r.engine,
+                "elapsed_s": round(r.elapsed_s, 6),
+                "events_per_sec": round(r.events_per_sec, 1),
+                **({"speedup": round(r.speedup, 3)}
+                   if r.speedup is not None else {}),
+            }
+            for r in results
+        },
+    }
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write(json.dumps(row) + "\n")
+    return row

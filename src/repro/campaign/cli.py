@@ -31,6 +31,14 @@ Subcommands::
         runner, assert cross-engine agreement within declared tolerances,
         and write VALIDATE_cross_engine.json. Fails (exit 1) on tolerance
         violations — never on timing.
+
+    repro report [STORE] [--validate PATH] [--out PATH]
+        Summarize a result store: cache hit rate, slowest cells, run
+        counter aggregates, and (when a validation report is present)
+        the tolerance-margin table. Crashes fail; timings never do.
+
+Global flags: ``-v``/``-vv`` raise logging to INFO/DEBUG, ``-q`` mutes
+everything below ERROR (they precede the subcommand: ``repro -v sweep``).
 """
 
 from __future__ import annotations
@@ -83,6 +91,7 @@ def _make_runner(args: argparse.Namespace, verbose: bool) -> CampaignRunner:
         timeout=args.timeout,
         retries=args.retries,
         progress=_print_progress if verbose else None,
+        trace_dir=getattr(args, "trace_dir", None),
     )
 
 
@@ -317,7 +326,7 @@ def _cmd_ls(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import SCENARIOS, run_bench, write_report
+    from repro.bench import SCENARIOS, run_bench, write_history, write_report
     from repro.experiments.tables import format_table
 
     if args.list:
@@ -356,6 +365,9 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         title=f"engine bench ({'quick' if args.quick else 'full'} scale)",
     ))
     print(f"wrote {args.out} ({len(report['benchmarks'])} benchmark(s))")
+    if not args.no_history and args.history:
+        write_history(results, path=args.history, quick=args.quick)
+        print(f"appended to {args.history}")
     return 0
 
 
@@ -431,6 +443,61 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- report -------------------------------------------------------------------------
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.experiments.tables import format_table
+    from repro.obs.report import build_report, write_report
+
+    store = ResultStore(args.store)
+    report = build_report(store, validate_path=args.validate)
+
+    campaign = report["campaign"]
+    hit_rate = campaign["cache_hit_rate"]
+    print(f"store {report['store']}: {report['n_entries']} entrie(s), "
+          f"{campaign['runs']} logged run(s)")
+    print(f"  executed={campaign['executed']} cached={campaign['cached']} "
+          f"failed={campaign['failed']} retries={campaign['retries']} "
+          f"workers={len(campaign['workers'])} "
+          f"wall={campaign['wall_time_s']:.2f}s "
+          f"hit_rate={'-' if hit_rate is None else f'{hit_rate:.0%}'}")
+
+    if report["slowest"]:
+        rows = [[r["key"][:12], r["scenario"], f"{r['elapsed_s']:.3f}"]
+                for r in report["slowest"]]
+        print(format_table(["key", "scenario", "wall_s"], rows,
+                           title="slowest cells"))
+    if report["counters"]:
+        rows = [[name, f"{value:,}"]
+                for name, value in report["counters"].items()]
+        print(format_table(["counter", "total"], rows,
+                           title="run counters (summed over store)"))
+    validation = report["validation"]
+    if validation is not None:
+        rows = [
+            [m["pair"], m["check"], f"{m['measured']:.4g}",
+             f"{m['limit']:.4g}", f"{m['margin']:.0%}",
+             "ok" if m["ok"] else "FAIL"]
+            for m in validation["tightest"]
+        ]
+        status = ("ok" if validation["ok"]
+                  else f"{validation['n_failed']} pair(s) FAILED")
+        print(format_table(
+            ["pair", "check", "measured", "limit", "budget used", "status"],
+            rows,
+            title=(f"validation margins ({validation['path']}: "
+                   f"{validation['n_pairs']} pair(s), {status})"),
+        ))
+    elif args.validate:
+        print(f"(no validation report at {args.validate})")
+
+    if args.out:
+        write_report(report, args.out)
+        print(f"wrote {args.out}")
+    return 0
+
+
 # -- entry point --------------------------------------------------------------------
 
 
@@ -447,6 +514,9 @@ def _add_runner_args(parser: argparse.ArgumentParser) -> None:
                         help="extra attempts for failed scenarios")
     parser.add_argument("--dry-run", action="store_true",
                         help="print what would run without executing")
+    parser.add_argument("--trace-dir", default=None,
+                        help="export per-flow lifecycle traces (JSONL, one "
+                             "file per traced scenario) into this directory")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -454,6 +524,10 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="PDQ reproduction campaign runner (SIGCOMM 2012).",
     )
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="log INFO (-v) or DEBUG (-vv) to stderr")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="log only errors")
     sub = parser.add_subparsers(dest="command", required=True)
 
     run_fig = sub.add_parser(
@@ -509,7 +583,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="report path (default %(default)s)")
     bench.add_argument("--list", action="store_true",
                        help="list scenarios and exit")
+    bench.add_argument("--history", default="BENCH_history.jsonl",
+                       help="append one summary row per run to this JSONL "
+                            "file (default %(default)s)")
+    bench.add_argument("--no-history", action="store_true",
+                       help="do not append to the bench history file")
     bench.set_defaults(func=_cmd_bench)
+
+    report = sub.add_parser(
+        "report",
+        help="summarize a result store: cache hits, slow cells, counters",
+    )
+    report.add_argument("store", nargs="?", default=DEFAULT_CACHE,
+                        help="result-store directory (default %(default)s)")
+    report.add_argument("--validate", default="VALIDATE_cross_engine.json",
+                        help="validation report whose tolerance margins are "
+                             "folded in when present (default %(default)s)")
+    report.add_argument("--out", default=None,
+                        help="also write the report as JSON to this path")
+    report.set_defaults(func=_cmd_report)
 
     validate = sub.add_parser(
         "validate",
@@ -536,6 +628,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    from repro.obs.log import setup_cli_logging
+
+    setup_cli_logging(-1 if args.quiet else args.verbose)
     try:
         return args.func(args)
     except CampaignError as exc:

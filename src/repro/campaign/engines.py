@@ -145,22 +145,42 @@ def run_packet_level(
     loss: Optional[Tuple[str, str, float, int]] = None,
     network_config=None,
     n_subflows: int = 3,
+    probes: Optional[Mapping[str, dict]] = None,
+    trace: bool = False,
     **pdq_overrides,
 ) -> "MetricsCollector":
     """Run one packet-level scenario and return its metrics.
 
     ``loss`` is (node_a, node_b, rate, seed) for Fig 9's random wire loss.
+    ``probes``/``trace`` are the telemetry options (repro.obs); run
+    counters are always harvested into ``collector.stats`` — reading a
+    handful of ints after the run is free.
     """
     from repro.net.network import Network
+    from repro.obs import (
+        FlowTracer,
+        attach_packet_probes,
+        collect_probes,
+        harvest_packet_run,
+    )
 
     stack = make_stack(protocol, n_subflows=n_subflows, **pdq_overrides)
     net = Network(topology, stack, config=network_config)
     if loss is not None:
         a, b, rate, seed = loss
         net.set_loss(a, b, rate, seed=seed)
+    tracer = FlowTracer() if trace else None
+    net.metrics.tracer = tracer
+    attached = attach_packet_probes(net, probes) if probes else []
     net.launch(flows)
     net.run_until_quiet(deadline=sim_deadline)
-    return net.metrics
+    collector = net.metrics
+    collector.tracer = None
+    if tracer is not None:
+        collector.trace = tracer.events
+    collect_probes(collector, attached)
+    collector.stats.update(harvest_packet_run(net).to_dict())
+    return collector
 
 
 def run_flow_level(
@@ -168,15 +188,37 @@ def run_flow_level(
     protocol: str,
     flows: Sequence["FlowSpec"],
     sim_deadline: float = 10.0,
+    probes: Optional[Mapping[str, dict]] = None,
+    trace: bool = False,
     **pdq_overrides,
 ) -> "MetricsCollector":
-    """Run one flow-level (fluid) scenario and return its metrics."""
+    """Run one flow-level (fluid) scenario and return its metrics.
+
+    Telemetry mirrors :func:`run_packet_level`: same option names, same
+    ``collector.stats`` / ``collector.probes`` / ``collector.trace``
+    shapes, so studies switch engines without touching their specs.
+    """
     from repro.flowsim.engine import FlowLevelSimulation
+    from repro.obs import (
+        FlowTracer,
+        attach_fluid_probes,
+        collect_probes,
+        harvest_fluid_run,
+    )
 
     model = make_model(protocol, **pdq_overrides)
     header = {"RCP": 44, "D3": 52}.get(protocol, 56)
     sim = FlowLevelSimulation(topology, model, header_bytes=header)
-    return sim.run(flows, deadline=sim_deadline)
+    tracer = FlowTracer() if trace else None
+    sim.metrics.tracer = tracer
+    attached = attach_fluid_probes(sim, probes) if probes else []
+    collector = sim.run(flows, deadline=sim_deadline)
+    collector.tracer = None
+    if tracer is not None:
+        collector.trace = tracer.events
+    collect_probes(collector, attached)
+    collector.stats.update(harvest_fluid_run(sim).to_dict())
+    return collector
 
 
 # -- engine adapters ----------------------------------------------------------------

@@ -22,6 +22,7 @@ worker processes when hard timeouts matter.
 from __future__ import annotations
 
 import math
+import os
 import time
 from concurrent.futures import (
     ProcessPoolExecutor,
@@ -30,12 +31,16 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.campaign.spec import ScenarioSpec
 from repro.campaign.store import ResultStore
 from repro.errors import CampaignError
 from repro.metrics.collector import MetricsCollector
+from repro.obs.log import get_logger
+
+logger = get_logger("campaign.runner")
 
 
 def run_scenario(spec: ScenarioSpec) -> MetricsCollector:
@@ -54,6 +59,7 @@ def _worker(canonical: dict) -> dict:
         "key": spec.key,
         "collector": collector.to_dict(),
         "elapsed": time.perf_counter() - started,
+        "worker": os.getpid(),
     }
 
 
@@ -68,10 +74,25 @@ class ScenarioOutcome:
     elapsed: float = 0.0
     attempts: int = 0
     error: Optional[str] = None
+    worker: Optional[int] = None
 
     @property
     def ok(self) -> bool:
         return self.collector is not None
+
+    def log_row(self) -> dict:
+        """Plain-data form for the store's campaign log."""
+        return {
+            "key": self.key,
+            "scenario": self.spec.describe(),
+            "ok": self.ok,
+            "cached": self.cached,
+            "elapsed": self.elapsed,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "error": self.error,
+            "logged_at": time.time(),
+        }
 
 
 @dataclass
@@ -129,6 +150,7 @@ class CampaignRunner:
         retries: int = 0,
         progress: Optional[ProgressFn] = None,
         mp_context=None,
+        trace_dir: Optional[Union[str, Path]] = None,
     ):
         if timeout is not None and timeout <= 0:
             raise CampaignError("timeout must be positive")
@@ -140,6 +162,8 @@ class CampaignRunner:
         self.retries = retries
         self.progress = progress
         self.mp_context = mp_context
+        #: where flow-lifecycle traces land as <key>.jsonl (None = don't)
+        self.trace_dir = Path(trace_dir) if trace_dir is not None else None
         self._pool: Optional[ProcessPoolExecutor] = None
         self._pool_broken = False
 
@@ -164,7 +188,13 @@ class CampaignRunner:
 
         self._total = len(unique)
         self._done = 0
+        logger.info(
+            "campaign: %d scenario(s), %d cached, %d to run (workers=%d)",
+            len(unique), len(outcomes), len(pending), self.max_workers,
+        )
         for outcome in outcomes.values():
+            self._log_outcome(outcome)
+            self._export_trace(outcome)
             self._report(outcome)
 
         if pending:
@@ -203,7 +233,40 @@ class CampaignRunner:
         outcomes[outcome.key] = outcome
         if outcome.ok and not outcome.cached and self.store is not None:
             self.store.put(outcome.spec, outcome.collector, outcome.elapsed)
+        if not outcome.ok:
+            logger.warning("scenario %s failed (attempt %d): %s",
+                           outcome.spec.describe(), outcome.attempts,
+                           outcome.error)
+        else:
+            logger.debug("scenario %s ok in %.3fs (worker %s)",
+                         outcome.spec.describe(), outcome.elapsed,
+                         outcome.worker)
+        self._log_outcome(outcome)
+        self._export_trace(outcome)
         self._report(outcome)
+
+    def _log_outcome(self, outcome: ScenarioOutcome) -> None:
+        if self.store is not None:
+            self.store.log_outcome(outcome.log_row())
+
+    def _export_trace(self, outcome: ScenarioOutcome) -> None:
+        """Write a scenario's flow-lifecycle trace (if it recorded one)
+        to ``trace_dir/<key>.jsonl`` — cached outcomes included, since
+        the trace round-trips through the store like any other field."""
+        if self.trace_dir is None or not outcome.ok:
+            return
+        if not outcome.collector.trace:
+            return
+        from repro.obs.trace import write_trace_jsonl
+
+        path = write_trace_jsonl(
+            self.trace_dir / f"{outcome.key}.jsonl",
+            outcome.collector.trace,
+            header={"key": outcome.key,
+                    "scenario": outcome.spec.describe()},
+        )
+        logger.info("trace written: %s (%d event(s))", path,
+                    len(outcome.collector.trace))
 
     def _run_serial(self, pending: Sequence[ScenarioSpec],
                     outcomes: Dict[str, ScenarioOutcome]) -> None:
@@ -221,7 +284,8 @@ class CampaignRunner:
                 )
                 self._report(outcomes[spec.key])
                 continue
-            outcome = ScenarioOutcome(spec=spec, key=spec.key)
+            outcome = ScenarioOutcome(spec=spec, key=spec.key,
+                                      worker=os.getpid())
             for attempt in range(self.retries + 1):
                 outcome.attempts = attempt + 1
                 started = time.perf_counter()
@@ -247,6 +311,7 @@ class CampaignRunner:
                 payload["collector"]
             )
             outcome.elapsed = payload["elapsed"]
+            outcome.worker = payload.get("worker")
         except BrokenProcessPool as exc:
             # the pool is unusable from now on; flag it for rebuild
             self._pool_broken = True

@@ -5,6 +5,12 @@ Each file holds the canonical spec (for provenance / ``repro ls``), the
 one-line summary, and the full serialized
 :class:`~repro.metrics.collector.MetricsCollector`, so any paper metric
 can be recomputed from a cache hit without re-simulating.
+
+Campaign telemetry rides alongside: every scenario outcome (fresh,
+cached, or failed) appends one line to ``campaign_log.jsonl`` in the
+same directory — wall time, attempt count, cache hit/miss, worker pid —
+which ``repro report`` summarizes. The log's ``.jsonl`` suffix keeps it
+invisible to the ``*.json`` entry glob.
 """
 
 from __future__ import annotations
@@ -13,7 +19,7 @@ import json
 import os
 import tempfile
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Union
 
@@ -34,6 +40,7 @@ class StoreEntry:
     summary: Dict[str, Any]
     created_at: float
     elapsed: float
+    stats: Dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         spec = ScenarioSpec.from_dict(self.spec)
@@ -117,6 +124,48 @@ class ResultStore:
             n += 1
         return n
 
+    # -- campaign log -------------------------------------------------------------
+
+    LOG_NAME = "campaign_log.jsonl"
+
+    @property
+    def log_path(self) -> Path:
+        return self.root / self.LOG_NAME
+
+    def log_outcome(self, row: Dict[str, Any]) -> None:
+        """Append one scenario-outcome row to the campaign log.
+
+        Append-only JSONL: cheap, crash-tolerant (a torn final line is
+        skipped on read), and safe for the ``*.json`` entry glob.
+        """
+        with self.log_path.open("a", encoding="utf-8") as fh:
+            fh.write(json.dumps(row) + "\n")
+
+    def read_log(self) -> List[Dict[str, Any]]:
+        """All campaign-log rows, oldest first (corrupt lines skipped)."""
+        path = self.log_path
+        if not path.exists():
+            return []
+        rows: List[Dict[str, Any]] = []
+        with path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    row = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(row, dict):
+                    rows.append(row)
+        return rows
+
+    def clear_log(self) -> bool:
+        if self.log_path.exists():
+            self.log_path.unlink()
+            return True
+        return False
+
     # -- inspection ---------------------------------------------------------------
 
     def entries(self) -> List[StoreEntry]:
@@ -126,12 +175,18 @@ class ResultStore:
             payload = self._load(path.stem)
             if payload is None:
                 continue
+            collector = payload.get("collector")
+            stats = (
+                collector.get("stats", {}) if isinstance(collector, dict)
+                else {}
+            )
             out.append(StoreEntry(
                 key=payload["key"],
                 spec=payload["spec"],
                 summary=payload.get("summary", {}),
                 created_at=payload.get("created_at", 0.0),
                 elapsed=payload.get("elapsed", 0.0),
+                stats=stats,
             ))
         return sorted(out, key=lambda e: e.created_at)
 

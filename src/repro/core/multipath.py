@@ -38,6 +38,10 @@ def subflow_fid(parent_fid: int, index: int) -> int:
 class _SubflowMetrics:
     """Metrics adapter: translates subflow callbacks onto the parent flow."""
 
+    #: subflow rate changes are internal scheduling detail, not parent
+    #: flow lifecycle — lifecycle tracing sees only the real collector
+    tracer = None
+
     def __init__(self, coordinator: "MpdqCoordinator"):
         self._coord = coordinator
 

@@ -119,6 +119,7 @@ class PdqSender(RateBasedSender):
         if self.rate <= 0:
             if self._paused_since is None:
                 self._paused_since = now
+                self.net.flow_pauses += 1
             if (
                 self.handshake_done
                 and not self.term_sent
@@ -130,6 +131,7 @@ class PdqSender(RateBasedSender):
             if self._paused_since is not None:
                 self._waited += now - self._paused_since
                 self._paused_since = None
+                self.net.flow_resumes += 1
             self._probe_timer.cancel()
 
     def _probe_interval(self) -> float:

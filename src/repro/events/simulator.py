@@ -58,6 +58,8 @@ class Simulator:
         self._stopped: bool = False
         self.processed_events: int = 0
         self.compactions: int = 0
+        #: lazy Timer push-backs absorbed without touching the heap
+        self.timer_pushbacks: int = 0
 
     # -- scheduling ----------------------------------------------------------
 

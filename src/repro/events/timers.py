@@ -59,6 +59,7 @@ class Timer:
         event = self._event
         if event is not None and not event.cancelled and event.time <= at:
             self._deadline = at  # lazy push-back: no heap traffic
+            self._sim.timer_pushbacks += 1
             return
         if event is not None:
             event.cancel()

@@ -70,6 +70,12 @@ class FlowLevelSimulation:
         self.now = 0.0
         self.recomputations = 0  # allocate() calls
         self.iterations = 0      # main-loop passes (event boundaries)
+        self.pauses = 0          # flows preempted (rate driven to zero)
+        self.resumes = 0         # paused flows granted rate again
+        #: per-event-boundary samplers (repro.obs.probes); empty unless a
+        #: scenario requested probes, so the default run pays one truth
+        #: test per iteration
+        self.samplers: List = []
 
     # -- setup helpers --------------------------------------------------------------
 
@@ -171,6 +177,9 @@ class FlowLevelSimulation:
                     flow.waited += dt
             self.now = horizon
             self._complete_finished(sending, active)
+            if self.samplers:
+                for sampler in self.samplers:
+                    sampler.on_step(self, active)
         return self.metrics
 
     # -- helpers ---------------------------------------------------------------------------
@@ -201,15 +210,20 @@ class FlowLevelSimulation:
         entries stay valid until the next rate change bumps the version)."""
         now = self.now
         rates_get = rates.get
+        tracer = self.metrics.tracer
         sending: List[FlowProgress] = []
         for flow in active:
             rate = rates_get(flow.fid, 0.0)
             if rate <= 0 and flow.paused_since is None:
                 flow.paused_since = now
+                self.pauses += 1
             elif rate > 0 and flow.paused_since is not None:
                 flow.waited += now - flow.paused_since
                 flow.paused_since = None
+                self.resumes += 1
             if rate != flow.rate:
+                if tracer is not None:
+                    tracer.on_rate(flow.fid, now, rate)
                 flow.rate = rate
                 flow.eta_version += 1
                 if rate > 0:

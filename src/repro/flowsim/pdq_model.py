@@ -38,6 +38,10 @@ class PdqModel:
         # remaining_wire. Entries live as long as the model does (bounded
         # by the flows of one run; models are built per scenario).
         self._key_cache: Dict[FlowProgress, Tuple[float, tuple]] = {}
+        # comparator-cache telemetry: keys served from cache vs recomputed
+        # (covers both the incremental-sort reuse and the static-key cache)
+        self.cache_hits = 0
+        self.cache_misses = 0
         # incremental-sort state, only used under the begin_run() contract
         self._incremental = False
         self._prev_keyed: Optional[list] = None
@@ -150,6 +154,8 @@ class PdqModel:
                         ),
                         flow, flow.remaining_wire,
                     ))
+            self.cache_hits += len(keyed)
+            self.cache_misses += len(tail)
             if tail:
                 keyed.extend(tail)
                 keyed.sort()
@@ -160,11 +166,13 @@ class PdqModel:
             # static once the flow exists)
             cache = self._key_cache
             keyed = []
+            hits = 0
             for flow in flows:
                 remaining = flow.remaining_wire
                 cached = cache.get(flow)
                 if cached is not None and cached[0] == remaining:
                     keyed.append((cached[1], flow, remaining))
+                    hits += 1
                 else:
                     key = comparator_key(
                         flow.fid, flow.abs_deadline, flow.expected_tx(),
@@ -172,6 +180,8 @@ class PdqModel:
                     )
                     cache[flow] = (remaining, key)
                     keyed.append((key, flow, remaining))
+            self.cache_hits += hits
+            self.cache_misses += len(flows) - hits
             keyed.sort()
             if self._incremental:
                 self._prev_keyed = keyed

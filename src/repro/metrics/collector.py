@@ -24,6 +24,15 @@ class MetricsCollector:
         self.records: Dict[int, FlowRecord] = {}
         self._unresolved = 0
         self._observers: List[Callable[[], None]] = []
+        #: run counters harvested from the engines (repro.obs.stats)
+        self.stats: Dict[str, int] = {}
+        #: declarative probe series keyed by probe name (repro.obs.probes)
+        self.probes: Dict[str, dict] = {}
+        #: flow-lifecycle events when tracing was requested (repro.obs.trace)
+        self.trace: List[dict] = []
+        #: live FlowTracer during a traced run; engines check for None on
+        #: every lifecycle transition, so un-traced runs pay one test
+        self.tracer = None
 
     # -- completion observers ----------------------------------------------------
 
@@ -60,6 +69,8 @@ class MetricsCollector:
         record = FlowRecord(spec=spec)
         self.records[spec.fid] = record
         self._unresolved += 1
+        if self.tracer is not None:
+            self.tracer.on_arrival(spec.fid, spec.arrival)
         return record
 
     def on_start(self, fid: int, time: float) -> None:
@@ -72,6 +83,8 @@ class MetricsCollector:
         record = self.records[fid]
         if record.completion_time is None:
             record.completion_time = time
+            if self.tracer is not None:
+                self.tracer.on_complete(fid, time)
             if not record.terminated:
                 self._resolve_one()
 
@@ -82,6 +95,8 @@ class MetricsCollector:
             record.terminated = True
             record.termination_time = time
             record.termination_reason = reason
+            if self.tracer is not None and newly_resolved:
+                self.tracer.on_terminated(fid, time, reason)
             if newly_resolved:
                 self._resolve_one()
 
@@ -97,12 +112,22 @@ class MetricsCollector:
         """Plain-data form (JSON-safe), inverse of :meth:`from_dict`.
 
         Round-tripping preserves every per-flow record exactly, so any
-        paper metric can be recomputed from a restored collector."""
-        return {
+        paper metric can be recomputed from a restored collector.
+        Telemetry keys (``stats``, ``probes``, ``trace``) are emitted
+        only when non-empty, so pre-telemetry payload shapes — and the
+        engine-parity comparisons pinned on them — are unchanged."""
+        out: dict = {
             "records": [
                 self.records[fid].to_dict() for fid in sorted(self.records)
             ],
         }
+        if self.stats:
+            out["stats"] = {k: self.stats[k] for k in sorted(self.stats)}
+        if self.probes:
+            out["probes"] = self.probes
+        if self.trace:
+            out["trace"] = self.trace
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "MetricsCollector":
@@ -114,6 +139,9 @@ class MetricsCollector:
             1 for r in collector.records.values()
             if not r.completed and not r.terminated
         )
+        collector.stats = dict(data.get("stats", {}))
+        collector.probes = dict(data.get("probes", {}))
+        collector.trace = list(data.get("trace", []))
         return collector
 
     # -- queries ------------------------------------------------------------------

@@ -1,12 +1,15 @@
-"""Time-series monitors for links (utilization and queue occupancy).
+"""Time-series monitors for the packet engine.
 
-Used by the Fig 6 / Fig 7 dynamics experiments, which plot bottleneck
-utilization and queue length over time.
+:class:`LinkMonitor` (utilization and queue occupancy) backs the Fig 6 /
+Fig 7 dynamics experiments; :class:`FlowRateMonitor` samples per-flow
+goodput. Both are also the packet-engine half of the declarative probe
+layer (:mod:`repro.obs.probes`), which makes the same series available
+to any scenario through the ``probes`` spec option.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple
 
 from repro.events.simulator import Simulator
 from repro.events.timers import PeriodicTimer
@@ -76,3 +79,45 @@ class LinkMonitor:
     def max_queue_packets(self, start: float = 0.0, end: float = float("inf")) -> int:
         window = [q for t, _, q, _ in self.samples if start <= t <= end]
         return max(window) if window else 0
+
+
+class FlowRateMonitor:
+    """Samples per-flow goodput every ``interval`` seconds.
+
+    Rates are delivered-byte deltas over the interval (bits/s), read
+    from the run's :class:`~repro.metrics.collector.MetricsCollector`
+    records — the receiver-side view, which is what "rate" means once
+    queues and losses are in play. Flows with no progress in an interval
+    are omitted from that sample, so long runs stay compact.
+    """
+
+    def __init__(self, sim: Simulator, collector, interval: float):
+        if interval <= 0:
+            raise ValueError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.collector = collector
+        self.interval = interval
+        #: (time, {fid (as str, JSON-stable): rate_bps})
+        self.samples: List[Tuple[float, Dict[str, float]]] = []
+        self._delivered: Dict[int, int] = {}
+        self._timer = PeriodicTimer(sim, interval, self._sample)
+
+    def start(self) -> None:
+        self._delivered = {
+            fid: record.bytes_delivered
+            for fid, record in self.collector.records.items()
+        }
+        self._timer.start()
+
+    def stop(self) -> None:
+        self._timer.stop()
+
+    def _sample(self) -> None:
+        rates: Dict[str, float] = {}
+        seen = self._delivered
+        for fid, record in self.collector.records.items():
+            delta = record.bytes_delivered - seen.get(fid, 0)
+            if delta > 0:
+                rates[str(fid)] = delta * 8.0 / self.interval
+            seen[fid] = record.bytes_delivered
+        self.samples.append((self.sim.now, rates))

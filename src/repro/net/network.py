@@ -52,6 +52,10 @@ class Network:
         self.config = config or NetworkConfig()
         self.metrics = metrics or MetricsCollector()
 
+        #: preemption counters (senders report pause/resume transitions)
+        self.flow_pauses = 0
+        self.flow_resumes = 0
+
         self.nodes: List[Node] = []
         self._by_name: Dict[str, Node] = {}
         self.links: List[Link] = []

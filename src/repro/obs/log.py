@@ -1,0 +1,70 @@
+"""Stdlib logging for the repro package, wired to the CLI flags.
+
+Everything logs under the ``repro.*`` hierarchy; the CLI translates
+``-v``/``-q`` into a level on the ``repro`` root logger:
+
+====================  =========
+flags                 level
+====================  =========
+``-q``                ERROR
+(default)             WARNING
+``-v``                INFO
+``-vv``               DEBUG
+====================  =========
+
+Library code just does ``logger = get_logger(__name__)`` and logs; with
+no CLI configuration the records fall through to stdlib defaults
+(WARNING to stderr), so embedding the package needs no setup either.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+
+ROOT = "repro"
+
+_LEVELS = {-1: logging.ERROR, 0: logging.WARNING, 1: logging.INFO}
+
+
+class _StderrHandler(logging.StreamHandler):
+    """A stream handler that resolves ``sys.stderr`` at emit time, so
+    long-lived processes that swap stderr (test harnesses, daemons
+    redirecting output) never log into a stale stream."""
+
+    def __init__(self) -> None:
+        logging.Handler.__init__(self)
+
+    @property
+    def stream(self):
+        return sys.stderr
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (idempotent)."""
+    if not name.startswith(ROOT):
+        name = f"{ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def setup_cli_logging(verbosity: int = 0) -> logging.Logger:
+    """Configure the ``repro`` root logger for a CLI invocation.
+
+    ``verbosity`` is ``(#-v flags) - (#-q flags)``; anything above 1 is
+    DEBUG, anything below -1 still shows errors. Handlers go to stderr
+    so piped stdout (tables, JSON) stays clean. Idempotent: re-invoking
+    replaces the level, not the handler.
+    """
+    logger = logging.getLogger(ROOT)
+    level = _LEVELS.get(max(-1, min(1, verbosity)), logging.DEBUG)
+    if verbosity > 1:
+        level = logging.DEBUG
+    logger.setLevel(level)
+    if not logger.handlers:
+        handler = _StderrHandler()
+        handler.setFormatter(
+            logging.Formatter("%(levelname)s %(name)s: %(message)s")
+        )
+        logger.addHandler(handler)
+        logger.propagate = False
+    return logger

@@ -1,0 +1,135 @@
+"""``python -m repro report`` — summarize a result store.
+
+Reads only artifacts that already exist (the store's scenario entries,
+its campaign log, and optionally a ``VALIDATE_cross_engine.json``) and
+produces one JSON-able summary:
+
+* campaign telemetry — runs, cache hit rate, retries, failures, worker
+  fan-out (from ``campaign_log.jsonl``);
+* the slowest scenario cells by recorded wall time;
+* aggregate run counters summed across every stored scenario (from the
+  ``stats`` each collector now carries);
+* the validation tolerance-margin table: for every check of every pair,
+  how much of its tolerance budget the measured gap consumed
+  (``margin = measured / limit``; anything >= 1.0 is a violation).
+
+Summaries never fail on timing — a slow cell is a row, not an error.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+REPORT_SCHEMA = 1
+
+#: how many rows the "slowest cells" and "tightest margins" tables keep
+TOP_N = 10
+
+
+def _campaign_summary(log_rows: List[dict]) -> dict:
+    executed = sum(1 for r in log_rows if not r.get("cached"))
+    cached = sum(1 for r in log_rows if r.get("cached"))
+    failed = sum(1 for r in log_rows if not r.get("ok"))
+    retries = sum(max(0, r.get("attempts", 1) - 1) for r in log_rows)
+    workers: Dict[str, int] = {}
+    for row in log_rows:
+        worker = row.get("worker")
+        if worker is not None:
+            key = str(worker)
+            workers[key] = workers.get(key, 0) + 1
+    total = executed + cached
+    return {
+        "runs": len(log_rows),
+        "executed": executed,
+        "cached": cached,
+        "failed": failed,
+        "retries": retries,
+        "cache_hit_rate": (cached / total) if total else None,
+        "workers": workers,
+        "wall_time_s": sum(r.get("elapsed", 0.0) for r in log_rows),
+    }
+
+
+def _slowest(entries) -> List[dict]:
+    ranked = sorted(entries, key=lambda e: e.elapsed, reverse=True)
+    return [
+        {
+            "key": entry.key,
+            "scenario": entry.describe(),
+            "elapsed_s": entry.elapsed,
+        }
+        for entry in ranked[:TOP_N]
+    ]
+
+
+def _counter_totals(entries) -> Dict[str, int]:
+    totals: Dict[str, int] = {}
+    for entry in entries:
+        for name, value in entry.stats.items():
+            totals[name] = totals.get(name, 0) + value
+    return {name: totals[name] for name in sorted(totals)}
+
+
+def _validation_margins(payload: dict) -> dict:
+    margins: List[dict] = []
+    for pair in payload.get("pairs", []):
+        for check in pair.get("checks", []):
+            measured, limit = check.get("measured"), check.get("limit")
+            if measured is None or limit is None:
+                continue
+            margins.append({
+                "pair": pair["name"],
+                "check": check["name"],
+                "measured": measured,
+                "limit": limit,
+                "margin": (measured / limit) if limit else
+                          (0.0 if measured == 0 else float("inf")),
+                "ok": check.get("ok", True),
+            })
+    margins.sort(key=lambda m: m["margin"], reverse=True)
+    return {
+        "ok": payload.get("ok"),
+        "n_pairs": payload.get("n_pairs"),
+        "n_failed": payload.get("n_failed"),
+        "tightest": margins[:TOP_N],
+    }
+
+
+def build_report(store, validate_path: Optional[Union[str, Path]] = None,
+                 ) -> dict:
+    """Summarize a :class:`~repro.campaign.store.ResultStore`.
+
+    ``validate_path`` (when given and existing) points at a harness
+    report whose tolerance margins are folded in.
+    """
+    entries = store.entries()
+    log_rows = store.read_log()
+    report = {
+        "schema": REPORT_SCHEMA,
+        "suite": "report",
+        "store": str(store.root),
+        "n_entries": len(entries),
+        "campaign": _campaign_summary(log_rows),
+        "slowest": _slowest(entries),
+        "counters": _counter_totals(entries),
+        "validation": None,
+    }
+    if validate_path is not None:
+        path = Path(validate_path)
+        if path.exists():
+            with path.open(encoding="utf-8") as fh:
+                payload = json.load(fh)
+            report["validation"] = {
+                "path": str(path), **_validation_margins(payload)
+            }
+    return report
+
+
+def write_report(report: dict, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+    return path

@@ -207,6 +207,9 @@ class RateBasedSender(EndpointBase):
 
     def set_rate(self, rate: float) -> None:
         self.rate = max(0.0, rate)
+        tracer = self.net.metrics.tracer
+        if tracer is not None:
+            tracer.on_rate(self.spec.fid, self.sim.now, self.rate)
         if self.rate > 0:
             self._schedule_send()
         else:

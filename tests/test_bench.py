@@ -1,10 +1,11 @@
 """Tests for the flow-level benchmark harness and its CLI wiring."""
 
 import json
+import time
 
 import pytest
 
-from repro.bench import SCENARIOS, run_bench, write_report
+from repro.bench import SCENARIOS, run_bench, write_history, write_report
 from repro.campaign.cli import main
 from repro.errors import ExperimentError
 
@@ -88,15 +89,92 @@ class TestHarness:
             assert field in bench
 
 
+class TestHistory:
+    def test_write_history_appends_one_row_per_run(self, tmp_path):
+        results = run_bench(only=["fattree-multipath"], quick=True,
+                            baseline=False)
+        path = tmp_path / "BENCH_history.jsonl"
+        row = write_history(results, path=str(path), quick=True)
+        write_history(results, path=str(path), quick=True)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == row
+        assert first["schema"] == 1
+        assert first["quick"] is True
+        bench = first["benchmarks"]["fattree-multipath"]
+        assert bench["engine"] == "flow"
+        assert bench["elapsed_s"] > 0
+        assert bench["events_per_sec"] > 0
+        assert "speedup" not in bench  # no baseline requested
+
+    def test_history_row_carries_speedup_with_baseline(self, tmp_path):
+        results = run_bench(only=["single-bottleneck"], quick=True)
+        row = write_history(results, path=str(tmp_path / "h.jsonl"),
+                            quick=True)
+        assert row["benchmarks"]["single-bottleneck"]["speedup"] > 0
+
+
+class TestHotPathGuard:
+    def test_default_off_telemetry_keeps_packet_event_rate(self):
+        """Satellite (hot-path guard): the campaign adapter with
+        default-off telemetry must sustain a packet event rate within
+        noise of the raw engine loop the bench harness times (the PR-4
+        baseline path). Counter harvest happens once per run and tracer
+        hooks are one is-None test per lifecycle transition, so anything
+        beyond scheduler noise means a per-packet cost crept in."""
+        from repro.bench.harness import _timed_packet_run
+        from repro.campaign.engines import run_packet_level
+
+        scenario = next(s for s in SCENARIOS
+                        if s.name == "packet-aggregation")
+
+        raw_best = None
+        adapter_best = None
+        for _ in range(3):
+            elapsed, sim, _ = _timed_packet_run(scenario, quick=True,
+                                                repeat=1)
+            raw = sim.processed_events / elapsed
+            raw_best = max(raw_best or 0.0, raw)
+
+            topology, protocol, flows, sim_deadline = scenario.build(True)
+            started = time.perf_counter()
+            collector = run_packet_level(topology, protocol, flows,
+                                         sim_deadline=sim_deadline)
+            adapter_elapsed = time.perf_counter() - started
+            adapter = collector.stats["sim.events"] / adapter_elapsed
+            adapter_best = max(adapter_best or 0.0, adapter)
+
+        # generous noise bound: CI machines jitter, but a real per-event
+        # regression (a hook in the packet path) costs far more than 2x
+        assert adapter_best >= 0.5 * raw_best, (
+            f"telemetry overhead suspected: adapter {adapter_best:,.0f} "
+            f"events/s vs raw {raw_best:,.0f} events/s"
+        )
+
+
 class TestCli:
     def test_bench_quick_writes_report(self, tmp_path, capsys):
         out = tmp_path / "BENCH_flowsim.json"
+        history = tmp_path / "BENCH_history.jsonl"
         code = main(["bench", "--quick", "--only", "fattree-multipath",
-                     "--no-baseline", "--out", str(out)])
+                     "--no-baseline", "--out", str(out),
+                     "--history", str(history)])
         assert code == 0
         report = json.loads(out.read_text())
         assert report["benchmarks"][0]["name"] == "fattree-multipath"
+        row = json.loads(history.read_text().strip())
+        assert "fattree-multipath" in row["benchmarks"]
         assert "fattree-multipath" in capsys.readouterr().out
+
+    def test_bench_no_history_skips_append(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_flowsim.json"
+        history = tmp_path / "BENCH_history.jsonl"
+        code = main(["bench", "--quick", "--only", "fattree-multipath",
+                     "--no-baseline", "--out", str(out),
+                     "--history", str(history), "--no-history"])
+        assert code == 0
+        assert not history.exists()
 
     def test_bench_list(self, capsys):
         assert main(["bench", "--list"]) == 0
