@@ -153,6 +153,29 @@ def _packet_aggregation_params(quick: bool) -> Dict:
             "mean_deadline_ms": 30, "engine": "packet"}
 
 
+def _packet_incast(quick: bool) -> Built:
+    """Synchronized incast at the packet level: every sender fires at t=0
+    into the one switch->receiver queue (TCP with the paper's small
+    RTOmin). The bottleneck queue runs congested for the whole run, so
+    this measures the tail-drop path, retransmission churn, and packet
+    recycling under pressure — the queue/pool stress twin to the
+    fan-in scenario's scheduling-header hot path."""
+    n_senders = 12 if quick else 40
+    rng = spawn_rng(20120813, "bench:packet_incast")
+    sizes = uniform_sizes(n_senders, 1024 * KBYTE, rng=rng)
+    flows = [
+        FlowSpec(fid=i, src=f"send{i}", dst="recv", size_bytes=sizes[i])
+        for i in range(n_senders)
+    ]
+    return (SingleBottleneck(n_senders), "TCP", flows, 8.0)
+
+
+def _packet_incast_params(quick: bool) -> Dict:
+    return {"n_senders": 12 if quick else 40,
+            "mean_size_kb": 1024,
+            "protocol": "TCP", "engine": "packet"}
+
+
 def _packet_vl2(quick: bool) -> Built:
     """Fig-5-style VL2 mix at the packet level under RCP: Poisson
     arrivals, heavy-tailed sizes, per-switch rate feedback — measures the
@@ -208,6 +231,13 @@ SCENARIOS: List[BenchScenario] = [
         description="packet-level RCP under a VL2 arrival mix",
         build=_packet_vl2,
         params=_packet_vl2_params,
+        engine="packet",
+    ),
+    BenchScenario(
+        name="packet-incast",
+        description="packet-level TCP incast into one congested queue",
+        build=_packet_incast,
+        params=_packet_incast_params,
         engine="packet",
     ),
 ]

@@ -22,9 +22,12 @@ Subcommands::
         List the cached scenario results.
 
     repro bench [--quick] [--only NAME ...] [--no-baseline] [--repeat N]
+                [--profile [--profile-top N] [--profile-out PATH]]
         Time the simulation engines on canonical scenarios (flow-level
         cells against the frozen naive baseline, packet-level cells for
         events/sec trajectory) and write BENCH_flowsim.json.
+        ``--profile`` additionally cProfiles each benchmark and dumps the
+        top functions by cumulative time to stderr (or ``--profile-out``).
 
     repro validate [--quick] [--only FAMILY ...] [--jobs J] ...
         Run matched packet/fluid scenario pairs through the campaign
@@ -325,6 +328,22 @@ def _cmd_ls(args: argparse.Namespace) -> int:
 # -- bench --------------------------------------------------------------------------
 
 
+def _dump_profile(profiler, name: str, top: int, path: str | None) -> None:
+    """Print one benchmark's cProfile top-``top`` by cumulative time to
+    ``path`` (append, so a multi-scenario run collects into one file) or
+    to stderr, keeping the timing table on stdout clean."""
+    import pstats
+
+    stream = open(path, "a") if path else sys.stderr
+    try:
+        print(f"-- profile: {name} (top {top} by cumulative) --", file=stream)
+        stats = pstats.Stats(profiler, stream=stream)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+    finally:
+        if path:
+            stream.close()
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import SCENARIOS, run_bench, write_history, write_report
     from repro.experiments.tables import format_table
@@ -340,11 +359,23 @@ def _cmd_bench(args: argparse.Namespace) -> int:
               f"known: {sorted(known)}", file=sys.stderr)
         return 2
     pool = [s for s in SCENARIOS if not args.only or s.name in set(args.only)]
+    if args.profile and args.profile_out:
+        # fresh file per invocation; scenarios append to it below
+        open(args.profile_out, "w").close()
     results = []
     # run one at a time so progress is visible on slow scenarios
     for scenario in pool:
+        if args.profile:
+            import cProfile
+
+            profiler = cProfile.Profile()
+            profiler.enable()
         got = run_bench(only=[scenario.name], quick=args.quick,
                         baseline=not args.no_baseline, repeat=args.repeat)
+        if args.profile:
+            profiler.disable()
+            _dump_profile(profiler, scenario.name, args.profile_top,
+                          args.profile_out)
         results.extend(got)
         for r in got:
             speed = f" ({r.speedup:.2f}x vs naive)" if r.speedup else ""
@@ -588,6 +619,16 @@ def build_parser() -> argparse.ArgumentParser:
                             "file (default %(default)s)")
     bench.add_argument("--no-history", action="store_true",
                        help="do not append to the bench history file")
+    bench.add_argument("--profile", action="store_true",
+                       help="cProfile each benchmark and dump the hottest "
+                            "functions (timing numbers include profiler "
+                            "overhead; use for hot-path triage, not for "
+                            "the recorded trajectory)")
+    bench.add_argument("--profile-top", type=int, default=25,
+                       help="number of functions to show per profile "
+                            "(default: 25)")
+    bench.add_argument("--profile-out", default=None,
+                       help="write profiles to this file instead of stderr")
     bench.set_defaults(func=_cmd_bench)
 
     report = sub.add_parser(

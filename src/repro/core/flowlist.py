@@ -3,14 +3,28 @@
 Each egress link remembers ``<R_i, P_i, D_i, T_i, RTT_i>`` for the most
 critical flows -- capacity ``max(2*kappa, min_capacity)`` where kappa is the
 number of currently sending flows, hard-capped at M (``hard_flow_limit``).
+
+Layout: the entries live in criticality order next to a parallel flat key
+array. Keys are unique (every comparator ends with the flow id as a
+tiebreaker), so ``bisect`` on the key array locates any entry in O(log n)
+with C-level tuple comparisons -- no linear identity scans -- and a
+refresh whose new key still fits between its neighbors repositions
+in place without touching list structure at all (the common case: a flow
+re-probing with an unchanged deadline moves monotonically through the
+SJF component). ``purge_expired`` keeps a conservative lower bound on the
+oldest ``last_update`` so the per-packet staleness sweep is one float
+compare until something could actually be stale.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from typing import Dict, List, Optional
 
 from repro.core.comparator import CriticalityKey, FlowComparator
 from repro.core.config import PdqConfig
+
+_INF = float("inf")
 
 
 class FlowEntry:
@@ -31,7 +45,7 @@ class FlowEntry:
         self.criticality: Optional[float] = None
         self.requested: float = 0.0     # R_H as the sender asked (pre-clamp)
         self.last_update: float = now
-        self.key: CriticalityKey = (float("inf"), float("inf"), fid)
+        self.key: CriticalityKey = (_INF, _INF, fid)
 
     @property
     def sending(self) -> bool:
@@ -47,8 +61,13 @@ class PdqFlowList:
         self.config = config
         self.comparator = comparator
         self._entries: List[FlowEntry] = []   # sorted, most critical first
+        self._keys: List[CriticalityKey] = []  # parallel: _keys[i] == _entries[i].key
         self._by_fid: Dict[int, FlowEntry] = {}
         self.evictions = 0
+        #: conservative lower bound on min(entry.last_update); refreshes
+        #: only raise the true minimum, so a stale bound just means one
+        #: wasted scan, never a missed purge
+        self._min_last_update: float = _INF
 
     # -- basic container ----------------------------------------------------------
 
@@ -65,8 +84,7 @@ class PdqFlowList:
         return self._entries[index]
 
     def index_of(self, fid: int) -> int:
-        entry = self._by_fid[fid]
-        return self._entries.index(entry)
+        return self._locate(self._by_fid[fid])
 
     # -- sizing ----------------------------------------------------------------------
 
@@ -90,19 +108,23 @@ class PdqFlowList:
         there is room or the flow beats the least critical entry. Returns
         the new entry, or None if the flow must use the RCP fallback."""
         capacity = self.capacity
-        if len(self._entries) >= capacity:
-            least = self._entries[-1]
-            if not self.comparator.more_critical(key, least.key):
+        entries = self._entries
+        keys = self._keys
+        if len(entries) >= capacity:
+            if not self.comparator.more_critical(key, keys[-1]):
                 return None
         entry = FlowEntry(fid, now)
         entry.key = key
-        self._insert(entry)
+        pos = bisect_right(keys, key)
+        entries.insert(pos, entry)
+        keys.insert(pos, key)
         self._by_fid[fid] = entry
-        evicted = []
-        while len(self._entries) > capacity:
-            evicted.append(self._entries.pop())
+        if now < self._min_last_update:
+            self._min_last_update = now
+        while len(entries) > capacity:
+            gone = entries.pop()
+            keys.pop()
             self.evictions += 1
-        for gone in evicted:
             del self._by_fid[gone.fid]
         return entry if fid in self._by_fid else None
 
@@ -110,34 +132,57 @@ class PdqFlowList:
         entry = self._by_fid.pop(fid, None)
         if entry is None:
             return False
-        self._entries.remove(entry)
+        index = self._locate(entry)
+        del self._entries[index]
+        del self._keys[index]
         return True
 
     def reposition(self, entry: FlowEntry, key: CriticalityKey) -> int:
         """Update an entry's key and restore sorted order; returns the new
         index."""
-        self._entries.remove(entry)
+        entries = self._entries
+        keys = self._keys
+        index = self._locate(entry)
+        last = len(keys) - 1
+        if ((index == 0 or keys[index - 1] < key)
+                and (index == last or key < keys[index + 1])):
+            # order unchanged: overwrite in place (keys are unique, so
+            # strict neighbor bounds are exact)
+            entry.key = key
+            keys[index] = key
+            return index
+        del entries[index]
+        del keys[index]
         entry.key = key
-        return self._insert(entry)
+        pos = bisect_right(keys, key)
+        entries.insert(pos, entry)
+        keys.insert(pos, key)
+        return pos
 
     def purge_expired(self, now: float, horizon: float) -> List[int]:
         """Drop entries not refreshed within ``horizon`` seconds (protects
         against lost TERMs; §5.6's loss resilience depends on it)."""
+        if now - self._min_last_update <= horizon:
+            return []  # even the oldest known refresh is still fresh
         stale = [e for e in self._entries if now - e.last_update > horizon]
         for entry in stale:
-            self._entries.remove(entry)
+            index = self._locate(entry)
+            del self._entries[index]
+            del self._keys[index]
             del self._by_fid[entry.fid]
+        self._min_last_update = min(
+            (e.last_update for e in self._entries), default=_INF
+        )
         return [e.fid for e in stale]
 
     # -- internals --------------------------------------------------------------------
 
-    def _insert(self, entry: FlowEntry) -> int:
-        lo, hi = 0, len(self._entries)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if self._entries[mid].key <= entry.key:
-                lo = mid + 1
-            else:
-                hi = mid
-        self._entries.insert(lo, entry)
-        return lo
+    def _locate(self, entry: FlowEntry) -> int:
+        """Index of ``entry`` via bisect on its key (exact: keys are
+        unique). Falls back to an identity scan if the key was mutated
+        behind the list's back."""
+        keys = self._keys
+        index = bisect_left(keys, entry.key)
+        if index < len(keys) and self._entries[index] is entry:
+            return index
+        return self._entries.index(entry)

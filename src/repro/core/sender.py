@@ -91,14 +91,14 @@ class PdqSender(RateBasedSender):
 
     def make_sched_header(self, kind: PacketKind) -> PdqHeader:
         rtt = self.rtt.srtt if self.rtt.srtt is not None else self.config.default_rtt
-        return PdqHeader(
-            rate=self.max_rate,
-            pauseby=self.pauseby,
-            deadline=self.deadline,
-            expected_tx=self._aged_expected_tx(),
-            rtt=rtt,
-            inter_probe=self.config.probe_interval_rtts,
-            criticality=self._criticality_value(),
+        return self.pool.acquire_pdq(
+            self.max_rate,
+            self.pauseby,
+            self.deadline,
+            self._aged_expected_tx(),
+            rtt,
+            self.config.probe_interval_rtts,
+            self._criticality_value(),
         )
 
     # -- feedback ----------------------------------------------------------------------

@@ -43,8 +43,12 @@ class PdqLinkState:
         self.last_accept_time = -float("inf")
         self.last_accept_fid: Optional[int] = None
         self.last_accept_key = None
-        # flows that did not fit in the list (RCP fallback, §3.3.1)
+        # flows that did not fit in the list (RCP fallback, §3.3.1);
+        # _outside_min is a conservative lower bound on the oldest
+        # timestamp, so the per-packet expiry sweep costs one compare
+        # until something could actually be stale
         self.outside: Dict[int, float] = {}
+        self._outside_min = float("inf")
         self.pauses = 0
         self.accepts = 0
 
@@ -65,7 +69,12 @@ class PdqLinkState:
         for fid in self.flows.purge_expired(now, horizon):
             self.protocol.forget(fid, self)
         cutoff = now - horizon
-        self.outside = {f: t for f, t in self.outside.items() if t >= cutoff}
+        if self._outside_min < cutoff:
+            # only rebuild when some fallback flow is actually stale --
+            # otherwise the filtered dict would be identical
+            outside = {f: t for f, t in self.outside.items() if t >= cutoff}
+            self.outside = outside
+            self._outside_min = min(outside.values(), default=float("inf"))
 
     # -- Algorithm 2 ------------------------------------------------------------------
 
@@ -81,17 +90,20 @@ class PdqLinkState:
         §4 -- drivers accepted, everyone else paused -- reachable in O(1)
         probes instead of through admission races)."""
         config = self.config
+        early_start = config.early_start
+        k_threshold = config.K
         early_start_budget = 0.0
         allocated = 0.0
         rtt = self.rtt_avg_value()
+        entries = self.flows._entries
         for i in range(index):
-            entry = self.flows.entry_at(i)
+            entry = entries[i]
             entry_rtt = entry.rtt if entry.rtt > 0 else rtt
             ratio = entry.expected_tx / entry_rtt if entry_rtt > 0 else float("inf")
             if (
-                config.early_start
-                and ratio < config.K
-                and early_start_budget < config.K
+                early_start
+                and ratio < k_threshold
+                and early_start_budget < k_threshold
             ):
                 early_start_budget += ratio
             elif entry.pauseby is None and entry.rate > 0:
@@ -221,6 +233,8 @@ class PdqLinkState:
         flows' reservations, not just committed rates -- a burst of listed
         but not-yet-committed flows still owns the link."""
         self.outside[fid] = now
+        if now < self._outside_min:
+            self._outside_min = now
         my_id_ = self.protocol.switch_id
         listed_rate = 0.0
         for entry in self.flows:
@@ -307,11 +321,14 @@ class PdqSwitchProtocol:
 
     def process(self, packet: Packet, out_link: Link) -> None:
         header = packet.sched
-        if not isinstance(header, PdqHeader):
+        if header.__class__ is not PdqHeader:
             return
         kind = packet.kind
         if kind in (PacketKind.SYN, PacketKind.DATA, PacketKind.PROBE):
-            self.state_for(out_link).on_forward(packet)
+            state = self._states.get(out_link.link_id)
+            if state is None:
+                state = self.state_for(out_link)
+            state.on_forward(packet)
         elif kind == PacketKind.TERM:
             self.state_for(out_link).on_term(packet)
         elif kind in (PacketKind.SYN_ACK, PacketKind.ACK):

@@ -148,24 +148,29 @@ class Simulator:
             raise SimulationError("simulator is not reentrant")
         self._running = True
         self._stopped = False
+        # hot loop: sentinel floats fold the None checks into one float
+        # compare each, heappop binds locally, and the _stopped check sits
+        # after event processing (it is reset above, so only a fired event
+        # can set it -- checking at the bottom is equivalent and skips one
+        # branch per iteration)
         fired = 0
         heap = self._heap
+        pop = heappop
+        until_v = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         try:
             while heap:
-                if self._stopped:
-                    break
-                if max_events is not None and fired >= max_events:
-                    break
                 entry = heap[0]
                 time = entry[0]
-                if until is not None and time > until:
+                if time > until_v or fired >= budget:
                     break
-                heappop(heap)
-                if len(entry) == 4:
-                    self._live -= 1
-                    self.now = time
-                    entry[2](*entry[3])
-                else:
+                pop(heap)
+                try:
+                    # typed fast path: (time, seq, callback, args). The
+                    # IndexError probe replaces a len() call per event;
+                    # cancellable 3-tuples take the exception path
+                    args = entry[3]
+                except IndexError:
                     event = entry[2]
                     if event.cancelled:
                         self._tombstones -= 1
@@ -177,8 +182,14 @@ class Simulator:
                     event._cancel_hook = None
                     self.now = time
                     event.callback(*event.args)
+                else:
+                    self._live -= 1
+                    self.now = time
+                    entry[2](*args)
                 fired += 1
                 self.processed_events += 1
+                if self._stopped:
+                    break
             if until is not None and not self._stopped and self.now < until:
                 self.now = until
         finally:

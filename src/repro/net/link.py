@@ -4,10 +4,16 @@ Delay model per the paper's Figure 2: transmission delay = size/rate,
 fixed propagation delay, and a per-hop processing delay charged at the
 receiving node. Random wire loss (Fig 9) is applied after transmission,
 independently in each direction.
+
+The link is a terminal sink for packets that never reach the far node:
+tail-drops and wire losses release the packet (and its scheduling
+header) back into the shared :class:`~repro.net.pool.PacketPool` so the
+hot path recycles objects instead of allocating.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Optional
 
 import numpy as np
@@ -15,10 +21,10 @@ import numpy as np
 from repro.events.simulator import Simulator
 from repro.net.packet import Packet
 from repro.net.queues import DropTailQueue
-from repro.units import tx_time
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from repro.net.node import Node
+    from repro.net.pool import PacketPool
 
 
 class Link:
@@ -45,6 +51,9 @@ class Link:
         self.queue = DropTailQueue(buffer_bytes)
         self.link_id = link_id
         self.reverse: Optional["Link"] = None
+
+        # terminal sink: tail-drops and wire losses release into the pool
+        self.pool: Optional["PacketPool"] = None
 
         # random wire loss (Fig 9); set via Network.set_loss
         self.loss_rate: float = 0.0
@@ -83,10 +92,28 @@ class Link:
 
     def enqueue(self, packet: Packet) -> bool:
         """Accept a packet for transmission; False means it was tail-dropped."""
-        if not self.queue.offer(packet):
+        if self._transmitting:
+            if not self.queue.offer(packet):
+                if self.pool is not None:
+                    self.pool.release(packet)
+                return False
+            return True
+        # idle link: the packet would be offered and popped right back, so
+        # run the queue's accounting-only path and start transmitting
+        # directly (byte counters, drops and peak_bytes update exactly as
+        # the offer+pop pair did)
+        if not self.queue.touch(packet):
+            if self.pool is not None:
+                self.pool.release(packet)
             return False
-        if not self._transmitting:
-            self._start_next()
+        self._transmitting = True
+        sim = self.sim
+        now = sim.now
+        self._tx_started = now
+        heappush(sim._heap, (now + packet.size * 8 / self.rate_bps,
+                             sim._seq, self._finish_cb, (packet,)))
+        sim._seq += 1
+        sim._live += 1
         return True
 
     def _start_next(self) -> None:
@@ -95,15 +122,25 @@ class Link:
             self._transmitting = False
             return
         self._transmitting = True
-        self._tx_started = self.sim.now
-        delay = tx_time(packet.size, self.rate_bps)
-        self.sim.call_after(delay, self._finish_cb, packet)
+        # inlined sim.call_after (the two hottest schedule sites in the
+        # whole engine): same heap tuple, same seq ordering, one less
+        # Python frame per transmission. The inlined tx_time keeps the
+        # exact expression (size * 8 / rate) so timestamps stay
+        # bit-identical to the helper's
+        sim = self.sim
+        now = sim.now
+        self._tx_started = now
+        heappush(sim._heap, (now + packet.size * 8 / self.rate_bps,
+                             sim._seq, self._finish_cb, (packet,)))
+        sim._seq += 1
+        sim._live += 1
 
     def _finish(self, packet: Packet) -> None:
         # busy time is charged as it elapses (pro-rated via the property
         # while in flight, folded into the accumulator here), so a
         # utilization window ending mid-transmission never overcounts
-        self._busy_accum += self.sim.now - self._tx_started
+        sim = self.sim
+        self._busy_accum += sim.now - self._tx_started
         self._transmitting = False
         self.bytes_sent += packet.size
         self.packets_sent += 1
@@ -114,9 +151,13 @@ class Link:
         )
         if lost:
             self.wire_losses += 1
+            if self.pool is not None:
+                self.pool.release(packet)
         else:
-            self.sim.call_after(self._arrival_delay, self._deliver_cb,
-                                packet, self)
+            heappush(sim._heap, (sim.now + self._arrival_delay, sim._seq,
+                                 self._deliver_cb, (packet, self)))
+            sim._seq += 1
+            sim._live += 1
         self._start_next()
 
     # -- introspection ------------------------------------------------------------

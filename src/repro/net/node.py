@@ -46,6 +46,8 @@ class Node:
         self.name = name
         self.processing_delay = processing_delay
         self.protocol: Optional[NodeProtocol] = None
+        #: packet pool, wired by Network; hosts release consumed packets
+        self.pool = None
         self.forwarded = 0
 
     def receive(self, packet: Packet, in_link: Optional[Link]) -> None:
@@ -77,7 +79,25 @@ class Switch(Node):
     """Forwards packets along their pinned path."""
 
     def receive(self, packet: Packet, in_link: Optional[Link]) -> None:
-        self._forward(packet)
+        # _forward inlined: switches relay every packet they see, so this
+        # is the hottest receive path in the engine (one frame per hop)
+        path = packet.path
+        hop = packet.hop
+        if hop >= len(path):
+            raise ProtocolError(
+                f"packet {packet!r} ran out of path at {self.name}"
+            )
+        out_link = path[hop]
+        packet.hop = hop + 1
+        if out_link.src is not self:
+            raise ProtocolError(
+                f"path inconsistency: link {out_link.name} does not leave "
+                f"{self.name}"
+            )
+        if self.protocol is not None:
+            self.protocol.process(packet, out_link)
+        self.forwarded += 1
+        out_link.enqueue(packet)
 
 
 class Host(Node):
@@ -114,8 +134,13 @@ class Host(Node):
         if endpoint is None:
             # late packet for an already-closed flow; harmless
             self.stray_packets += 1
-            return
-        endpoint.on_packet(packet)
+        else:
+            endpoint.on_packet(packet)
+        # the destination is the packet's terminal sink: recycle it (any
+        # header transferred onto an ACK was detached in _reply first)
+        pool = self.pool
+        if pool is not None:
+            pool.release(packet)
 
     # -- endpoint registry ---------------------------------------------------------
 

@@ -1,0 +1,203 @@
+"""Packet and scheduling-header pooling for the packet hot path.
+
+Every data packet used to cost two allocations (a :class:`Packet` and a
+scheduling header) plus one more for its ACK; at hundreds of thousands of
+events per second that is pure allocator churn. The pool keeps free lists
+of slotted objects and recycles them along the packet lifecycle:
+
+* **acquire** -- the transports (``transport/base.py``, ``transport/tcp.py``
+  and the protocol ``make_sched_header`` hooks) take packets and headers
+  from the pool when they send.
+* **release** -- exactly one terminal sink gives each packet back: the
+  destination host when it consumes (or strays) the packet, the link when
+  it tail-drops on ``enqueue``, or the link when random wire loss eats it
+  after transmission. Releasing a packet also releases the header still
+  attached to it, so a header that was transferred onto an ACK
+  (:meth:`AckingReceiver.make_ack_header` moves the *same* object) must be
+  detached from the original packet first -- ``_reply`` nulls the donor's
+  ``sched`` field for exactly this reason.
+
+Free lists follow the vLLM block-manager idiom: LIFO stacks of
+preallocated objects, ``__new__``-constructed on miss so the hot path
+never pays ``__init__`` validation. ``debug=True`` turns on the lifecycle
+checker: double/foreign releases raise, releases must leave no stale
+``sched``/``ack_range``/``path`` behind, and :meth:`assert_no_leaks`
+flags packets that never came back.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ProtocolError
+from repro.net.headers import D3Header, PdqHeader, RcpHeader
+from repro.net.packet import Packet, PacketKind
+
+
+class PacketPool:
+    """Free-list recycler for :class:`Packet` and scheduling headers."""
+
+    def __init__(self, preallocate: int = 0, debug: bool = False):
+        self._free: List[Packet] = []
+        self._free_pdq: List[PdqHeader] = []
+        self._free_rcp: List[RcpHeader] = []
+        self._free_d3: List[D3Header] = []
+        self.hits = 0
+        self.misses = 0
+        self.created = 0
+        self.debug = debug
+        self._outstanding: dict = {}  # id(packet) -> packet (debug only)
+        for _ in range(preallocate):
+            packet = Packet.__new__(Packet)
+            packet.sched = None
+            packet.ack_range = None
+            packet.path = ()
+            self._free.append(packet)
+            self.created += 1
+
+    # -- packets ---------------------------------------------------------------
+
+    def acquire(
+        self,
+        fid: int,
+        src: int,
+        dst: int,
+        kind: PacketKind,
+        size: int,
+        seq: int = 0,
+        payload: int = 0,
+        sched: Optional[object] = None,
+        ack_seq: int = 0,
+        ack_range: Optional[Tuple[int, int]] = None,
+        echo_time: float = -1.0,
+        path: Tuple = (),
+    ) -> Packet:
+        """Checked-out packet with every field assigned; no allocation on
+        a free-list hit, and no ``Packet.__init__`` validation either way
+        (callers are the transports, which always pass consistent sizes)."""
+        free = self._free
+        if free:
+            packet = free.pop()
+            self.hits += 1
+            if self.debug:
+                self._check_clean(packet)
+        else:
+            packet = Packet.__new__(Packet)
+            self.misses += 1
+            self.created += 1
+        packet.fid = fid
+        packet.src = src
+        packet.dst = dst
+        packet.kind = kind
+        packet.seq = seq
+        packet.payload = payload
+        packet.size = size
+        packet.sched = sched
+        packet.ack_seq = ack_seq
+        packet.ack_range = ack_range
+        packet.echo_time = echo_time
+        packet.path = path
+        packet.hop = 0
+        packet.sent_time = -1.0
+        if self.debug:
+            self._outstanding[id(packet)] = packet
+        return packet
+
+    def release(self, packet: Packet) -> None:
+        """Return a packet (and any attached header) to the free lists.
+
+        Terminal sinks only: the consuming host, a tail-drop, or a wire
+        loss. Reference fields are cleared so a recycled packet can never
+        leak a previous flow's header, ack range or pinned path."""
+        if self.debug:
+            if self._outstanding.pop(id(packet), None) is None:
+                raise ProtocolError(
+                    f"pool release of a packet it does not own: {packet!r} "
+                    "(double release, or a packet constructed outside the "
+                    "pool)"
+                )
+        sched = packet.sched
+        if sched is not None:
+            self.release_header(sched)
+            packet.sched = None
+        packet.ack_range = None
+        packet.path = ()
+        self._free.append(packet)
+
+    # -- headers ---------------------------------------------------------------
+
+    def acquire_pdq(self, rate, pauseby, deadline, expected_tx, rtt,
+                    inter_probe, criticality) -> PdqHeader:
+        free = self._free_pdq
+        header = free.pop() if free else PdqHeader.__new__(PdqHeader)
+        header.rate = rate
+        header.pauseby = pauseby
+        header.deadline = deadline
+        header.expected_tx = expected_tx
+        header.rtt = rtt
+        header.inter_probe = inter_probe
+        header.criticality = criticality
+        return header
+
+    def acquire_rcp(self, rate, rtt) -> RcpHeader:
+        free = self._free_rcp
+        header = free.pop() if free else RcpHeader.__new__(RcpHeader)
+        header.rate = rate
+        header.rtt = rtt
+        return header
+
+    def acquire_d3(self, desired, prev_alloc, rtt, deadline) -> D3Header:
+        free = self._free_d3
+        header = free.pop() if free else D3Header.__new__(D3Header)
+        header.desired = desired
+        header.prev_alloc = prev_alloc
+        header.allocated = float("inf")
+        header.rtt = rtt
+        header.deadline = deadline
+        return header
+
+    def release_header(self, header) -> None:
+        cls = type(header)
+        if cls is PdqHeader:
+            self._free_pdq.append(header)
+        elif cls is RcpHeader:
+            self._free_rcp.append(header)
+        elif cls is D3Header:
+            self._free_d3.append(header)
+        # foreign header classes (tests, experiments) just fall to the GC
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Distinct packets this pool has ever handed out (its footprint)."""
+        return self.created
+
+    def free_count(self) -> int:
+        return len(self._free)
+
+    def outstanding(self) -> List[Packet]:
+        """Debug mode only: packets acquired but never released."""
+        return list(self._outstanding.values())
+
+    def assert_no_leaks(self) -> None:
+        """Debug mode: raise if any acquired packet was never released."""
+        if self._outstanding:
+            leaked = ", ".join(repr(p) for p in self._outstanding.values())
+            raise ProtocolError(
+                f"packet pool leak: {len(self._outstanding)} packet(s) "
+                f"never released: {leaked}"
+            )
+
+    def _check_clean(self, packet: Packet) -> None:
+        stale = []
+        if packet.sched is not None:
+            stale.append(f"sched={packet.sched!r}")
+        if packet.ack_range is not None:
+            stale.append(f"ack_range={packet.ack_range!r}")
+        if packet.path != ():
+            stale.append("path")
+        if stale:
+            raise ProtocolError(
+                "recycled packet carries stale fields: " + ", ".join(stale)
+            )

@@ -2,32 +2,49 @@
 
 PDQ's whole point is to need nothing fancier than this at switches
 (paper §1: "lightweight, using only FIFO tail-drop queues").
+
+The buffer is a power-of-two ring of packet slots (head index + count)
+rather than a linked deque: offer and pop are two index stores and one
+byte-counter update each, with no per-packet node allocation, and the
+slot array is shared across the queue's lifetime. Byte accounting is
+O(1) on both ends.
 """
 
 from __future__ import annotations
 
-from collections import deque
-from typing import Optional
+from typing import List, Optional
 
 from repro.net.packet import Packet
+
+#: initial ring size; doubles as needed (capacity is byte-bounded, so the
+#: packet count is workload-dependent)
+_MIN_SLOTS = 8
 
 
 class DropTailQueue:
     """Byte-limited FIFO. ``offer`` refuses (tail-drops) packets that would
     overflow the buffer."""
 
+    __slots__ = (
+        "capacity_bytes", "_buf", "_mask", "_head", "_count", "_bytes",
+        "drops", "dropped_bytes", "peak_bytes",
+    )
+
     def __init__(self, capacity_bytes: int):
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
-        self._queue: deque[Packet] = deque()
+        self._buf: List[Optional[Packet]] = [None] * _MIN_SLOTS
+        self._mask = _MIN_SLOTS - 1
+        self._head = 0
+        self._count = 0
         self._bytes = 0
         self.drops = 0
         self.dropped_bytes = 0
         self.peak_bytes = 0
 
     def __len__(self) -> int:
-        return len(self._queue)
+        return self._count
 
     @property
     def bytes(self) -> int:
@@ -36,20 +53,60 @@ class DropTailQueue:
 
     def offer(self, packet: Packet) -> bool:
         """Append if it fits; returns False (and counts a drop) otherwise."""
-        if self._bytes + packet.size > self.capacity_bytes:
+        nbytes = self._bytes + packet.size
+        if nbytes > self.capacity_bytes:
             self.drops += 1
             self.dropped_bytes += packet.size
             return False
-        self._queue.append(packet)
-        self._bytes += packet.size
-        if self._bytes > self.peak_bytes:
-            self.peak_bytes = self._bytes
+        count = self._count
+        buf = self._buf
+        if count == len(buf):
+            buf = self._grow()
+        buf[(self._head + count) & self._mask] = packet
+        self._count = count + 1
+        self._bytes = nbytes
+        if nbytes > self.peak_bytes:
+            self.peak_bytes = nbytes
+        return True
+
+    def touch(self, packet: Packet) -> bool:
+        """Accounting-only ``offer`` + immediate ``pop`` for a packet that
+        goes straight into transmission on an idle link: identical drop
+        decision and ``peak_bytes`` update, but the ring is never written
+        (net byte change is zero)."""
+        nbytes = self._bytes + packet.size
+        if nbytes > self.capacity_bytes:
+            self.drops += 1
+            self.dropped_bytes += packet.size
+            return False
+        if nbytes > self.peak_bytes:
+            self.peak_bytes = nbytes
         return True
 
     def pop(self) -> Optional[Packet]:
         """Remove and return the head packet, or None when empty."""
-        if not self._queue:
+        count = self._count
+        if count == 0:
             return None
-        packet = self._queue.popleft()
+        head = self._head
+        buf = self._buf
+        packet = buf[head]
+        buf[head] = None
+        self._head = (head + 1) & self._mask
+        self._count = count - 1
         self._bytes -= packet.size
         return packet
+
+    def _grow(self) -> List[Optional[Packet]]:
+        """Double the ring, unrolling it so head lands at slot 0."""
+        old = self._buf
+        n = len(old)
+        head = self._head
+        mask = self._mask
+        new: List[Optional[Packet]] = [None] * (n * 2)
+        for i in range(self._count):
+            new[i] = old[(head + i) & mask]
+        self._buf = new
+        self._mask = n * 2 - 1
+        self._head = 0
+        return new

@@ -86,6 +86,11 @@ def harvest_packet_run(net) -> RunStats:
     )
     c["flows.pauses"] = net.flow_pauses
     c["flows.resumes"] = net.flow_resumes
+    pool = getattr(net, "pool", None)
+    if pool is not None:
+        c["net.pool_hits"] = pool.hits
+        c["net.pool_misses"] = pool.misses
+        c["net.pool_size"] = pool.size
     return stats
 
 

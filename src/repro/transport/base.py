@@ -60,6 +60,7 @@ class EndpointBase:
                  spec: "FlowSpec", record: "FlowRecord", path):
         self.net = network
         self.sim = network.sim
+        self.pool = network.pool
         self.stack = stack
         self.spec = spec
         self.record = record
@@ -193,12 +194,12 @@ class RateBasedSender(EndpointBase):
         return self.wire_remaining * 8.0 / self.max_rate
 
     def _send_control(self, kind: PacketKind) -> None:
-        packet = Packet(
-            fid=self.spec.fid,
-            src=self.host.id,
-            dst=self.dst_id,
-            kind=kind,
-            size=self.stack.header_bytes,
+        packet = self.pool.acquire(
+            self.spec.fid,
+            self.host.id,
+            self.dst_id,
+            kind,
+            self.stack.header_bytes,
             sched=self.make_sched_header(kind),
             echo_time=self.sim.now,
             path=self.path,
@@ -254,12 +255,12 @@ class RateBasedSender(EndpointBase):
         was_retransmit = offset in self.unacked
         if was_retransmit:
             self.net.metrics.on_retransmit(self.spec.fid)
-        packet = Packet(
-            fid=self.spec.fid,
-            src=self.host.id,
-            dst=self.dst_id,
-            kind=PacketKind.DATA,
-            size=chunk + self.stack.header_bytes,
+        packet = self.pool.acquire(
+            self.spec.fid,
+            self.host.id,
+            self.dst_id,
+            PacketKind.DATA,
+            chunk + self.stack.header_bytes,
             seq=offset,
             payload=chunk,
             sched=self.make_sched_header(PacketKind.DATA),
@@ -430,13 +431,18 @@ class AckingReceiver(EndpointBase):
         """Subclass hook (e.g. M-PDQ resequencing notification)."""
 
     def _reply(self, packet: Packet, kind: PacketKind, ack_range=None) -> None:
-        ack = Packet(
-            fid=self.spec.fid,
-            src=self.host.id,
-            dst=self.src_id,
-            kind=kind,
-            size=self.stack.ack_bytes,
-            sched=self.make_ack_header(packet),
+        sched = self.make_ack_header(packet)
+        if sched is not None and sched is packet.sched:
+            # the header object moves onto the ACK; detach it from the
+            # inbound packet so its release can't free the header twice
+            packet.sched = None
+        ack = self.pool.acquire(
+            self.spec.fid,
+            self.host.id,
+            self.src_id,
+            kind,
+            self.stack.ack_bytes,
+            sched=sched,
             ack_range=ack_range,
             echo_time=packet.echo_time,
             path=self.path,

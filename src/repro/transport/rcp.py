@@ -100,7 +100,7 @@ class RcpSwitchProtocol:
         self._states: Dict[int, RcpLinkState] = {}
 
     def process(self, packet: Packet, out_link: Link) -> None:
-        if not isinstance(packet.sched, RcpHeader):
+        if packet.sched.__class__ is not RcpHeader:
             return
         if packet.kind in (PacketKind.SYN, PacketKind.DATA,
                            PacketKind.PROBE, PacketKind.TERM):
@@ -117,7 +117,7 @@ class RcpSender(RateBasedSender):
 
     def make_sched_header(self, kind: PacketKind) -> RcpHeader:
         rtt = self.rtt.srtt if self.rtt.srtt is not None else DEFAULT_RTT
-        return RcpHeader(rate=self.max_rate, rtt=rtt)
+        return self.pool.acquire_rcp(self.max_rate, rtt)
 
     def process_feedback(self, packet: Packet) -> None:
         header = packet.sched

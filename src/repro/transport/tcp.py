@@ -88,9 +88,9 @@ class TcpSender(EndpointBase):
     # -- emission ------------------------------------------------------------------------
 
     def _send_control(self, kind: PacketKind) -> None:
-        packet = Packet(
-            fid=self.spec.fid, src=self.host.id, dst=self.dst_id,
-            kind=kind, size=self.stack.header_bytes,
+        packet = self.pool.acquire(
+            self.spec.fid, self.host.id, self.dst_id,
+            kind, self.stack.header_bytes,
             echo_time=self.sim.now, path=self.path,
         )
         self.host.send(packet)
@@ -101,9 +101,9 @@ class TcpSender(EndpointBase):
             return
         if retransmit:
             self.net.metrics.on_retransmit(self.spec.fid)
-        packet = Packet(
-            fid=self.spec.fid, src=self.host.id, dst=self.dst_id,
-            kind=PacketKind.DATA, size=chunk + self.stack.header_bytes,
+        packet = self.pool.acquire(
+            self.spec.fid, self.host.id, self.dst_id,
+            PacketKind.DATA, chunk + self.stack.header_bytes,
             seq=offset, payload=chunk,
             echo_time=-1.0 if retransmit else self.sim.now,  # Karn's rule
             path=self.path,
@@ -242,9 +242,9 @@ class TcpReceiver(AckingReceiver):
         return min(self.stack.payload_bytes, self.spec.size_bytes - offset)
 
     def _reply(self, packet: Packet, kind: PacketKind, ack_range=None) -> None:
-        ack = Packet(
-            fid=self.spec.fid, src=self.host.id, dst=self.src_id,
-            kind=kind, size=self.stack.ack_bytes,
+        ack = self.pool.acquire(
+            self.spec.fid, self.host.id, self.src_id,
+            kind, self.stack.ack_bytes,
             ack_seq=self._cum, echo_time=packet.echo_time, path=self.path,
         )
         self.host.send(ack)

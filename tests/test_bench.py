@@ -18,6 +18,7 @@ class TestHarness:
         assert "fattree-multipath" in names
         assert "packet-aggregation" in names
         assert "packet-vl2" in names
+        assert "packet-incast" in names
         assert len(names) == len(set(names))
 
     def test_both_engines_covered(self):
@@ -65,6 +66,26 @@ class TestHarness:
         assert r.baseline_elapsed_s is None
         assert r.speedup is None
         assert r.baseline_parity is None
+
+    def test_incast_scenario_congests_the_bottleneck(self):
+        """The incast cell exists to stress tail-drop and packet
+        recycling; if buffer or workload drift ever makes it drop-free
+        it stops measuring what it claims to."""
+        from repro.campaign.engines import make_stack
+        from repro.net.network import Network
+        from repro.obs.stats import harvest_packet_run
+
+        scenario = next(s for s in SCENARIOS if s.name == "packet-incast")
+        topology, protocol, flows, deadline = scenario.build(True)
+        net = Network(topology, make_stack(protocol))
+        net.launch(flows)
+        net.run_until_quiet(deadline=deadline)
+        assert net.total_drops() > 0
+        stats = harvest_packet_run(net)
+        assert stats.get("net.pool_hits") > 0
+        assert stats.get("net.pool_size") > 0
+        records = net.metrics.all_records()
+        assert all(r.completed for r in records)
 
     def test_report_carries_engine_field(self, tmp_path):
         results = run_bench(only=["packet-aggregation"], quick=True)
