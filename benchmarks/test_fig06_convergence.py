@@ -32,6 +32,6 @@ def test_fig6_seamless_switching(benchmark, capsys):
     assert result["max_queue_packets"] < 40
     assert result["drops"] == 0
     gaps = [b - a for a, b in zip(result["completions"],
-                                  result["completions"][1:])]
+                                  result["completions"][1:], strict=False)]
     for gap in gaps:  # serial switching, one flow at a time
         assert 7e-3 < gap < 10e-3

@@ -24,7 +24,8 @@ def main() -> None:
     print("Per-flow throughput over time (each row = 1 ms):\n")
     print("time    flow1 flow2 flow3 flow4 flow5   bottleneck utilization")
     for (t, rates), (_, util) in zip(
-        result["throughput_series"], result["utilization_series"]
+        result["throughput_series"], result["utilization_series"],
+        strict=True,
     ):
         cells = " ".join(
             f"{rate / 1e9:5.2f}" if rate > 1e6 else "  .  " for rate in rates

@@ -1,0 +1,141 @@
+"""RPL001 — packet-pool lifecycle discipline.
+
+The packet hot path recycles :class:`~repro.net.packet.Packet` and
+scheduling-header objects through the shared
+:class:`~repro.net.pool.PacketPool` (PR 7). Two contracts keep that
+safe, and both have failure modes that pass every unit test while
+corrupting accounting at scale:
+
+* **No raw construction.** ``Packet()`` / ``PdqHeader()`` /
+  ``RcpHeader()`` / ``D3Header()`` built outside the pool (and outside
+  the modules that define them) bypass the free lists: releasing such a
+  packet poisons the pool with an object whose fields were never
+  normalized, and never releasing it is a silent leak.
+* **Acquire implies a reachable terminal sink.** A file set that
+  acquires from a pool must contain at least one ``release`` call, and
+  when the real link/node modules are in the set their three documented
+  terminal sinks (``Host.receive``, ``Link.enqueue`` on tail-drop,
+  ``Link._finish`` on wire loss) must still release — deleting one is
+  exactly the kind of "cleanup" a later refactor would try.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    AnalysisContext,
+    SourceFile,
+    attribute_chain,
+    call_name,
+    register_checker,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+#: classes whose direct construction bypasses the pool
+POOLED_CLASSES = ("Packet", "PdqHeader", "RcpHeader", "D3Header")
+
+#: files allowed to construct pooled classes directly: the pool itself
+#: and the modules that define the classes (their copy()/constructor
+#: helpers are the canonical construction sites)
+CONSTRUCTION_ALLOWED = ("pool.py", "packet.py", "headers.py")
+
+#: (file suffix, function name) -> the documented terminal sinks that
+#: must keep releasing into the pool
+REQUIRED_SINKS: tuple[tuple[str, str], ...] = (
+    ("net/link.py", "enqueue"),
+    ("net/link.py", "_finish"),
+    ("net/node.py", "receive"),
+)
+
+
+def _pool_calls(sf: SourceFile) -> tuple[list[ast.Call], list[ast.Call]]:
+    """(acquire calls, release calls) on pool-like receivers."""
+    acquires: list[ast.Call] = []
+    releases: list[ast.Call] = []
+    for node in ast.walk(sf.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            continue
+        chain = attribute_chain(func)
+        if chain is None or "pool" not in chain[:-1]:
+            continue
+        if func.attr.startswith("acquire"):
+            acquires.append(node)
+        elif func.attr in ("release", "release_header"):
+            releases.append(node)
+    return acquires, releases
+
+
+def _enclosing_functions(sf: SourceFile) -> dict[int, str]:
+    """Map every line to the name of its innermost enclosing function."""
+    spans: dict[int, str] = {}
+    for node in ast.walk(sf.tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            end = getattr(node, "end_lineno", node.lineno)
+            for line in range(node.lineno, end + 1):
+                spans[line] = node.name
+    return spans
+
+
+@register_checker("RPL001", "pool lifecycle: no raw Packet/Header "
+                            "construction; acquires need a release sink")
+def check(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    total_acquires = 0
+    total_releases = 0
+    release_functions: set[tuple[str, str]] = set()
+    first_acquire: tuple[str, int] = ("", 0)
+
+    for sf in ctx.files:
+        # raw construction outside the defining modules
+        if sf.basename not in CONSTRUCTION_ALLOWED:
+            for node in ast.walk(sf.tree):
+                if isinstance(node, ast.Call) and \
+                        call_name(node) in POOLED_CLASSES:
+                    yield Diagnostic(
+                        "RPL001", sf.relpath, node.lineno,
+                        f"direct {call_name(node)}() construction bypasses "
+                        f"the PacketPool free lists; use pool.acquire* "
+                        f"(allowed only in {'/'.join(CONSTRUCTION_ALLOWED)} "
+                        f"and tests)",
+                    )
+
+        acquires, releases = _pool_calls(sf)
+        if acquires and not total_acquires:
+            first_acquire = (sf.relpath, acquires[0].lineno)
+        total_acquires += len(acquires)
+        total_releases += len(releases)
+        if releases:
+            owners = _enclosing_functions(sf)
+            for call in releases:
+                release_functions.add(
+                    (sf.relpath, owners.get(call.lineno, "<module>"))
+                )
+
+    # a file set that acquires but never releases has no terminal sink
+    if total_acquires and not total_releases:
+        path, line = first_acquire
+        yield Diagnostic(
+            "RPL001", path, line,
+            "pool.acquire* with no reachable terminal-sink release in the "
+            "analyzed file set: every acquired packet must be released by "
+            "exactly one sink (consuming host, tail-drop, or wire loss)",
+        )
+
+    # the documented sinks must keep releasing when their module is here
+    for suffix, fn_name in REQUIRED_SINKS:
+        sf = ctx.file(suffix)
+        if sf is None:
+            continue
+        if not any(rel.endswith(suffix) and fn == fn_name
+                   for rel, fn in release_functions):
+            yield Diagnostic(
+                "RPL001", sf.relpath, 0,
+                f"terminal sink {fn_name}() no longer releases into the "
+                f"pool — the packet lifecycle contract (PR 7) names it as "
+                f"a release site; removing it leaks every packet that "
+                f"ends there",
+            )

@@ -1,0 +1,113 @@
+"""RPL003 — registry discipline for kind-name string literals.
+
+Scenario specs reference topologies, workloads, engines, and reducers
+by registered *kind* names. A typo in one of those strings is only
+caught when the scenario actually executes — for rarely-run panels that
+can be days later, inside a fleet campaign. This checker resolves every
+string literal passed as ``kind=`` (to ``TopologySpec`` /
+``WorkloadSpec``), ``engine=``, or ``reducer=`` against the *live*
+registries at lint time, reusing
+:func:`repro.campaign.registry.unknown_kind` so the diagnostic carries
+the same close-match "did you mean" hint the runtime error would.
+
+Registration sites (``register_*("name")`` decorators) define kinds
+rather than referencing them and are skipped.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Sequence
+
+from repro.analysis.core import AnalysisContext, register_checker
+from repro.analysis.diagnostics import Diagnostic
+
+
+def _live_registries() -> dict[str, tuple[str, list[str]]]:
+    """kwarg name -> (registry label, known kinds), resolved from the
+    live registries (experiment modules loaded, so figure-registered
+    workload and reducer kinds count)."""
+    from repro.campaign.engines import engine_kinds
+    from repro.campaign.registry import topology_kinds, workload_kinds
+    from repro.experiments.reducers import reducer_kinds
+
+    return {
+        "topology": ("topology", topology_kinds()),
+        "workload": ("workload", workload_kinds()),
+        "engine": ("engine", list(engine_kinds())),
+        "reducer": ("reducer", reducer_kinds()),
+    }
+
+
+#: constructor name -> which registry its kind argument resolves against
+_KIND_CONSTRUCTORS = {
+    "TopologySpec": "topology",
+    "WorkloadSpec": "workload",
+}
+
+
+def _literal(node: ast.AST | None) -> str | None:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _hint(kind: str, known: Sequence[str]) -> str:
+    """The registry's own listing + close-match hint, reused verbatim so
+    lint-time and runtime errors read identically."""
+    from repro.campaign.registry import unknown_kind
+
+    message = str(unknown_kind("", kind, known))
+    return message.split("; ", 1)[1] if "; " in message else message
+
+
+@register_checker("RPL003", "registry discipline: kind/engine/reducer "
+                            "string literals resolve against the live "
+                            "registries")
+def check(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    registries = _live_registries()
+
+    def resolve(registry: str, value: str, sf, lineno: int,
+                what: str) -> Diagnostic | None:
+        label, known = registries[registry]
+        if value in known:
+            return None
+        return Diagnostic(
+            "RPL003", sf.relpath, lineno,
+            f"{what} {value!r} is not a registered {label} kind; "
+            f"{_hint(value, known)}",
+        )
+
+    for sf in ctx.files:
+        for node in ast.walk(sf.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            if name is None or name.startswith("register_"):
+                continue
+            # TopologySpec("kind", ...) / WorkloadSpec(kind="kind")
+            registry = _KIND_CONSTRUCTORS.get(name)
+            if registry is not None:
+                value = _literal(node.args[0]) if node.args else None
+                for kw in node.keywords:
+                    if kw.arg == "kind":
+                        value = _literal(kw.value)
+                if value is not None:
+                    diag = resolve(registry, value, sf, node.lineno,
+                                   f"{name} kind")
+                    if diag is not None:
+                        yield diag
+            # engine= / reducer= keyword literals in any call
+            for kw in node.keywords:
+                if kw.arg not in ("engine", "reducer"):
+                    continue
+                value = _literal(kw.value)
+                if value is None:
+                    continue
+                diag = resolve(kw.arg, value, sf, node.lineno,
+                               f"{kw.arg}=")
+                if diag is not None:
+                    yield diag

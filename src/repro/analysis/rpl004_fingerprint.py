@@ -1,0 +1,168 @@
+"""RPL004 — hash-pin guard for the canonicalization functions.
+
+Scenario and experiment cache keys are SHA-256 hashes of canonical JSON
+(``campaign/spec.py`` and ``experiments/api.py``). Editing any function
+on that path silently changes every cache key: warm stores re-execute
+from scratch, pinned experiment keys in user spec files stop matching,
+and nothing fails loudly. This checker fingerprints those functions by
+*normalized AST hash* (docstrings stripped, formatting and line numbers
+irrelevant) against the pinned table in
+``src/repro/analysis/fingerprints.json``; an edit without a matching
+re-pin is a lint error, which turns a silent cache-key break into a
+visible two-file diff that review can interrogate.
+
+Re-pin (after deciding the key break is intended) with::
+
+    python -m repro check --repin-fingerprints
+"""
+
+from __future__ import annotations
+
+import ast
+import copy
+import hashlib
+import json
+from pathlib import Path
+from collections.abc import Iterator
+
+from repro.analysis.core import (
+    AnalysisContext,
+    SourceFile,
+    iter_functions,
+    register_checker,
+)
+from repro.analysis.diagnostics import Diagnostic
+
+#: default pin table, colocated with the analysis package
+DEFAULT_FINGERPRINT_PATH = Path(__file__).parent / "fingerprints.json"
+
+#: module (relpath suffix) -> canonicalization functions pinned there
+PINNED_FUNCTIONS = {
+    "campaign/spec.py": (
+        "_plain",
+        "canonical_json",
+        "TopologySpec.canonical",
+        "WorkloadSpec.canonical",
+        "ScenarioSpec.canonical",
+        "ScenarioSpec.key",
+    ),
+    "experiments/api.py": (
+        "_axes_tuple",
+        "SearchSpec.canonical",
+        "Panel.canonical",
+        "Panel.key",
+        "Experiment.canonical",
+        "Experiment.key",
+    ),
+}
+
+
+def normalized_fingerprint(fn: ast.FunctionDef) -> str:
+    """SHA-256 of the function's AST with docstring dropped and
+    locations ignored — whitespace, comments, and docstring edits do
+    not change the fingerprint; any behavioral edit does."""
+    node = copy.deepcopy(fn)
+    body = node.body
+    if body and isinstance(body[0], ast.Expr) and \
+            isinstance(body[0].value, ast.Constant) and \
+            isinstance(body[0].value.value, str):
+        node.body = body[1:] or [ast.Pass()]
+    dump = ast.dump(node, include_attributes=False)
+    return hashlib.sha256(dump.encode()).hexdigest()
+
+
+def file_fingerprints(sf: SourceFile, names) -> dict[str, str | None]:
+    """qualname -> fingerprint (None when the function is missing)."""
+    wanted = set(names)
+    out: dict[str, str | None] = {name: None for name in names}
+    for qualname, fn in iter_functions(sf.tree):
+        if qualname in wanted:
+            out[qualname] = normalized_fingerprint(fn)
+    return out
+
+
+def compute_fingerprints(ctx: AnalysisContext) -> dict[str, dict[str, str]]:
+    """The current pin table for every pinned module present in ctx."""
+    table: dict[str, dict[str, str]] = {}
+    for suffix, names in PINNED_FUNCTIONS.items():
+        sf = ctx.file(suffix)
+        if sf is None:
+            continue
+        got = file_fingerprints(sf, names)
+        table[suffix] = {name: fp for name, fp in got.items()
+                         if fp is not None}
+    return table
+
+
+def load_pins(ctx: AnalysisContext) -> dict[str, dict[str, str]] | None:
+    path = ctx.fingerprint_path or DEFAULT_FINGERPRINT_PATH
+    if not Path(path).is_file():
+        return None
+    with open(path, encoding="utf-8") as fh:
+        data = json.load(fh)
+    return data.get("fingerprints", data)
+
+
+def write_pins(ctx: AnalysisContext) -> Path:
+    """Recompute and rewrite the pin table (``--repin-fingerprints``)."""
+    path = Path(ctx.fingerprint_path or DEFAULT_FINGERPRINT_PATH)
+    payload = {
+        "schema": 1,
+        "comment": "normalized-AST fingerprints of the cache-key "
+                   "canonicalization functions; RPL004 fails when an "
+                   "edit is not re-pinned here. Re-pin: python -m repro "
+                   "check --repin-fingerprints",
+        "fingerprints": compute_fingerprints(ctx),
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+@register_checker("RPL004", "hash-pin guard: cache-key canonicalization "
+                            "functions match their pinned fingerprints")
+def check(ctx: AnalysisContext) -> Iterator[Diagnostic]:
+    pins = load_pins(ctx)
+    if pins is None:
+        path = ctx.fingerprint_path or DEFAULT_FINGERPRINT_PATH
+        yield Diagnostic(
+            "RPL004", str(path), 0,
+            "pinned fingerprint table is missing; create it with "
+            "`python -m repro check --repin-fingerprints`",
+        )
+        return
+    for suffix, names in PINNED_FUNCTIONS.items():
+        sf = ctx.file(suffix)
+        if sf is None:
+            continue  # partial run: module not in the analyzed set
+        pinned = pins.get(suffix, {})
+        current = file_fingerprints(sf, names)
+        for name in names:
+            fp = current[name]
+            if fp is None:
+                yield Diagnostic(
+                    "RPL004", sf.relpath, 0,
+                    f"pinned canonicalization function {name} no longer "
+                    f"exists — renaming or removing it changes every "
+                    f"cache key derived from it; restore it or re-pin "
+                    f"deliberately",
+                )
+            elif name not in pinned:
+                yield Diagnostic(
+                    "RPL004", sf.relpath, 0,
+                    f"canonicalization function {name} has no pinned "
+                    f"fingerprint; pin it with `python -m repro check "
+                    f"--repin-fingerprints`",
+                )
+            elif pinned[name] != fp:
+                yield Diagnostic(
+                    "RPL004", sf.relpath, 0,
+                    f"canonicalization function {name} changed "
+                    f"(fingerprint {fp[:12]} != pinned "
+                    f"{pinned[name][:12]}): this breaks every existing "
+                    f"cache key and pinned experiment key. If intended, "
+                    f"re-pin with `python -m repro check "
+                    f"--repin-fingerprints` and re-baseline the key pins "
+                    f"in tests",
+                )

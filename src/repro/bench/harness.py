@@ -17,7 +17,7 @@ import json
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.errors import ExperimentError
 from repro.flowsim.engine import FlowLevelSimulation
@@ -31,7 +31,7 @@ DEFAULT_REPORT = "BENCH_flowsim.json"
 class BenchResult:
     name: str
     description: str
-    params: Dict
+    params: dict
     elapsed_s: float
     iterations: int
     recomputations: int
@@ -39,9 +39,9 @@ class BenchResult:
     completed: int
     terminated: int
     engine: str = "flow"
-    baseline_elapsed_s: Optional[float] = None
-    baseline_parity: Optional[bool] = None
-    extras: Dict = field(default_factory=dict)
+    baseline_elapsed_s: float | None = None
+    baseline_parity: bool | None = None
+    extras: dict = field(default_factory=dict)
 
     @property
     def events_per_sec(self) -> float:
@@ -53,12 +53,12 @@ class BenchResult:
                 if self.elapsed_s > 0 else 0.0)
 
     @property
-    def speedup(self) -> Optional[float]:
+    def speedup(self) -> float | None:
         if self.baseline_elapsed_s is None or self.elapsed_s <= 0:
             return None
         return self.baseline_elapsed_s / self.elapsed_s
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "name": self.name,
             "description": self.description,
@@ -176,10 +176,10 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
     return result
 
 
-def run_bench(only: Optional[Sequence[str]] = None, quick: bool = False,
+def run_bench(only: Sequence[str] | None = None, quick: bool = False,
               baseline: bool = True, repeat: int = 1,
-              scenarios: Optional[Sequence[BenchScenario]] = None,
-              ) -> List[BenchResult]:
+              scenarios: Sequence[BenchScenario] | None = None,
+              ) -> list[BenchResult]:
     pool = list(scenarios if scenarios is not None else SCENARIOS)
     if only:
         wanted = set(only)
@@ -198,7 +198,7 @@ def run_bench(only: Optional[Sequence[str]] = None, quick: bool = False,
 
 
 def write_report(results: Sequence[BenchResult], path: str = DEFAULT_REPORT,
-                 quick: bool = False) -> Dict:
+                 quick: bool = False) -> dict:
     """Write ``BENCH_flowsim.json`` and return the report dict."""
     report = {
         "schema": 1,
@@ -221,7 +221,7 @@ DEFAULT_HISTORY = "BENCH_history.jsonl"
 
 
 def write_history(results: Sequence[BenchResult],
-                  path: str = DEFAULT_HISTORY, quick: bool = False) -> Dict:
+                  path: str = DEFAULT_HISTORY, quick: bool = False) -> dict:
     """Append one timestamped summary row to the bench history JSONL.
 
     One line per ``repro bench`` invocation (not per benchmark), so the

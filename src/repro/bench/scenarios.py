@@ -15,7 +15,7 @@ there is no naive packet twin, so they carry no baseline/parity columns.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from collections.abc import Callable
 
 from repro.flowsim.d3_model import D3Model
 from repro.flowsim.pdq_model import PdqModel
@@ -33,7 +33,7 @@ from repro.workload.patterns import aggregation_flows, random_permutation_flows
 from repro.workload.sizes import uniform_sizes
 
 #: (topology, model-or-protocol-name, flows, sim_deadline)
-Built = Tuple[Topology, object, List[FlowSpec], float]
+Built = tuple[Topology, object, list[FlowSpec], float]
 
 
 @dataclass(frozen=True)
@@ -41,7 +41,7 @@ class BenchScenario:
     name: str
     description: str
     build: Callable[[bool], Built]  # build(quick) -> Built
-    params: Callable[[bool], Dict]  # the knobs that sized the run
+    params: Callable[[bool], dict]  # the knobs that sized the run
     engine: str = "flow"            # "flow" | "packet"
 
 
@@ -63,7 +63,7 @@ def _single_bottleneck(quick: bool) -> Built:
     return (SingleBottleneck(n_senders), PdqModel(), flows, 30.0)
 
 
-def _single_bottleneck_params(quick: bool) -> Dict:
+def _single_bottleneck_params(quick: bool) -> dict:
     return {"n_flows": 150 if quick else 1000, "n_senders": 40,
             "protocol": "PDQ(Full)"}
 
@@ -81,7 +81,7 @@ def _fig8_scale(quick: bool) -> Built:
     return (topo, PdqModel(), flows, 4.0)
 
 
-def _fig8_scale_params(quick: bool) -> Dict:
+def _fig8_scale_params(quick: bool) -> dict:
     return {"family": "fattree", "n_servers": 16 if quick else 54,
             "flows_per_server": 2, "protocol": "PDQ(Full)",
             "mean_deadline_ms": 20}
@@ -96,7 +96,7 @@ def _fattree_multipath(quick: bool) -> Built:
     topo = FatTree.for_servers(n_servers)
     hosts = topo.hosts
     rng = spawn_rng(20120813, "bench:fattree_multipath")
-    flows: List[FlowSpec] = []
+    flows: list[FlowSpec] = []
     fid = 0
     for r in range(rounds):
         sizes = uniform_sizes(len(hosts), 100 * KBYTE, rng=rng)
@@ -106,7 +106,7 @@ def _fattree_multipath(quick: bool) -> Built:
     return (topo, RcpModel(), flows, 10.0)
 
 
-def _fattree_multipath_params(quick: bool) -> Dict:
+def _fattree_multipath_params(quick: bool) -> dict:
     return {"n_servers": 16, "permutation_rounds": 2 if quick else 6,
             "protocol": "RCP"}
 
@@ -129,7 +129,7 @@ def _d3_reservations(quick: bool) -> Built:
     return (SingleBottleneck(n_senders), D3Model(), flows, 30.0)
 
 
-def _d3_reservations_params(quick: bool) -> Dict:
+def _d3_reservations_params(quick: bool) -> dict:
     return {"n_flows": 80 if quick else 300, "n_senders": 20,
             "protocol": "D3"}
 
@@ -148,7 +148,7 @@ def _packet_aggregation(quick: bool) -> Built:
     return (SingleRootedTree(), "PDQ(Full)", flows, 4.0)
 
 
-def _packet_aggregation_params(quick: bool) -> Dict:
+def _packet_aggregation_params(quick: bool) -> dict:
     return {"n_flows": 8 if quick else 24, "protocol": "PDQ(Full)",
             "mean_deadline_ms": 30, "engine": "packet"}
 
@@ -170,7 +170,7 @@ def _packet_incast(quick: bool) -> Built:
     return (SingleBottleneck(n_senders), "TCP", flows, 8.0)
 
 
-def _packet_incast_params(quick: bool) -> Dict:
+def _packet_incast_params(quick: bool) -> dict:
     return {"n_senders": 12 if quick else 40,
             "mean_size_kb": 1024,
             "protocol": "TCP", "engine": "packet"}
@@ -188,13 +188,13 @@ def _packet_vl2(quick: bool) -> Built:
     return (SingleRootedTree(), "RCP", flows, duration + 1.0)
 
 
-def _packet_vl2_params(quick: bool) -> Dict:
+def _packet_vl2_params(quick: bool) -> dict:
     return {"rate_per_sec": 1500.0 if quick else 3000.0,
             "duration": 0.02 if quick else 0.05,
             "protocol": "RCP", "engine": "packet"}
 
 
-SCENARIOS: List[BenchScenario] = [
+SCENARIOS: list[BenchScenario] = [
     BenchScenario(
         name="single-bottleneck",
         description="many PDQ flows on one bottleneck (allocate/sort hot path)",

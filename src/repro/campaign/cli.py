@@ -19,7 +19,7 @@ Subcommands::
         campaign runner and print one summary row per scenario.
 
     repro ls [--cache DIR]
-        List the cached scenario results.
+        list the cached scenario results.
 
     repro bench [--quick] [--only NAME ...] [--no-baseline] [--repeat N]
                 [--profile [--profile-top N] [--profile-out PATH]]
@@ -40,6 +40,14 @@ Subcommands::
         counter aggregates, and (when a validation report is present)
         the tolerance-margin table. Crashes fail; timings never do.
 
+    repro check [PATH ...] [--out FILE] [--no-mypy]
+                [--repin-fingerprints] [--list]
+        Run the AST-based invariant linter (RPL001-RPL005: pool
+        lifecycle, hot-path purity, registry discipline, cache-key
+        fingerprint pins, event shape) plus a gated mypy pass over the
+        repo's own source. Exit 1 on any diagnostic; ``--out`` writes
+        the JSON report for CI artifact upload.
+
 Global flags: ``-v``/``-vv`` raise logging to INFO/DEBUG, ``-q`` mutes
 everything below ERROR (they precede the subcommand: ``repro -v sweep``).
 """
@@ -47,11 +55,12 @@ everything below ERROR (they precede the subcommand: ``repro -v sweep``).
 from __future__ import annotations
 
 import argparse
+import contextlib
 import json
 import os
 import sys
 import time
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.campaign.runner import CampaignRunner, ScenarioOutcome
 from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
@@ -106,7 +115,7 @@ def sweep_panel(
     patterns: Sequence[str] = SWEEP_PATTERNS,
     n_flows: int = 6,
     seeds: Sequence[int] = (1,),
-    mean_deadline: Optional[float] = None,
+    mean_deadline: float | None = None,
     sim_deadline: float = 2.0,
 ) -> Panel:
     """The default multi-protocol Fig-4-style sweep, as a declared
@@ -138,7 +147,7 @@ def sweep_panel(
     )
 
 
-def sweep_specs(*args, **kwargs) -> List[ScenarioSpec]:
+def sweep_specs(*args, **kwargs) -> list[ScenarioSpec]:
     """The default sweep grid (see :func:`sweep_panel`)."""
     return sweep_panel(*args, **kwargs).expand()
 
@@ -334,14 +343,11 @@ def _dump_profile(profiler, name: str, top: int, path: str | None) -> None:
     to stderr, keeping the timing table on stdout clean."""
     import pstats
 
-    stream = open(path, "a") if path else sys.stderr
-    try:
+    with contextlib.ExitStack() as stack:
+        stream = stack.enter_context(open(path, "a")) if path else sys.stderr
         print(f"-- profile: {name} (top {top} by cumulative) --", file=stream)
         stats = pstats.Stats(profiler, stream=stream)
         stats.strip_dirs().sort_stats("cumulative").print_stats(top)
-    finally:
-        if path:
-            stream.close()
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
@@ -664,10 +670,25 @@ def build_parser() -> argparse.ArgumentParser:
     # only). --cache DIR still opts in for interactive iteration.
     validate.set_defaults(func=_cmd_validate, cache=None)
 
+    check = sub.add_parser(
+        "check",
+        help="run the AST invariant linter (RPL001-RPL005) and mypy gate",
+    )
+    from repro.analysis.cli import add_check_arguments
+
+    add_check_arguments(check)
+    check.set_defaults(func=_cmd_check)
+
     return parser
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run_check
+
+    return run_check(args)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     from repro.obs.log import setup_cli_logging
 
@@ -682,10 +703,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 1
     except BrokenPipeError:
         # stdout went away (e.g. `repro ls | head`); exit quietly
-        try:
+        with contextlib.suppress(OSError):
             sys.stdout.close()
-        except OSError:
-            pass
         return 0
     except KeyboardInterrupt:
         print("interrupted", file=sys.stderr)

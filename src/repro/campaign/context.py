@@ -12,14 +12,14 @@ code changing.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterable, Iterator, List, Optional
+from collections.abc import Iterable, Iterator
 
 from repro.campaign.runner import CampaignRunner
 from repro.campaign.spec import ScenarioSpec
 from repro.metrics.collector import MetricsCollector
 
-_default_runner: Optional[CampaignRunner] = None
-_runner_stack: List[CampaignRunner] = []
+_default_runner: CampaignRunner | None = None
+_runner_stack: list[CampaignRunner] = []
 
 
 def default_runner() -> CampaignRunner:
@@ -45,7 +45,7 @@ def use_runner(runner: CampaignRunner) -> Iterator[CampaignRunner]:
         _runner_stack.pop()
 
 
-def run_scenarios(specs: Iterable[ScenarioSpec]) -> List[MetricsCollector]:
+def run_scenarios(specs: Iterable[ScenarioSpec]) -> list[MetricsCollector]:
     """Execute specs through the ambient runner; collectors in spec order."""
     return current_runner().collectors(list(specs))
 

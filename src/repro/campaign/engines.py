@@ -24,17 +24,8 @@ no weight to spec construction in driver processes.
 
 from __future__ import annotations
 
-from typing import (
-    TYPE_CHECKING,
-    Any,
-    Callable,
-    Dict,
-    List,
-    Mapping,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any, TYPE_CHECKING
 
 from repro.errors import ExperimentError
 
@@ -57,7 +48,7 @@ PROTOCOLS = (
 
 #: engine kind -> adapter(spec, topology, flows, options) -> collector
 EngineAdapter = Callable[..., "MetricsCollector"]
-_ENGINES: Dict[str, EngineAdapter] = {}
+_ENGINES: dict[str, EngineAdapter] = {}
 
 
 def register_engine(kind: str) -> Callable[[EngineAdapter], EngineAdapter]:
@@ -70,14 +61,14 @@ def register_engine(kind: str) -> Callable[[EngineAdapter], EngineAdapter]:
     return decorate
 
 
-def engine_kinds() -> Tuple[str, ...]:
+def engine_kinds() -> tuple[str, ...]:
     """Registered engine kind names (the valid ``ScenarioSpec.engine``
     values) in registration order — packet first, matching the spec
     default, then flow, then any custom engines."""
     return tuple(_ENGINES)
 
 
-def available_protocols() -> Tuple[str, ...]:
+def available_protocols() -> tuple[str, ...]:
     return PROTOCOLS
 
 
@@ -142,10 +133,10 @@ def run_packet_level(
     protocol: str,
     flows: Sequence["FlowSpec"],
     sim_deadline: float = 2.0,
-    loss: Optional[Tuple[str, str, float, int]] = None,
+    loss: tuple[str, str, float, int] | None = None,
     network_config=None,
     n_subflows: int = 3,
-    probes: Optional[Mapping[str, dict]] = None,
+    probes: Mapping[str, dict] | None = None,
     trace: bool = False,
     **pdq_overrides,
 ) -> "MetricsCollector":
@@ -188,7 +179,7 @@ def run_flow_level(
     protocol: str,
     flows: Sequence["FlowSpec"],
     sim_deadline: float = 10.0,
-    probes: Optional[Mapping[str, dict]] = None,
+    probes: Mapping[str, dict] | None = None,
     trace: bool = False,
     **pdq_overrides,
 ) -> "MetricsCollector":
@@ -226,7 +217,7 @@ def run_flow_level(
 
 @register_engine("packet")
 def _packet_adapter(spec: "ScenarioSpec", topology: "Topology",
-                    flows: List["FlowSpec"],
+                    flows: list["FlowSpec"],
                     options: Mapping[str, Any]) -> "MetricsCollector":
     """ns-2-style packet engine: Network + transport endpoints + switches."""
     return run_packet_level(
@@ -236,7 +227,7 @@ def _packet_adapter(spec: "ScenarioSpec", topology: "Topology",
 
 @register_engine("flow")
 def _flow_adapter(spec: "ScenarioSpec", topology: "Topology",
-                  flows: List["FlowSpec"],
+                  flows: list["FlowSpec"],
                   options: Mapping[str, Any]) -> "MetricsCollector":
     """Fluid flow-level engine: rate model + event-driven allocator."""
     return run_flow_level(topology, spec.protocol, flows, **options)

@@ -15,7 +15,8 @@ from __future__ import annotations
 
 import difflib
 import importlib
-from typing import Any, Callable, Dict, List, Mapping, Sequence
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.errors import CampaignError
 from repro.topology.bcube import BCube
@@ -24,8 +25,8 @@ from repro.topology.jellyfish import Jellyfish
 from repro.topology.single_bottleneck import SingleBottleneck
 from repro.topology.single_rooted import SingleRootedTree
 
-_TOPOLOGIES: Dict[str, Callable[..., Any]] = {}
-_WORKLOADS: Dict[str, Callable[..., Any]] = {}
+_TOPOLOGIES: dict[str, Callable[..., Any]] = {}
+_WORKLOADS: dict[str, Callable[..., Any]] = {}
 
 #: every module that registers experiment-surface kinds on import —
 #: workloads here, experiments/reducers/panel runners in
@@ -81,11 +82,11 @@ def _load_experiment_workloads() -> None:
     _experiments_loaded = True
 
 
-def topology_kinds() -> List[str]:
+def topology_kinds() -> list[str]:
     return sorted(_TOPOLOGIES)
 
 
-def workload_kinds() -> List[str]:
+def workload_kinds() -> list[str]:
     _load_experiment_workloads()
     return sorted(_WORKLOADS)
 
@@ -162,14 +163,14 @@ def _jellyfish(n_servers: int, seed: int = 1):
 
 
 @register_workload("empty")
-def _empty_workload(topology, seed: int) -> List[Any]:
+def _empty_workload(topology, seed: int) -> list[Any]:
     return []
 
 
 @register_workload("single_flow")
 def _single_flow_workload(topology, seed: int, src: str, dst: str,
                           size_bytes: int, arrival: float = 0.0,
-                          deadline: Any = None) -> List[Any]:
+                          deadline: Any = None) -> list[Any]:
     from repro.workload.flow import FlowSpec
 
     return [FlowSpec(fid=0, src=src, dst=dst, size_bytes=size_bytes,

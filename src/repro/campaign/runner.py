@@ -32,7 +32,7 @@ from concurrent.futures import (
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+from collections.abc import Callable, Iterable, Sequence
 
 from repro.campaign.spec import ScenarioSpec
 from repro.campaign.store import ResultStore
@@ -69,12 +69,12 @@ class ScenarioOutcome:
 
     spec: ScenarioSpec
     key: str
-    collector: Optional[MetricsCollector] = None
+    collector: MetricsCollector | None = None
     cached: bool = False
     elapsed: float = 0.0
     attempts: int = 0
-    error: Optional[str] = None
-    worker: Optional[int] = None
+    error: str | None = None
+    worker: int | None = None
 
     @property
     def ok(self) -> bool:
@@ -99,12 +99,12 @@ class ScenarioOutcome:
 class CampaignResult:
     """Outcomes in input order (duplicate specs share one outcome)."""
 
-    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    outcomes: list[ScenarioOutcome] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.outcomes)
 
-    def _unique(self) -> Dict[str, ScenarioOutcome]:
+    def _unique(self) -> dict[str, ScenarioOutcome]:
         return {o.key: o for o in self.outcomes}
 
     @property
@@ -120,10 +120,10 @@ class CampaignResult:
         return sum(1 for o in self._unique().values() if o.cached)
 
     @property
-    def failures(self) -> List[ScenarioOutcome]:
+    def failures(self) -> list[ScenarioOutcome]:
         return [o for o in self._unique().values() if not o.ok]
 
-    def collectors(self) -> List[MetricsCollector]:
+    def collectors(self) -> list[MetricsCollector]:
         """Per-spec collectors; raises if any scenario failed."""
         bad = self.failures
         if bad:
@@ -145,12 +145,12 @@ class CampaignRunner:
     def __init__(
         self,
         max_workers: int = 0,
-        store: Optional[ResultStore] = None,
-        timeout: Optional[float] = None,
+        store: ResultStore | None = None,
+        timeout: float | None = None,
         retries: int = 0,
-        progress: Optional[ProgressFn] = None,
+        progress: ProgressFn | None = None,
         mp_context=None,
-        trace_dir: Optional[Union[str, Path]] = None,
+        trace_dir: str | Path | None = None,
     ):
         if timeout is not None and timeout <= 0:
             raise CampaignError("timeout must be positive")
@@ -164,19 +164,19 @@ class CampaignRunner:
         self.mp_context = mp_context
         #: where flow-lifecycle traces land as <key>.jsonl (None = don't)
         self.trace_dir = Path(trace_dir) if trace_dir is not None else None
-        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool: ProcessPoolExecutor | None = None
         self._pool_broken = False
 
     # -- public API ---------------------------------------------------------------
 
     def run(self, specs: Iterable[ScenarioSpec]) -> CampaignResult:
         spec_list = list(specs)
-        unique: Dict[str, ScenarioSpec] = {}
+        unique: dict[str, ScenarioSpec] = {}
         for spec in spec_list:
             unique.setdefault(spec.key, spec)
 
-        outcomes: Dict[str, ScenarioOutcome] = {}
-        pending: List[ScenarioSpec] = []
+        outcomes: dict[str, ScenarioOutcome] = {}
+        pending: list[ScenarioSpec] = []
         for key, spec in unique.items():
             collector = self.store.get(spec) if self.store else None
             if collector is not None:
@@ -206,7 +206,7 @@ class CampaignRunner:
         return CampaignResult([outcomes[s.key] for s in spec_list])
 
     def collectors(self, specs: Iterable[ScenarioSpec]
-                   ) -> List[MetricsCollector]:
+                   ) -> list[MetricsCollector]:
         return self.run(specs).collectors()
 
     def close(self) -> None:
@@ -228,7 +228,7 @@ class CampaignRunner:
         if self.progress is not None:
             self.progress(outcome, self._done, self._total)
 
-    def _record(self, outcomes: Dict[str, ScenarioOutcome],
+    def _record(self, outcomes: dict[str, ScenarioOutcome],
                 outcome: ScenarioOutcome) -> None:
         outcomes[outcome.key] = outcome
         if outcome.ok and not outcome.cached and self.store is not None:
@@ -269,7 +269,7 @@ class CampaignRunner:
                     len(outcome.collector.trace))
 
     def _run_serial(self, pending: Sequence[ScenarioSpec],
-                    outcomes: Dict[str, ScenarioOutcome]) -> None:
+                    outcomes: dict[str, ScenarioOutcome]) -> None:
         budget = (
             None if self.timeout is None
             else time.monotonic() + self.timeout * len(pending)
@@ -299,7 +299,7 @@ class CampaignRunner:
             self._record(outcomes, outcome)
 
     def _settle(self, future, spec: ScenarioSpec,
-                attempts: Dict[str, int]) -> ScenarioOutcome:
+                attempts: dict[str, int]) -> ScenarioOutcome:
         """Turn one finished future into an outcome."""
         attempts[spec.key] += 1
         outcome = ScenarioOutcome(
@@ -321,12 +321,12 @@ class CampaignRunner:
         return outcome
 
     def _run_parallel(self, pending: Sequence[ScenarioSpec],
-                      outcomes: Dict[str, ScenarioOutcome]) -> None:
-        attempts: Dict[str, int] = {spec.key: 0 for spec in pending}
+                      outcomes: dict[str, ScenarioOutcome]) -> None:
+        attempts: dict[str, int] = {spec.key: 0 for spec in pending}
         batch = list(pending)
         isolate = False
         while batch:
-            retry: List[ScenarioSpec] = []
+            retry: list[ScenarioSpec] = []
             if isolate:
                 self._run_isolated(batch, attempts, retry, outcomes)
             else:
@@ -348,8 +348,8 @@ class CampaignRunner:
         return self._pool
 
     def _run_bulk(self, batch: Sequence[ScenarioSpec],
-                  attempts: Dict[str, int], retry: List[ScenarioSpec],
-                  outcomes: Dict[str, ScenarioOutcome]) -> bool:
+                  attempts: dict[str, int], retry: list[ScenarioSpec],
+                  outcomes: dict[str, ScenarioOutcome]) -> bool:
         """One all-in-flight round; returns True if the pool broke."""
         workers = min(self.max_workers, len(batch))
         budget = (
@@ -381,8 +381,8 @@ class CampaignRunner:
         return broken
 
     def _run_isolated(self, batch: Sequence[ScenarioSpec],
-                      attempts: Dict[str, int], retry: List[ScenarioSpec],
-                      outcomes: Dict[str, ScenarioOutcome]) -> None:
+                      attempts: dict[str, int], retry: list[ScenarioSpec],
+                      outcomes: dict[str, ScenarioOutcome]) -> None:
         """Quarantine round: one scenario in flight at a time, so a crash
         or timeout takes down only the scenario that caused it."""
         for spec in batch:
@@ -431,9 +431,9 @@ class CampaignRunner:
             self._pool = None
         self._pool_broken = False
 
-    def _drain(self, futures: Dict, attempts: Dict[str, int],
-               retry: List[ScenarioSpec],
-               outcomes: Dict[str, ScenarioOutcome], error: str) -> bool:
+    def _drain(self, futures: dict, attempts: dict[str, int],
+               retry: list[ScenarioSpec],
+               outcomes: dict[str, ScenarioOutcome], error: str) -> bool:
         """Settle what finished, fail the rest, and discard the pool.
 
         Used when a batch dies early (timeout or a crashed worker): a

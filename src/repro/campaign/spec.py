@@ -18,7 +18,8 @@ import hashlib
 import itertools
 import json
 from dataclasses import dataclass, field, replace
-from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Mapping, Sequence
+from typing import Any
 
 from repro.campaign.engines import engine_kinds
 from repro.errors import CampaignError
@@ -52,7 +53,7 @@ class TopologySpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         return {"kind": self.kind, "params": _plain(self.params)}
 
     def __hash__(self) -> int:
@@ -83,7 +84,7 @@ class WorkloadSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "params", dict(self.params))
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         return {"kind": self.kind, "params": _plain(self.params)}
 
     def __hash__(self) -> int:
@@ -115,8 +116,8 @@ class ScenarioSpec:
     workload: WorkloadSpec
     engine: str = "packet"
     seed: int = 1
-    sim_deadline: Optional[float] = None
-    loss: Optional[Tuple[str, str, float, int]] = None
+    sim_deadline: float | None = None
+    loss: tuple[str, str, float, int] | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -143,7 +144,7 @@ class ScenarioSpec:
 
     # -- identity -----------------------------------------------------------------
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         """Plain-data form; equal runs canonicalize identically."""
         return {
             "protocol": self.protocol,
@@ -163,7 +164,7 @@ class ScenarioSpec:
         cached = self.__dict__.get("_key")
         if cached is None:
             text = canonical_json(self.canonical())
-            cached = hashlib.sha256(text.encode("utf-8")).hexdigest()
+            cached = hashlib.sha256(text.encode()).hexdigest()
             object.__setattr__(self, "_key", cached)
         return cached
 
@@ -207,7 +208,7 @@ class ScenarioSpec:
         ``workload.n_flows``, ``topology.n_servers``, ``options.aging_rate``.
         """
         spec = self
-        flat: Dict[str, Any] = {}
+        flat: dict[str, Any] = {}
         for name, value in changes.items():
             if "." not in name:
                 flat[name] = value
@@ -239,7 +240,7 @@ def is_labeled_cell(value: Any) -> bool:
             and isinstance(value[1], Mapping))
 
 
-def _axis_cells(name: str, values: Sequence[Any]) -> List[Tuple[Any, Dict]]:
+def _axis_cells(name: str, values: Sequence[Any]) -> list[tuple[Any, dict]]:
     """Normalize one grid axis into (display value, with_ kwargs) cells.
 
     Three value forms are understood:
@@ -258,7 +259,7 @@ def _axis_cells(name: str, values: Sequence[Any]) -> List[Tuple[Any, Dict]]:
     if not values:
         raise CampaignError(f"empty grid axis {name!r}")
     parts = [p.strip() for p in name.split(",")] if "," in name else None
-    cells: List[Tuple[Any, Dict]] = []
+    cells: list[tuple[Any, dict]] = []
     for value in values:
         if is_labeled_cell(value):
             label, assignments = value
@@ -269,7 +270,7 @@ def _axis_cells(name: str, values: Sequence[Any]) -> List[Tuple[Any, Dict]]:
                     f"composite axis {name!r} needs {len(parts)}-tuples, "
                     f"got {value!r}"
                 )
-            cells.append((tuple(value), dict(zip(parts, value))))
+            cells.append((tuple(value), dict(zip(parts, value, strict=True))))
         else:
             cells.append((value, {name: value}))
     return cells
@@ -277,7 +278,7 @@ def _axis_cells(name: str, values: Sequence[Any]) -> List[Tuple[Any, Dict]]:
 
 def expand_cells(
     base: ScenarioSpec, axes: Mapping[str, Sequence[Any]],
-) -> List[Tuple[Dict[str, Any], ScenarioSpec]]:
+) -> list[tuple[dict[str, Any], ScenarioSpec]]:
     """Cartesian product of spec axes with per-cell coordinates.
 
     Like :func:`expand_grid` but returns ``(combo, spec)`` pairs, where
@@ -288,21 +289,21 @@ def expand_cells(
     """
     names = list(axes)
     normalized = [_axis_cells(name, axes[name]) for name in names]
-    out: List[Tuple[Dict[str, Any], ScenarioSpec]] = []
+    out: list[tuple[dict[str, Any], ScenarioSpec]] = []
     for combo in itertools.product(*normalized):
-        assignments: Dict[str, Any] = {}
+        assignments: dict[str, Any] = {}
         for _, kwargs in combo:
             assignments.update(kwargs)
         spec = base.with_(**assignments) if assignments else base
         out.append((
-            {name: display for name, (display, _) in zip(names, combo)},
+            {name: display for name, (display, _) in zip(names, combo, strict=True)},
             spec,
         ))
     return out
 
 
 def expand_grid(base: ScenarioSpec,
-                **axes: Sequence[Any]) -> List[ScenarioSpec]:
+                **axes: Sequence[Any]) -> list[ScenarioSpec]:
     """Cartesian product of spec axes around a base spec.
 
     Axis names are :class:`ScenarioSpec` field names or dotted paths

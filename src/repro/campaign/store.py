@@ -21,7 +21,7 @@ import tempfile
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Union
+from typing import Any
 
 from repro.campaign.spec import ScenarioSpec
 from repro.errors import ReproError
@@ -36,11 +36,11 @@ class StoreEntry:
     """Metadata for one cached scenario (``repro ls`` row)."""
 
     key: str
-    spec: Dict[str, Any]
-    summary: Dict[str, Any]
+    spec: dict[str, Any]
+    summary: dict[str, Any]
     created_at: float
     elapsed: float
-    stats: Dict[str, int] = field(default_factory=dict)
+    stats: dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         spec = ScenarioSpec.from_dict(self.spec)
@@ -50,7 +50,7 @@ class StoreEntry:
 class ResultStore:
     """Filesystem-backed result cache."""
 
-    def __init__(self, root: Union[str, Path]):
+    def __init__(self, root: str | Path):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
 
@@ -60,21 +60,21 @@ class ResultStore:
         return self.root / f"{key}.json"
 
     @staticmethod
-    def _key_of(spec_or_key: Union[ScenarioSpec, str]) -> str:
+    def _key_of(spec_or_key: ScenarioSpec | str) -> str:
         if isinstance(spec_or_key, ScenarioSpec):
             return spec_or_key.key
         return spec_or_key
 
     # -- cache protocol -----------------------------------------------------------
 
-    def __contains__(self, spec_or_key: Union[ScenarioSpec, str]) -> bool:
+    def __contains__(self, spec_or_key: ScenarioSpec | str) -> bool:
         return self.path_for(self._key_of(spec_or_key)).exists()
 
     def __len__(self) -> int:
         return sum(1 for _ in self.root.glob("*.json"))
 
-    def get(self, spec_or_key: Union[ScenarioSpec, str]
-            ) -> Optional[MetricsCollector]:
+    def get(self, spec_or_key: ScenarioSpec | str
+            ) -> MetricsCollector | None:
         """Restored collector for a spec, or None on miss / corrupt file."""
         payload = self._load(self._key_of(spec_or_key))
         if payload is None:
@@ -110,7 +110,7 @@ class ResultStore:
             raise
         return path
 
-    def discard(self, spec_or_key: Union[ScenarioSpec, str]) -> bool:
+    def discard(self, spec_or_key: ScenarioSpec | str) -> bool:
         path = self.path_for(self._key_of(spec_or_key))
         if path.exists():
             path.unlink()
@@ -132,7 +132,7 @@ class ResultStore:
     def log_path(self) -> Path:
         return self.root / self.LOG_NAME
 
-    def log_outcome(self, row: Dict[str, Any]) -> None:
+    def log_outcome(self, row: dict[str, Any]) -> None:
         """Append one scenario-outcome row to the campaign log.
 
         Append-only JSONL: cheap, crash-tolerant (a torn final line is
@@ -141,12 +141,12 @@ class ResultStore:
         with self.log_path.open("a", encoding="utf-8") as fh:
             fh.write(json.dumps(row) + "\n")
 
-    def read_log(self) -> List[Dict[str, Any]]:
+    def read_log(self) -> list[dict[str, Any]]:
         """All campaign-log rows, oldest first (corrupt lines skipped)."""
         path = self.log_path
         if not path.exists():
             return []
-        rows: List[Dict[str, Any]] = []
+        rows: list[dict[str, Any]] = []
         with path.open(encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
@@ -168,9 +168,9 @@ class ResultStore:
 
     # -- inspection ---------------------------------------------------------------
 
-    def entries(self) -> List[StoreEntry]:
+    def entries(self) -> list[StoreEntry]:
         """All cached entries, oldest first."""
-        out: List[StoreEntry] = []
+        out: list[StoreEntry] = []
         for path in self.root.glob("*.json"):
             payload = self._load(path.stem)
             if payload is None:
@@ -190,7 +190,7 @@ class ResultStore:
             ))
         return sorted(out, key=lambda e: e.created_at)
 
-    def _load(self, key: str) -> Optional[Dict[str, Any]]:
+    def _load(self, key: str) -> dict[str, Any] | None:
         path = self.path_for(key)
         if not path.exists():
             return None

@@ -13,19 +13,18 @@ component when present.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
 
 _INF = float("inf")
 
 #: key type: (deadline-or-inf, sjf-or-override, flow id)
-CriticalityKey = Tuple[float, float, int]
+CriticalityKey = tuple[float, float, int]
 
 
 def criticality_key(
     fid: int,
-    deadline: Optional[float],
+    deadline: float | None,
     expected_tx: float,
-    criticality: Optional[float] = None,
+    criticality: float | None = None,
 ) -> CriticalityKey:
     """Build a sortable criticality key. Smaller sorts first (more
     critical). ``deadline`` is the absolute deadline (None = no deadline);
@@ -43,8 +42,8 @@ class FlowComparator:
     disciplines subclass and override :meth:`key`.
     """
 
-    def key(self, fid: int, deadline: Optional[float], expected_tx: float,
-            criticality: Optional[float] = None) -> CriticalityKey:
+    def key(self, fid: int, deadline: float | None, expected_tx: float,
+            criticality: float | None = None) -> CriticalityKey:
         return criticality_key(fid, deadline, expected_tx, criticality)
 
     def more_critical(self, a: CriticalityKey, b: CriticalityKey) -> bool:

@@ -19,7 +19,6 @@ compare until something could actually be stale.
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
-from typing import Dict, List, Optional
 
 from repro.core.comparator import CriticalityKey, FlowComparator
 from repro.core.config import PdqConfig
@@ -38,11 +37,11 @@ class FlowEntry:
     def __init__(self, fid: int, now: float):
         self.fid = fid
         self.rate: float = 0.0          # R_i, committed on the reverse path
-        self.pauseby: Optional[int] = None  # P_i
-        self.deadline: Optional[float] = None  # D_i (absolute)
+        self.pauseby: int | None = None  # P_i
+        self.deadline: float | None = None  # D_i (absolute)
         self.expected_tx: float = 0.0   # T_i
         self.rtt: float = 0.0           # RTT_i
-        self.criticality: Optional[float] = None
+        self.criticality: float | None = None
         self.requested: float = 0.0     # R_H as the sender asked (pre-clamp)
         self.last_update: float = now
         self.key: CriticalityKey = (_INF, _INF, fid)
@@ -60,9 +59,9 @@ class PdqFlowList:
     def __init__(self, config: PdqConfig, comparator: FlowComparator):
         self.config = config
         self.comparator = comparator
-        self._entries: List[FlowEntry] = []   # sorted, most critical first
-        self._keys: List[CriticalityKey] = []  # parallel: _keys[i] == _entries[i].key
-        self._by_fid: Dict[int, FlowEntry] = {}
+        self._entries: list[FlowEntry] = []   # sorted, most critical first
+        self._keys: list[CriticalityKey] = []  # parallel: _keys[i] == _entries[i].key
+        self._by_fid: dict[int, FlowEntry] = {}
         self.evictions = 0
         #: conservative lower bound on min(entry.last_update); refreshes
         #: only raise the true minimum, so a stale bound just means one
@@ -77,7 +76,7 @@ class PdqFlowList:
     def __iter__(self):
         return iter(self._entries)
 
-    def get(self, fid: int) -> Optional[FlowEntry]:
+    def get(self, fid: int) -> FlowEntry | None:
         return self._by_fid.get(fid)
 
     def entry_at(self, index: int) -> FlowEntry:
@@ -103,16 +102,16 @@ class PdqFlowList:
 
     # -- mutation ---------------------------------------------------------------------
 
-    def admit(self, fid: int, now: float, key: CriticalityKey) -> Optional[FlowEntry]:
+    def admit(self, fid: int, now: float, key: CriticalityKey) -> FlowEntry | None:
         """Try to add a new flow (Algorithm 1's admission test): succeeds if
         there is room or the flow beats the least critical entry. Returns
         the new entry, or None if the flow must use the RCP fallback."""
         capacity = self.capacity
         entries = self._entries
         keys = self._keys
-        if len(entries) >= capacity:
-            if not self.comparator.more_critical(key, keys[-1]):
-                return None
+        if len(entries) >= capacity and \
+                not self.comparator.more_critical(key, keys[-1]):
+            return None
         entry = FlowEntry(fid, now)
         entry.key = key
         pos = bisect_right(keys, key)
@@ -159,7 +158,7 @@ class PdqFlowList:
         keys.insert(pos, key)
         return pos
 
-    def purge_expired(self, now: float, horizon: float) -> List[int]:
+    def purge_expired(self, now: float, horizon: float) -> list[int]:
         """Drop entries not refreshed within ``horizon`` seconds (protects
         against lost TERMs; §5.6's loss resilience depends on it)."""
         if now - self._min_last_update <= horizon:

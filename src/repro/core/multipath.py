@@ -11,7 +11,6 @@ buffer as the coordinator's aggregate byte count).
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.core.config import PdqConfig
 from repro.core.receiver import PdqReceiver
@@ -93,8 +92,8 @@ class MpdqCoordinator:
         self.bytes_delivered = 0
         self.done = False
         self.terminated = False
-        self.senders: List[PdqSender] = []
-        self.receivers: List[PdqReceiver] = []
+        self.senders: list[PdqSender] = []
+        self.receivers: list[PdqReceiver] = []
         self._adapter = _SubflowMetrics(self)
         self._proxy = _NetworkProxy(network, self._adapter)
         self._build_subflows()
@@ -126,10 +125,8 @@ class MpdqCoordinator:
             fid = subflow_fid(spec.fid, k)
             sub_spec = spec.with_(fid=fid, size_bytes=chunk)
             sub_record = FlowRecord(spec=sub_spec)  # scratch, not collected
-            if source_routes:
-                fwd = source_routes[k % len(source_routes)]
-            else:
-                fwd = self.net.router.flow_path(fid, src.id, dst.id)
+            fwd = (source_routes[k % len(source_routes)] if source_routes
+                   else self.net.router.flow_path(fid, src.id, dst.id))
             rev = self.net.router.reverse_path(fwd)
             sender = PdqSender(self._proxy, self.stack, sub_spec, sub_record,
                                fwd, src, self.stack.config)
@@ -177,11 +174,11 @@ class MpdqCoordinator:
 
     # -- load re-shifting (§6) ----------------------------------------------------------
 
-    def _sending(self) -> List[PdqSender]:
+    def _sending(self) -> list[PdqSender]:
         return [s for s in self.senders
                 if not s.closed and not s.term_sent and s.rate > 0]
 
-    def _paused(self) -> List[PdqSender]:
+    def _paused(self) -> list[PdqSender]:
         """Subflows paused long enough to be worth stripping: commit races
         pause subflows for an RTT or two routinely, and shifting on those
         transients degenerates the flow to a single path."""
@@ -246,7 +243,7 @@ class MpdqCoordinator:
 class MpdqStack(PdqStack):
     """Multipath PDQ: PDQ switches, coordinator-managed subflow endpoints."""
 
-    def __init__(self, config: Optional[PdqConfig] = None, n_subflows: int = 3,
+    def __init__(self, config: PdqConfig | None = None, n_subflows: int = 3,
                  shift_interval_rtts: float = 2.0,
                  comparator=None):
         super().__init__(config, comparator)

@@ -12,7 +12,7 @@ inconsistencies (e.g. lost pause messages) both fall out of this rule.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.core.config import PdqConfig
 from repro.events.simulator import Simulator

@@ -8,7 +8,6 @@ Suppressed Probing interval), the Early Termination heuristic, flow aging
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.config import PdqConfig
 from repro.events.timers import Timer
@@ -25,18 +24,18 @@ class PdqSender(RateBasedSender):
                  config: PdqConfig):
         super().__init__(network, stack, spec, record, fwd_path, host)
         self.config = config
-        self.pauseby: Optional[int] = None
+        self.pauseby: int | None = None
         self.inter_probe: float = config.probe_interval_rtts
         self.deadline = spec.absolute_deadline
         # M-PDQ coordinators take over Early Termination for their subflows
         self.et_enabled = config.early_termination
 
         # aging (§7): accumulated paused time
-        self._paused_since: Optional[float] = None
+        self._paused_since: float | None = None
         self._waited: float = 0.0
 
         # §5.6 criticality schemes
-        self._random_criticality: Optional[float] = None
+        self._random_criticality: float | None = None
         if config.criticality_mode == "random":
             rng = spawn_rng(spec.fid, "criticality")
             self._random_criticality = float(rng.random())
@@ -80,7 +79,7 @@ class PdqSender(RateBasedSender):
         age_units = waited / self.config.aging_time_unit
         return expected / (2.0 ** (self.config.aging_rate * age_units))
 
-    def _criticality_value(self) -> Optional[float]:
+    def _criticality_value(self) -> float | None:
         mode = self.config.criticality_mode
         if mode == "random" or self._random_criticality is not None:
             return self._random_criticality

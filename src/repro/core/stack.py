@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.core.comparator import FlowComparator
 from repro.core.config import PdqConfig
@@ -22,8 +21,8 @@ class PdqStack(ProtocolStack):
     header_bytes = 56
     ack_bytes = 56
 
-    def __init__(self, config: Optional[PdqConfig] = None,
-                 comparator: Optional[FlowComparator] = None):
+    def __init__(self, config: PdqConfig | None = None,
+                 comparator: FlowComparator | None = None):
         self.config = config or PdqConfig.full()
         self.comparator = comparator or FlowComparator()
         self.name = self.config.variant_name

@@ -11,7 +11,7 @@ state when no downstream switch pauses the flow.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import TYPE_CHECKING
 
 from repro.core.comparator import FlowComparator
 from repro.core.config import PdqConfig
@@ -41,13 +41,13 @@ class PdqLinkState:
             protocol.sim, link, config, self.rtt_avg_value
         )
         self.last_accept_time = -float("inf")
-        self.last_accept_fid: Optional[int] = None
+        self.last_accept_fid: int | None = None
         self.last_accept_key = None
         # flows that did not fit in the list (RCP fallback, §3.3.1);
         # _outside_min is a conservative lower bound on the oldest
         # timestamp, so the per-packet expiry sweep costs one compare
         # until something could actually be stale
-        self.outside: Dict[int, float] = {}
+        self.outside: dict[int, float] = {}
         self._outside_min = float("inf")
         self.pauses = 0
         self.accepts = 0
@@ -256,9 +256,9 @@ class PdqLinkState:
     def on_reverse(self, packet: Packet) -> None:
         header: PdqHeader = packet.sched
         my_id = self.protocol.switch_id
-        if header.pauseby is not None and header.pauseby != my_id:
-            if self.flows.remove(packet.fid):
-                self.protocol.forget(packet.fid, self)
+        if (header.pauseby is not None and header.pauseby != my_id
+                and self.flows.remove(packet.fid)):
+            self.protocol.forget(packet.fid, self)
         if header.pauseby is not None:
             header.rate = 0.0  # a paused flow's committed rate is zero
             self._cancel_tentative_accept(packet.fid)
@@ -289,14 +289,14 @@ class PdqSwitchProtocol:
     on at this switch)."""
 
     def __init__(self, network: "Network", switch: "Switch", config: PdqConfig,
-                 comparator: Optional[FlowComparator] = None):
+                 comparator: FlowComparator | None = None):
         self.net = network
         self.sim = network.sim
         self.switch_id = switch.id
         self.config = config
         self.comparator = comparator or FlowComparator()
-        self._states: Dict[int, PdqLinkState] = {}
-        self._flow_index: Dict[int, PdqLinkState] = {}
+        self._states: dict[int, PdqLinkState] = {}
+        self._flow_index: dict[int, PdqLinkState] = {}
 
     # -- state registry --------------------------------------------------------------
 
@@ -314,7 +314,7 @@ class PdqSwitchProtocol:
         if self._flow_index.get(fid) is state:
             del self._flow_index[fid]
 
-    def flow_state(self, fid: int) -> Optional[PdqLinkState]:
+    def flow_state(self, fid: int) -> PdqLinkState | None:
         return self._flow_index.get(fid)
 
     # -- packet dispatch ----------------------------------------------------------------

@@ -2,7 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Tuple
+from collections.abc import Callable
+from typing import Any
 
 
 class Event:
@@ -23,7 +24,7 @@ class Event:
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "_cancel_hook")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., Any],
-                 args: Tuple = ()):
+                 args: tuple = ()):
         self.time = time
         self.seq = seq
         self.callback = callback

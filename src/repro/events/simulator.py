@@ -21,7 +21,8 @@ from __future__ import annotations
 
 import heapq
 from heapq import heappop, heappush
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.errors import SimulationError
 from repro.events.event import Event
@@ -63,6 +64,7 @@ class Simulator:
 
     # -- scheduling ----------------------------------------------------------
 
+    # repro: hot
     def call_after(self, delay: float, callback: Callable[..., Any],
                    *args: Any) -> None:
         """Fast path: run ``callback(*args)`` ``delay`` seconds from now.
@@ -77,6 +79,7 @@ class Simulator:
         heappush(self._heap, (time, self._seq, callback, args))
         self._seq += 1
 
+    # repro: hot
     def call_at(self, time: float, callback: Callable[..., Any],
                 *args: Any) -> None:
         """Fast path: run ``callback(*args)`` at absolute ``time``."""
@@ -134,7 +137,8 @@ class Simulator:
 
     # -- execution -----------------------------------------------------------
 
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> None:
+    # repro: hot
+    def run(self, until: float | None = None, max_events: int | None = None) -> None:
         """Process events until the heap drains, ``until`` passes, or
         ``max_events`` have fired.
 
@@ -216,7 +220,7 @@ class Simulator:
         diagnostic."""
         return self._tombstones / len(self._heap) if self._heap else 0.0
 
-    def peek_time(self) -> Optional[float]:
+    def peek_time(self) -> float | None:
         """Timestamp of the next live event, or None if none are queued.
 
         Cancelled tombstones at the top of the heap are garbage-collected

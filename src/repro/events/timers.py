@@ -18,7 +18,8 @@ push-backs instead of one per push-back, and zero tombstones.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from collections.abc import Callable
+from typing import Any
 
 from repro.events.event import Event
 from repro.events.simulator import Simulator
@@ -34,15 +35,15 @@ class Timer:
         self._callback = callback
         # the underlying heap entry may lag behind the logical deadline:
         # _event.time <= _deadline always holds while armed
-        self._event: Optional[Event] = None
-        self._deadline: Optional[float] = None
+        self._event: Event | None = None
+        self._deadline: float | None = None
 
     @property
     def armed(self) -> bool:
         return self._deadline is not None
 
     @property
-    def expiry(self) -> Optional[float]:
+    def expiry(self) -> float | None:
         """Absolute time at which the timer will fire, or None."""
         return self._deadline
 
@@ -103,7 +104,7 @@ class PeriodicTimer:
         self._sim = sim
         self.period = period
         self._callback = callback
-        self._event: Optional[Event] = None
+        self._event: Event | None = None
         self._running = False
         # bumped by every start()/stop(): _fire only re-schedules if the
         # callback did not itself restart the timer mid-fire (a restart
@@ -114,7 +115,7 @@ class PeriodicTimer:
     def running(self) -> bool:
         return self._running
 
-    def start(self, first_delay: Optional[float] = None) -> None:
+    def start(self, first_delay: float | None = None) -> None:
         """Start firing; first firing after ``first_delay`` (default: one
         period)."""
         self.stop()

@@ -34,7 +34,8 @@ import hashlib
 import importlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from collections.abc import Callable, Mapping, Sequence
+from typing import Any
 
 from repro.campaign.context import run_scenarios
 from repro.campaign.spec import (
@@ -72,7 +73,7 @@ def _check_fields(what: str, data: Mapping[str, Any],
         )
 
 
-def _axes_tuple(axes: Any) -> Tuple[Tuple[str, Tuple[Any, ...]], ...]:
+def _axes_tuple(axes: Any) -> tuple[tuple[str, tuple[Any, ...]], ...]:
     """Normalize an axes declaration (mapping or pair sequence, values
     possibly JSON lists) into the hashable stored form."""
     pairs = axes.items() if isinstance(axes, Mapping) else axes
@@ -111,17 +112,17 @@ class SearchSpec:
     axis: str
     target: float = 0.99
     metric: str = "application_throughput"
-    seeds: Tuple[int, ...] = (1,)
+    seeds: tuple[int, ...] = (1,)
     lo: int = 1
     hi: int = 64
     grow: bool = True
-    scale: Optional[float] = None
+    scale: float | None = None
     require_deadlines: bool = False
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "seeds", tuple(self.seeds))
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         return {
             "axis": self.axis,
             "target": self.target,
@@ -170,14 +171,14 @@ class Panel:
 
     name: str
     title: str = ""
-    base: Optional[ScenarioSpec] = None
-    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
-    specs: Optional[Tuple[ScenarioSpec, ...]] = None
-    exclude: Tuple[Mapping[str, Any], ...] = ()
-    search: Optional[SearchSpec] = None
-    reducer: Optional[str] = None
+    base: ScenarioSpec | None = None
+    axes: tuple[tuple[str, tuple[Any, ...]], ...] = ()
+    specs: tuple[ScenarioSpec, ...] | None = None
+    exclude: tuple[Mapping[str, Any], ...] = ()
+    search: SearchSpec | None = None
+    reducer: str | None = None
     reducer_params: Mapping[str, Any] = field(default_factory=dict)
-    runner: Optional[str] = None
+    runner: str | None = None
     params: Mapping[str, Any] = field(default_factory=dict)
     wraps: str = ""
     wraps_kwargs: Mapping[str, Any] = field(default_factory=dict)
@@ -239,7 +240,7 @@ class Panel:
 
     # -- grid expansion -----------------------------------------------------------
 
-    def cells(self) -> List[Tuple[Dict[str, Any], ScenarioSpec]]:
+    def cells(self) -> list[tuple[dict[str, Any], ScenarioSpec]]:
         """``(combo, spec)`` grid cells; for search panels these are the
         outer cells the directive runs once per."""
         if self.runner is not None:
@@ -259,12 +260,12 @@ class Panel:
             ]
         return cells
 
-    def expand(self) -> List[ScenarioSpec]:
+    def expand(self) -> list[ScenarioSpec]:
         return [spec for _, spec in self.cells()]
 
     # -- identity -----------------------------------------------------------------
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "base": self.base.canonical() if self.base else None,
@@ -283,7 +284,7 @@ class Panel:
     def key(self) -> str:
         """Stable content hash of the canonical form."""
         text = canonical_json(self.canonical())
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return hashlib.sha256(text.encode()).hexdigest()
 
     def __hash__(self) -> int:
         return hash(self.key)
@@ -323,7 +324,7 @@ class Experiment:
 
     name: str
     title: str = ""
-    panels: Tuple[Panel, ...] = ()
+    panels: tuple[Panel, ...] = ()
     meta: Mapping[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
@@ -346,7 +347,7 @@ class Experiment:
             f"{[p.name for p in self.panels]}"
         )
 
-    def canonical(self) -> Dict[str, Any]:
+    def canonical(self) -> dict[str, Any]:
         return {
             "name": self.name,
             "panels": [p.canonical() for p in self.panels],
@@ -356,7 +357,7 @@ class Experiment:
     @property
     def key(self) -> str:
         text = canonical_json(self.canonical())
-        return hashlib.sha256(text.encode("utf-8")).hexdigest()
+        return hashlib.sha256(text.encode()).hexdigest()
 
     def __hash__(self) -> int:
         return hash(self.key)
@@ -394,14 +395,14 @@ class PanelRun:
     """
 
     panel: Panel
-    rows: List[Tuple[Dict[str, Any], ScenarioSpec, MetricsCollector]] = (
+    rows: list[tuple[dict[str, Any], ScenarioSpec, MetricsCollector]] = (
         field(default_factory=list))
-    found: Optional[List[Tuple[Dict[str, Any], Any]]] = None
+    found: list[tuple[dict[str, Any], Any]] | None = None
 
-    def axis_names(self) -> List[str]:
+    def axis_names(self) -> list[str]:
         return [name for name, _ in self.panel.axes]
 
-    def axis_values(self, name: str) -> List[Any]:
+    def axis_values(self, name: str) -> list[Any]:
         """The display values declared for one axis, in order."""
         for axis, values in self.panel.axes:
             if axis == name:
@@ -412,14 +413,14 @@ class PanelRun:
         )
 
     def cell_values(self, by: Sequence[str],
-                    metric: Optional[str]) -> Dict[Tuple[Any, ...], Any]:
+                    metric: str | None) -> dict[tuple[Any, ...], Any]:
         """Group results ``by`` axes (first-seen order) and average the
         grouped-out replicas: the named ``metric`` per collector for grid
         panels, the searched value for search panels."""
         by = list(by)
-        groups: Dict[Tuple[Any, ...], List[Any]] = {}
+        groups: dict[tuple[Any, ...], list[Any]] = {}
 
-        def cell_of(combo: Dict[str, Any]) -> Tuple[Any, ...]:
+        def cell_of(combo: dict[str, Any]) -> tuple[Any, ...]:
             try:
                 return tuple(combo[a] for a in by)
             except KeyError as exc:
@@ -454,14 +455,14 @@ def _run_grid(panel: Panel) -> PanelRun:
     collectors = run_scenarios([spec for _, spec in cells])
     return PanelRun(panel, rows=[
         (combo, spec, collector)
-        for (combo, spec), collector in zip(cells, collectors)
+        for (combo, spec), collector in zip(cells, collectors, strict=True)
     ])
 
 
 def _run_search(panel: Panel) -> PanelRun:
     search = panel.search
     metric = collector_metric(search.metric)
-    found: List[Tuple[Dict[str, Any], Any]] = []
+    found: list[tuple[dict[str, Any], Any]] = []
     for combo, cell_base in panel.cells():
 
         def meets_target(n: int, _base: ScenarioSpec = cell_base) -> bool:
@@ -494,15 +495,15 @@ def run_panel(panel: Panel) -> Any:
     return reducer(run, **dict(panel.reducer_params))
 
 
-def run_experiment(experiment: Experiment) -> Dict[str, Any]:
+def run_experiment(experiment: Experiment) -> dict[str, Any]:
     """Run every panel in order; results keyed by panel name."""
     return {panel.name: run_panel(panel) for panel in experiment.panels}
 
 
 # -- registries ---------------------------------------------------------------------
 
-_PANEL_RUNNERS: Dict[str, Callable[..., Any]] = {}
-_EXPERIMENTS: Dict[str, Experiment] = {}
+_PANEL_RUNNERS: dict[str, Callable[..., Any]] = {}
+_EXPERIMENTS: dict[str, Experiment] = {}
 
 _modules_loaded = False
 
@@ -534,7 +535,7 @@ def register_panel_runner(name: str) -> Callable:
     return decorate
 
 
-def panel_runner_kinds() -> List[str]:
+def panel_runner_kinds() -> list[str]:
     load_experiment_modules()
     return sorted(_PANEL_RUNNERS)
 
@@ -552,7 +553,7 @@ def panel_runner(name: str) -> Callable[..., Any]:
 
 
 def bind_runner_params(runner: Callable[..., Any], args: Sequence[Any],
-                       kwargs: Mapping[str, Any]) -> Dict[str, Any]:
+                       kwargs: Mapping[str, Any]) -> dict[str, Any]:
     """Map a wrapper call's positional/keyword arguments onto a panel
     runner's named parameters (``Panel.params`` is a mapping, so custom
     panels would otherwise lose positional-call compatibility).
@@ -570,7 +571,7 @@ def register_experiment(experiment: Experiment) -> Experiment:
     return experiment
 
 
-def experiment_kinds() -> List[str]:
+def experiment_kinds() -> list[str]:
     load_experiment_modules()
     return sorted(_EXPERIMENTS)
 
@@ -587,7 +588,7 @@ def get_experiment(name: str) -> Experiment:
     return experiment
 
 
-def figure_numbers() -> List[int]:
+def figure_numbers() -> list[int]:
     """The registered paper-figure numbers (``figN`` experiments)."""
     numbers = []
     for name in experiment_kinds():
@@ -607,12 +608,12 @@ def load_experiment(data: Mapping[str, Any]) -> Experiment:
 def load_experiment_file(path: str) -> Experiment:
     """Load and parse a user-authored JSON experiment file."""
     try:
-        with open(path, "r", encoding="utf-8") as fh:
+        with open(path, encoding="utf-8") as fh:
             data = json.load(fh)
     except OSError as exc:
-        raise CampaignError(f"cannot read experiment file {path}: {exc}")
+        raise CampaignError(f"cannot read experiment file {path}: {exc}") from exc
     except ValueError as exc:
-        raise CampaignError(f"{path} is not valid JSON: {exc}")
+        raise CampaignError(f"{path} is not valid JSON: {exc}") from exc
     if not isinstance(data, Mapping):
         raise CampaignError(f"{path}: top level must be a JSON object")
     return load_experiment(data)

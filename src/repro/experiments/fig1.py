@@ -9,7 +9,6 @@ Experiment API surface.
 from __future__ import annotations
 
 import itertools
-from typing import Dict, List
 
 from repro.experiments.api import (
     Experiment,
@@ -30,15 +29,15 @@ DEADLINES = [1.0, 4.0, 6.0]
 
 
 @register_panel_runner("fig1.motivation")
-def _run_motivation() -> Dict[str, object]:
+def _run_motivation() -> dict[str, object]:
     fair = fair_sharing_completions(SIZES)
     sjf = serial_completions(SIZES, [0, 1, 2])
     fair_misses = deadline_misses(dict(enumerate(fair)), DEADLINES)
     edf_misses = deadline_misses(dict(enumerate(sjf)), DEADLINES)
 
-    d3_results: List[Dict[str, object]] = []
+    d3_results: list[dict[str, object]] = []
     failing_orders = 0
-    flows = list(zip(SIZES, DEADLINES))
+    flows = list(zip(SIZES, DEADLINES, strict=True))
     for order in itertools.permutations(range(3)):
         completions = d3_fluid_schedule(flows, order)
         misses = deadline_misses(completions, DEADLINES)
@@ -75,7 +74,7 @@ def fig1_panel() -> Panel:
     )
 
 
-def run() -> Dict[str, object]:
+def run() -> dict[str, object]:
     """Regenerate every number quoted in §2.1."""
     return run_panel(fig1_panel())
 

@@ -15,7 +15,7 @@ with its engine options), reduced by the generic ``series`` reducer.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -51,7 +51,7 @@ _SCHEME_AXES = {
 
 
 def _workload(dist: str, n_flows: int, seed: int,
-              mean_size: float) -> List[FlowSpec]:
+              mean_size: float) -> list[FlowSpec]:
     rng = spawn_rng(seed, f"fig10:{dist}")
     if dist == "uniform":
         sizes = uniform_sizes(n_flows, mean_size, rng=rng)
@@ -65,7 +65,7 @@ def _workload(dist: str, n_flows: int, seed: int,
 
 @register_workload("fig10.aggregation")
 def _build_workload(topology, seed: int, dist: str, n_flows: int,
-                    mean_size: float) -> List[FlowSpec]:
+                    mean_size: float) -> list[FlowSpec]:
     return _workload(dist, n_flows, seed, mean_size)
 
 
@@ -107,7 +107,7 @@ def fig10_panel(distributions: Sequence[str] = ("uniform", "pareto"),
     )
 
 
-def run_fig10(*args, **kwargs) -> Dict[str, Dict[str, float]]:
+def run_fig10(*args, **kwargs) -> dict[str, dict[str, float]]:
     """Mean FCT (seconds) per scheme per size distribution."""
     return run_panel(fig10_panel(*args, **kwargs))
 

@@ -11,7 +11,7 @@ panels are declarative grids/searches on the Experiment API.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -42,7 +42,7 @@ def _bcube() -> BCube:
 
 
 def _permutation_subset(load: float, seed: int, mean_size: float,
-                        mean_deadline=None, topo=None) -> List[FlowSpec]:
+                        mean_deadline=None, topo=None) -> list[FlowSpec]:
     """Random permutation over a ``load`` fraction of hosts."""
     topo = topo if topo is not None else _bcube()
     hosts = list(topo.hosts)
@@ -70,14 +70,14 @@ def _permutation_subset(load: float, seed: int, mean_size: float,
 @register_workload("fig11.permutation_subset")
 def _build_permutation_subset(topology, seed: int, load: float,
                               mean_size: float,
-                              mean_deadline=None) -> List[FlowSpec]:
+                              mean_deadline=None) -> list[FlowSpec]:
     return _permutation_subset(load, seed, mean_size, mean_deadline,
                                topo=topology)
 
 
 @register_workload("fig11.random_pairs")
 def _build_random_pairs(topology, seed: int, n_flows: int, mean_size: float,
-                        mean_deadline: float) -> List[FlowSpec]:
+                        mean_deadline: float) -> list[FlowSpec]:
     hosts = list(topology.hosts)
     rng = spawn_rng(seed, "fig11c")
     sizes = uniform_sizes(n_flows, mean_size, rng=rng)
@@ -190,18 +190,18 @@ def fig11c_panel(subflow_counts: Sequence[int] = (1, 2, 4),
     )
 
 
-def run_fig11a(*args, **kwargs) -> Dict[str, Dict[float, float]]:
+def run_fig11a(*args, **kwargs) -> dict[str, dict[float, float]]:
     """Mean FCT (seconds) vs load for PDQ and M-PDQ."""
     return run_panel(fig11a_panel(*args, **kwargs))
 
 
-def run_fig11b(*args, **kwargs) -> Dict[int, float]:
+def run_fig11b(*args, **kwargs) -> dict[int, float]:
     """Mean FCT (seconds) vs number of subflows at 100 % load; 1 subflow
     means single-path PDQ."""
     return run_panel(fig11b_panel(*args, **kwargs))
 
 
-def run_fig11c(*args, **kwargs) -> Dict[int, int]:
+def run_fig11c(*args, **kwargs) -> dict[int, int]:
     """Max deadline flows at 99 % application throughput vs subflows."""
     return run_panel(fig11c_panel(*args, **kwargs))
 

@@ -20,7 +20,7 @@ expresses directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -45,7 +45,7 @@ from repro.workload.sizes import uniform_sizes
 
 
 def fig12_workload(n_servers: int, duration: float, load: float,
-                   seed: int, mean_size: float = 100 * KBYTE) -> List[FlowSpec]:
+                   seed: int, mean_size: float = 100 * KBYTE) -> list[FlowSpec]:
     """Poisson random-pair traffic at per-host offered ``load`` (fraction
     of the 1 Gbps access links)."""
     topo = topology_for("fattree", n_servers)
@@ -53,13 +53,13 @@ def fig12_workload(n_servers: int, duration: float, load: float,
 
 
 def _poisson_pair_flows(hosts, duration: float, load: float, seed: int,
-                        mean_size: float) -> List[FlowSpec]:
+                        mean_size: float) -> list[FlowSpec]:
     rng = spawn_rng(seed, "fig12")
     per_host_rate = load * (1 * GBPS) / (mean_size * 8.0)
     arrivals = poisson_arrivals(per_host_rate * len(hosts), duration, rng=rng)
     sizes = uniform_sizes(len(arrivals), mean_size, rng=rng)
     flows = []
-    for i, (t, size) in enumerate(zip(arrivals, sizes)):
+    for i, (t, size) in enumerate(zip(arrivals, sizes, strict=True)):
         src_i = int(rng.integers(len(hosts)))
         dst_i = int(rng.integers(len(hosts) - 1))
         if dst_i >= src_i:
@@ -71,7 +71,7 @@ def _poisson_pair_flows(hosts, duration: float, load: float, seed: int,
 
 @register_workload("fig12.poisson_pairs")
 def _build_workload(topology, seed: int, duration: float,
-                    load: float, mean_size: float) -> List[FlowSpec]:
+                    load: float, mean_size: float) -> list[FlowSpec]:
     return _poisson_pair_flows(topology.hosts, duration, load, seed,
                                mean_size)
 
@@ -80,12 +80,12 @@ def _build_workload(topology, seed: int, duration: float,
 def _reduce_aging(run) -> dict:
     """Max/mean FCT per aging rate plus the flat RCP reference rows."""
     aging_rates = [v for v in run.axis_values("variant") if v != "RCP"]
-    by_variant: Dict[object, List] = {}
+    by_variant: dict[object, list] = {}
     for combo, _spec, metrics in run.rows:
         by_variant.setdefault(combo["variant"], []).append(metrics)
     rcp_max = mean(m.max_fct() for m in by_variant["RCP"])
     rcp_mean = mean(m.mean_fct() for m in by_variant["RCP"])
-    results: Dict[str, Dict[float, float]] = {
+    results: dict[str, dict[float, float]] = {
         "PDQ max": {}, "PDQ mean": {}, "RCP max": {}, "RCP mean": {},
     }
     for alpha in aging_rates:
@@ -130,7 +130,7 @@ def fig12_panel(aging_rates: Sequence[float] = (0.0, 2.0, 6.0, 10.0),
     )
 
 
-def run_fig12(*args, **kwargs) -> Dict[str, Dict[float, float]]:
+def run_fig12(*args, **kwargs) -> dict[str, dict[float, float]]:
     """Max and mean FCT (seconds) vs aging rate, plus RCP references."""
     return run_panel(fig12_panel(*args, **kwargs))
 

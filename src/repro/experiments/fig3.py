@@ -15,7 +15,7 @@ wrappers kept for their historical signatures.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -51,8 +51,8 @@ TOPOLOGY = TopologySpec("single_rooted")
 
 
 def _workload(n_flows: int, seed: int, mean_size: float,
-              mean_deadline: Optional[float],
-              deadline_floor: float = 3 * MSEC) -> List[FlowSpec]:
+              mean_deadline: float | None,
+              deadline_floor: float = 3 * MSEC) -> list[FlowSpec]:
     """Query-aggregation workload: senders h1..h11 -> aggregator h0."""
     rng = spawn_rng(seed, "fig3")
     sizes = uniform_sizes(n_flows, mean_size, rng=rng)
@@ -68,13 +68,13 @@ def _workload(n_flows: int, seed: int, mean_size: float,
 
 @register_workload("fig3.aggregation")
 def _build_workload(topology, seed: int, n_flows: int, mean_size: float,
-                    mean_deadline: Optional[float] = None,
-                    deadline_floor: float = 3 * MSEC) -> List[FlowSpec]:
+                    mean_deadline: float | None = None,
+                    deadline_floor: float = 3 * MSEC) -> list[FlowSpec]:
     return _workload(n_flows, seed, mean_size, mean_deadline, deadline_floor)
 
 
 def _base_spec(n_flows: int, mean_size: float,
-               mean_deadline: Optional[float],
+               mean_deadline: float | None,
                sim_deadline: float) -> ScenarioSpec:
     return ScenarioSpec(
         protocol=DEFAULT_PROTOCOLS[0],
@@ -89,7 +89,7 @@ def _base_spec(n_flows: int, mean_size: float,
     )
 
 
-def _built_flows(spec: ScenarioSpec) -> List[FlowSpec]:
+def _built_flows(spec: ScenarioSpec) -> list[FlowSpec]:
     """The workload a grid cell ran (protocol-independent)."""
     return spec.workload.build(spec.topology.build(), spec.seed)
 

@@ -12,7 +12,7 @@ wrappers kept for their historical signatures.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -51,7 +51,7 @@ TOPOLOGY = TopologySpec("single_rooted")
 
 def pattern_flows(pattern: str, n_flows: int, seed: int,
                   mean_size: float = 100 * KBYTE,
-                  mean_deadline: Optional[float] = None) -> List[FlowSpec]:
+                  mean_deadline: float | None = None) -> list[FlowSpec]:
     """Build ``n_flows`` flows for a named pattern on the default tree."""
     tree = SingleRootedTree()
     hosts = [f"h{i}" for i in range(tree.n_servers)]
@@ -97,12 +97,12 @@ def pattern_flows(pattern: str, n_flows: int, seed: int,
 @register_workload("fig4.pattern")
 def _build_pattern(topology, seed: int, pattern: str, n_flows: int,
                    mean_size: float = 100 * KBYTE,
-                   mean_deadline: Optional[float] = None) -> List[FlowSpec]:
+                   mean_deadline: float | None = None) -> list[FlowSpec]:
     return pattern_flows(pattern, n_flows, seed, mean_size, mean_deadline)
 
 
 def _base_spec(pattern: str, n_flows: int,
-               mean_deadline: Optional[float],
+               mean_deadline: float | None,
                sim_deadline: float) -> ScenarioSpec:
     return ScenarioSpec(
         protocol=DEFAULT_PROTOCOLS[0],

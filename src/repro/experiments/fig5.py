@@ -13,7 +13,7 @@ signatures.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -47,7 +47,7 @@ TOPOLOGY = TopologySpec("single_rooted")
 def vl2_workload(rate_per_sec: float, duration: float, seed: int,
                  mean_deadline: float = 20 * MSEC,
                  size_scale: float = 1.0,
-                 cap_bytes: int = 1_000_000) -> List[FlowSpec]:
+                 cap_bytes: int = 1_000_000) -> list[FlowSpec]:
     """Poisson flow arrivals with VL2-like sizes between random host pairs;
     short flows (< 40 KB) carry deadlines. ``cap_bytes`` truncates the
     elephant tail so packet-level runs stay tractable (the deadline metric
@@ -61,7 +61,7 @@ def vl2_workload(rate_per_sec: float, duration: float, seed: int,
     deadlines = exponential_deadlines(len(arrivals), mean=mean_deadline,
                                       rng=rng)
     flows = []
-    for i, (t, size) in enumerate(zip(arrivals, sizes)):
+    for i, (t, size) in enumerate(zip(arrivals, sizes, strict=True)):
         src_i = int(rng.integers(len(hosts)))
         dst_i = int(rng.integers(len(hosts) - 1))
         if dst_i >= src_i:
@@ -76,14 +76,14 @@ def vl2_workload(rate_per_sec: float, duration: float, seed: int,
 @register_workload("fig5.vl2")
 def _build_vl2(topology, seed: int, rate_per_sec: float, duration: float,
                mean_deadline: float = 20 * MSEC, size_scale: float = 1.0,
-               cap_bytes: int = 1_000_000) -> List[FlowSpec]:
+               cap_bytes: int = 1_000_000) -> list[FlowSpec]:
     return vl2_workload(rate_per_sec, duration, seed, mean_deadline,
                         size_scale, cap_bytes)
 
 
 @register_workload("fig5.edu1")
 def _build_edu1(topology, seed: int, duration: float,
-                flows_per_second: float) -> List[FlowSpec]:
+                flows_per_second: float) -> list[FlowSpec]:
     hosts = [f"h{i}" for i in range(topology.n_servers)]
     return edu1_flow_summaries(hosts, duration, flows_per_second, rng=seed)
 

@@ -12,7 +12,6 @@ runner on the Experiment API surface.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from repro.core.config import PdqConfig
 from repro.core.stack import PdqStack
@@ -34,7 +33,7 @@ from repro.workload.flow import FlowSpec
 @register_panel_runner("fig6.convergence")
 def _run_convergence(n_flows: int = 5, flow_size: int = 1 * MBYTE,
                      sample_interval: float = 1 * MSEC,
-                     sim_deadline: float = 0.2) -> Dict[str, object]:
+                     sim_deadline: float = 0.2) -> dict[str, object]:
     topo = SingleBottleneck(n_flows)
     net = Network(topo, PdqStack(PdqConfig.full()))
     monitor = net.monitor("sw0", "recv", interval=sample_interval)
@@ -48,7 +47,7 @@ def _run_convergence(n_flows: int = 5, flow_size: int = 1 * MBYTE,
     net.launch(flows)
 
     # sample each flow's delivered bytes to derive per-flow throughput
-    delivered_samples: List[Tuple[float, List[int]]] = []
+    delivered_samples: list[tuple[float, list[int]]] = []
 
     def sample() -> None:
         delivered_samples.append((
@@ -62,7 +61,7 @@ def _run_convergence(n_flows: int = 5, flow_size: int = 1 * MBYTE,
     sampler.stop()
     monitor.stop()
 
-    throughput_series: List[Tuple[float, List[float]]] = []
+    throughput_series: list[tuple[float, list[float]]] = []
     for i in range(1, len(delivered_samples)):
         t0, prev = delivered_samples[i - 1]
         t1, cur = delivered_samples[i]
@@ -70,7 +69,7 @@ def _run_convergence(n_flows: int = 5, flow_size: int = 1 * MBYTE,
         if dt <= 0:
             continue
         throughput_series.append(
-            (t1, [(c - p) * 8.0 / dt for p, c in zip(prev, cur)])
+            (t1, [(c - p) * 8.0 / dt for p, c in zip(prev, cur, strict=True)])
         )
 
     completions = sorted(
@@ -108,7 +107,7 @@ def fig6_panel(*args, **params) -> Panel:
     )
 
 
-def run_fig6(*args, **params) -> Dict[str, object]:
+def run_fig6(*args, **params) -> dict[str, object]:
     """Returns per-flow throughput series, utilization/queue series and
     the headline summary values."""
     return run_panel(fig6_panel(*args, **params))

@@ -11,7 +11,6 @@ registers a custom panel runner on the Experiment API surface.
 
 from __future__ import annotations
 
-from typing import Dict, List
 
 from repro.core.config import PdqConfig
 from repro.core.stack import PdqStack
@@ -35,7 +34,7 @@ from repro.workload.flow import FlowSpec
 def _run_burst(n_short: int = 50, short_size: int = 20 * KBYTE,
                long_size: int = 6 * MBYTE, burst_at: float = 10 * MSEC,
                sample_interval: float = 1 * MSEC,
-               sim_deadline: float = 0.3, seed: int = 1) -> Dict[str, object]:
+               sim_deadline: float = 0.3, seed: int = 1) -> dict[str, object]:
     topo = SingleBottleneck(n_short + 1)
     net = Network(topo, PdqStack(PdqConfig.full()))
     monitor = net.monitor("sw0", "recv", interval=sample_interval)
@@ -48,7 +47,7 @@ def _run_burst(n_short: int = 50, short_size: int = 20 * KBYTE,
                               size_bytes=size, arrival=burst_at))
     net.launch(flows)
 
-    long_samples: List[tuple] = []
+    long_samples: list[tuple] = []
 
     def sample() -> None:
         record = net.metrics.record(0)
@@ -111,7 +110,7 @@ def fig7_panel(*args, **params) -> Panel:
     )
 
 
-def run_fig7(*args, **params) -> Dict[str, object]:
+def run_fig7(*args, **params) -> dict[str, object]:
     return run_panel(fig7_panel(*args, **params))
 
 

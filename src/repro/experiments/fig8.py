@@ -15,7 +15,7 @@ so it registers a custom panel runner.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -63,7 +63,7 @@ def topology_for(family: str, n_servers: int) -> Topology:
 
 def permutation_workload(topology: Topology, flows_per_server: int,
                          seed: int, mean_size: float = 100 * KBYTE,
-                         mean_deadline=None) -> List[FlowSpec]:
+                         mean_deadline=None) -> list[FlowSpec]:
     hosts = topology.hosts
     n = len(hosts) * flows_per_server
     rng = spawn_rng(seed, "fig8")
@@ -76,7 +76,7 @@ def permutation_workload(topology: Topology, flows_per_server: int,
 
 
 def _subset_deadline_workload(topology: Topology, n_flows: int,
-                              seed: int, mean_deadline: float) -> List[FlowSpec]:
+                              seed: int, mean_deadline: float) -> list[FlowSpec]:
     """n random src->dst deadline flows (for the 99 %-throughput search)."""
     hosts = topology.hosts
     rng = spawn_rng(seed, "fig8a")
@@ -96,14 +96,14 @@ def _subset_deadline_workload(topology: Topology, n_flows: int,
 @register_workload("fig8.permutation")
 def _build_permutation(topology, seed: int, flows_per_server: int,
                        mean_size: float = 100 * KBYTE,
-                       mean_deadline=None) -> List[FlowSpec]:
+                       mean_deadline=None) -> list[FlowSpec]:
     return permutation_workload(topology, flows_per_server, seed, mean_size,
                                 mean_deadline)
 
 
 @register_workload("fig8.random_pairs")
 def _build_random_pairs(topology, seed: int, n_flows: int,
-                        mean_deadline: float) -> List[FlowSpec]:
+                        mean_deadline: float) -> list[FlowSpec]:
     return _subset_deadline_workload(topology, n_flows, seed, mean_deadline)
 
 
@@ -115,7 +115,7 @@ def _reduce_per_level(run, metric: str = "mean_fct") -> dict:
         ("topology.n_servers", "engine", "protocol"),
         metric,
     )
-    results: Dict[str, Dict[int, float]] = {}
+    results: dict[str, dict[int, float]] = {}
     for (n_servers, level, protocol), value in cells.items():
         results.setdefault(f"{protocol}/{level}", {})[n_servers] = value
     return results
@@ -185,7 +185,7 @@ def fct_vs_size_panel(family: str,
 
 @register_panel_runner("fig8.rcp_pdq_cdf")
 def _run_cdf(n_servers: int = 128, flows_per_server: int = 2,
-             seeds: Sequence[int] = (1,)) -> Dict[str, object]:
+             seeds: Sequence[int] = (1,)) -> dict[str, object]:
     def spec_for(protocol: str, seed: int) -> ScenarioSpec:
         return ScenarioSpec(
             protocol=protocol,
@@ -203,8 +203,8 @@ def _run_cdf(n_servers: int = 128, flows_per_server: int = 2,
         spec_for(protocol, seed)
         for seed in seeds for protocol in ("PDQ(Full)", "RCP")
     )
-    ratios: List[float] = []
-    for i, seed in enumerate(seeds):
+    ratios: list[float] = []
+    for i, _seed in enumerate(seeds):
         pdq = collectors[2 * i].fct_by_fid()
         rcp = collectors[2 * i + 1].fct_by_fid()
         for fid, pdq_fct in pdq.items():

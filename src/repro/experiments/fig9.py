@@ -17,7 +17,7 @@ ambient campaign runner, so they cache and fan out like any grid.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from collections.abc import Sequence
 
 from repro.campaign import (
     ScenarioSpec,
@@ -49,7 +49,7 @@ TOPOLOGY = TopologySpec("single_bottleneck", {"n_senders": N_SENDERS})
 
 def _workload(n_flows: int, seed: int, deadline_constrained: bool,
               mean_size: float = 100 * KBYTE,
-              mean_deadline: float = 20 * MSEC) -> List[FlowSpec]:
+              mean_deadline: float = 20 * MSEC) -> list[FlowSpec]:
     topo_senders = [f"send{i}" for i in range(N_SENDERS)]
     rng = spawn_rng(seed, "fig9")
     sizes = uniform_sizes(n_flows, mean_size, rng=rng)
@@ -64,7 +64,7 @@ def _workload(n_flows: int, seed: int, deadline_constrained: bool,
 def _build_workload(topology, seed: int, n_flows: int,
                     deadline_constrained: bool,
                     mean_size: float = 100 * KBYTE,
-                    mean_deadline: float = 20 * MSEC) -> List[FlowSpec]:
+                    mean_deadline: float = 20 * MSEC) -> list[FlowSpec]:
     return _workload(n_flows, seed, deadline_constrained, mean_size,
                      mean_deadline)
 
@@ -90,8 +90,8 @@ def _run_max_flows(loss_rates: Sequence[float] = (0.0, 0.01, 0.03),
                    protocols: Sequence[str] = ("PDQ(Full)", "TCP"),
                    seeds: Sequence[int] = (1, 2),
                    target: float = 0.99,
-                   hi: int = 32) -> Dict[str, Dict[float, int]]:
-    results: Dict[str, Dict[float, int]] = {p: {} for p in protocols}
+                   hi: int = 32) -> dict[str, dict[float, int]]:
+    results: dict[str, dict[float, int]] = {p: {} for p in protocols}
     for loss in loss_rates:
         for protocol in protocols:
             def ok(n: int, _p=protocol, _l=loss) -> bool:
@@ -110,15 +110,15 @@ def _run_max_flows(loss_rates: Sequence[float] = (0.0, 0.01, 0.03),
 def _run_fct(loss_rates: Sequence[float] = (0.0, 0.01, 0.03),
              protocols: Sequence[str] = ("PDQ(Full)", "TCP"),
              seeds: Sequence[int] = (1, 2),
-             n_flows: int = 8) -> Dict[str, Dict[float, float]]:
-    raw: Dict[str, Dict[float, float]] = {p: {} for p in protocols}
+             n_flows: int = 8) -> dict[str, dict[float, float]]:
+    raw: dict[str, dict[float, float]] = {p: {} for p in protocols}
     grid = [(loss, p, s)
             for loss in loss_rates for p in protocols for s in seeds]
     collectors = run_scenarios(
         _spec(p, n_flows, False, loss, s) for (loss, p, s) in grid
     )
-    by_cell: Dict[tuple, List[float]] = {}
-    for (loss, p, _s), metrics in zip(grid, collectors):
+    by_cell: dict[tuple, list[float]] = {}
+    for (loss, p, _s), metrics in zip(grid, collectors, strict=True):
         by_cell.setdefault((p, loss), []).append(metrics.mean_fct())
     for (p, loss), values in by_cell.items():
         raw[p][loss] = mean(values)

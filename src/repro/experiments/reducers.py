@@ -16,14 +16,15 @@ close-match :class:`~repro.errors.CampaignError`.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from collections.abc import Callable, Sequence
+from typing import Any
 
 from repro.errors import ExperimentError
 from repro.metrics.collector import MetricsCollector
 
 # -- metric registry ----------------------------------------------------------------
 
-_METRICS: Dict[str, Callable[[MetricsCollector], float]] = {}
+_METRICS: dict[str, Callable[[MetricsCollector], float]] = {}
 
 
 def register_metric(name: str) -> Callable:
@@ -36,7 +37,7 @@ def register_metric(name: str) -> Callable:
     return decorate
 
 
-def metric_kinds() -> List[str]:
+def metric_kinds() -> list[str]:
     return sorted(_METRICS)
 
 
@@ -75,7 +76,7 @@ def _completion_fraction(collector: MetricsCollector) -> float:
 
 # -- reducer registry ---------------------------------------------------------------
 
-_REDUCERS: Dict[str, Callable] = {}
+_REDUCERS: dict[str, Callable] = {}
 
 
 def register_reducer(name: str) -> Callable:
@@ -93,7 +94,7 @@ def register_reducer(name: str) -> Callable:
     return decorate
 
 
-def reducer_kinds() -> List[str]:
+def reducer_kinds() -> list[str]:
     from repro.experiments.api import load_experiment_modules
 
     load_experiment_modules()
@@ -118,9 +119,9 @@ def get_reducer(name: str) -> Callable:
 
 
 @register_reducer("series")
-def series_reducer(run, x: str, series: Optional[str] = None,
+def series_reducer(run, x: str, series: str | None = None,
                    metric: str = "mean_fct",
-                   normalize_to: Optional[Any] = None) -> Dict:
+                   normalize_to: Any | None = None) -> dict:
     """The classic figure shape.
 
     With ``series``: ``{series value: {x value: value}}``; without:
@@ -147,7 +148,7 @@ def series_reducer(run, x: str, series: Optional[str] = None,
             "normalize_to requires the flat (series=None) form; register "
             "a custom reducer for per-series normalization"
         )
-    out: Dict[Any, Dict] = {s: {} for s in run.axis_values(series)}
+    out: dict[Any, dict] = {s: {} for s in run.axis_values(series)}
     for (s_value, x_value), value in run.cell_values((series, x),
                                                      metric).items():
         out[s_value][x_value] = value
@@ -156,7 +157,7 @@ def series_reducer(run, x: str, series: Optional[str] = None,
 
 @register_reducer("table")
 def table_reducer(run, metrics: Sequence[str] = ("mean_fct",),
-                  by: Optional[Sequence[str]] = None) -> Dict:
+                  by: Sequence[str] | None = None) -> dict:
     """Schema-first output: ``{"columns": [...], "rows": [[...]]}``.
 
     One row per grid cell grouped ``by`` the named axes (default: every

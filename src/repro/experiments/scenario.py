@@ -10,7 +10,7 @@ helpers (normalization, per-fid means) on top.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from collections.abc import Sequence
 
 from repro.campaign.engines import (  # noqa: F401 - re-exports
     PROTOCOLS,
@@ -42,7 +42,7 @@ def mean_fct_by(collector: MetricsCollector,
     return collector.mean_fct(only=fids)
 
 
-def normalize(series: Dict[str, float], reference: str) -> Dict[str, float]:
+def normalize(series: dict[str, float], reference: str) -> dict[str, float]:
     """Normalize a {label: value} series to one entry (Fig 4/5 style)."""
     base = series.get(reference)
     if base is None or base <= 0:

@@ -7,7 +7,7 @@ application throughput", found "using a binary search procedure" (§5.2.1).
 
 from __future__ import annotations
 
-from typing import Callable
+from collections.abc import Callable
 
 from repro.errors import ExperimentError
 

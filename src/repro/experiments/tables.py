@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from collections.abc import Iterable, Sequence
 
 
 def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
@@ -14,7 +14,7 @@ def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
             return f"{cell:.3f}"
         return str(cell)
 
-    body: List[List[str]] = [[fmt(c) for c in row] for row in rows]
+    body: list[list[str]] = [[fmt(c) for c in row] for row in rows]
     widths = [len(h) for h in headers]
     for row in body:
         for i, cell in enumerate(row):

@@ -16,7 +16,6 @@ Quenching: flows whose deadline passed are terminated.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 from repro.flowsim.progress import FlowProgress
 from repro.flowsim.rcp_model import max_min_rates
@@ -31,10 +30,10 @@ class D3Model:
 
     name = "D3"
 
-    def allocate(self, flows: List[FlowProgress], capacities,
-                 now: float) -> Dict[int, float]:
+    def allocate(self, flows: list[FlowProgress], capacities,
+                 now: float) -> dict[int, float]:
         residual = capacities.copy()
-        reserved: Dict[int, float] = {f.fid: 0.0 for f in flows}
+        reserved: dict[int, float] = {f.fid: 0.0 for f in flows}
 
         # phase 1: first-come-first-reserve for deadline flows
         deadline_flows = sorted(
@@ -65,8 +64,8 @@ class D3Model:
             f.fid: reserved[f.fid] + shares.get(f.fid, 0.0) for f in flows
         }
 
-    def terminations(self, flows: List[FlowProgress],
-                     rates: Dict[int, float], now: float) -> List[Tuple[int, str]]:
+    def terminations(self, flows: list[FlowProgress],
+                     rates: dict[int, float], now: float) -> list[tuple[int, str]]:
         return [
             (f.fid, "quenching:deadline_passed")
             for f in flows

@@ -23,7 +23,7 @@ bit-identical metrics between the two.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.errors import ExperimentError
 from repro.flowsim.paths import GraphRouter
@@ -51,7 +51,7 @@ class FlowLevelSimulation:
         header_bytes: int = 56,
         init_rtts: float = 2.0,
         refresh_interval: float = 1e-3,
-        metrics: Optional[MetricsCollector] = None,
+        metrics: MetricsCollector | None = None,
     ):
         if mtu <= header_bytes:
             raise ExperimentError("mtu must exceed header size")
@@ -66,7 +66,7 @@ class FlowLevelSimulation:
         self.router = GraphRouter(topology)
         #: flat list indexed by dense directed-edge id (FlowProgress.path
         #: holds the matching ids); rate models copy and index it directly
-        self.capacities: List[float] = self.router.capacity_vector()
+        self.capacities: list[float] = self.router.capacity_vector()
         self.now = 0.0
         self.recomputations = 0  # allocate() calls
         self.iterations = 0      # main-loop passes (event boundaries)
@@ -75,7 +75,7 @@ class FlowLevelSimulation:
         #: per-event-boundary samplers (repro.obs.probes); empty unless a
         #: scenario requested probes, so the default run pays one truth
         #: test per iteration
-        self.samplers: List = []
+        self.samplers: list = []
 
     # -- setup helpers --------------------------------------------------------------
 
@@ -123,13 +123,13 @@ class FlowLevelSimulation:
         # waiting flows keyed on transfer_start; seq is the arrival-sorted
         # position so promoted batches can be re-ordered to match the
         # reference engine's arrival-order promotion exactly
-        waiting: List[Tuple[float, int, FlowProgress]] = [
+        waiting: list[tuple[float, int, FlowProgress]] = [
             (flow.transfer_start, seq, flow) for seq, flow in enumerate(pending)
         ]
         heapq.heapify(waiting)
-        active: List[FlowProgress] = []
-        eta_heap: List[Tuple[float, int, int, FlowProgress]] = []
-        deadline_heap: List[Tuple[float, int, FlowProgress]] = []
+        active: list[FlowProgress] = []
+        eta_heap: list[tuple[float, int, int, FlowProgress]] = []
+        deadline_heap: list[tuple[float, int, FlowProgress]] = []
 
         while (waiting or active) and self.now <= deadline:
             self.iterations += 1
@@ -184,13 +184,13 @@ class FlowLevelSimulation:
 
     # -- helpers ---------------------------------------------------------------------------
 
-    def _promote(self, waiting: List[Tuple[float, int, FlowProgress]],
-                 active: List[FlowProgress],
-                 deadline_heap: List[Tuple[float, int, FlowProgress]]) -> None:
+    def _promote(self, waiting: list[tuple[float, int, FlowProgress]],
+                 active: list[FlowProgress],
+                 deadline_heap: list[tuple[float, int, FlowProgress]]) -> None:
         cutoff = self.now + 1e-12
         if not waiting or waiting[0][0] > cutoff:
             return
-        batch: List[Tuple[int, FlowProgress]] = []
+        batch: list[tuple[int, FlowProgress]] = []
         while waiting and waiting[0][0] <= cutoff:
             _, seq, flow = heapq.heappop(waiting)
             batch.append((seq, flow))
@@ -201,9 +201,9 @@ class FlowLevelSimulation:
             if flow.abs_deadline is not None:
                 heapq.heappush(deadline_heap, (flow.abs_deadline, seq, flow))
 
-    def _apply_rates(self, active: List[FlowProgress], rates: Dict[int, float],
-                     eta_heap: List[Tuple[float, int, int, FlowProgress]],
-                     ) -> List[FlowProgress]:
+    def _apply_rates(self, active: list[FlowProgress], rates: dict[int, float],
+                     eta_heap: list[tuple[float, int, int, FlowProgress]],
+                     ) -> list[FlowProgress]:
         """Set per-flow rates, track pause spans, and return the sending
         flows (rate > 0) in active order; flows whose rate changed get a
         fresh ETA entry (a constant rate keeps its absolute ETA, so stale
@@ -211,7 +211,7 @@ class FlowLevelSimulation:
         now = self.now
         rates_get = rates.get
         tracer = self.metrics.tracer
-        sending: List[FlowProgress] = []
+        sending: list[FlowProgress] = []
         for flow in active:
             rate = rates_get(flow.fid, 0.0)
             if rate <= 0 and flow.paused_since is None:
@@ -235,8 +235,8 @@ class FlowLevelSimulation:
                 sending.append(flow)
         return sending
 
-    def _terminate_flows(self, active: List[FlowProgress],
-                         rates: Dict[int, float]) -> bool:
+    def _terminate_flows(self, active: list[FlowProgress],
+                         rates: dict[int, float]) -> bool:
         doomed = self.model.terminations(active, rates, self.now)
         if not doomed:
             return False
@@ -253,9 +253,9 @@ class FlowLevelSimulation:
         active[:] = still
         return True
 
-    def _next_event_time(self, waiting: List[Tuple[float, int, FlowProgress]],
-                         eta_heap: List[Tuple[float, int, int, FlowProgress]],
-                         deadline_heap: List[Tuple[float, int, FlowProgress]],
+    def _next_event_time(self, waiting: list[tuple[float, int, FlowProgress]],
+                         eta_heap: list[tuple[float, int, int, FlowProgress]],
+                         deadline_heap: list[tuple[float, int, FlowProgress]],
                          deadline: float) -> float:
         now = self.now
         horizon = now + self.refresh_interval
@@ -286,8 +286,8 @@ class FlowLevelSimulation:
         end = deadline + self.refresh_interval
         return horizon if horizon < end else end
 
-    def _complete_finished(self, sending: List[FlowProgress],
-                           active: List[FlowProgress]) -> None:
+    def _complete_finished(self, sending: list[FlowProgress],
+                           active: list[FlowProgress]) -> None:
         # only flows that advanced with rate > 0 can cross the threshold
         finished = [f for f in sending if f.remaining_wire <= 1e-6]
         if not finished:

@@ -12,7 +12,7 @@ speedups against this module. Do not optimize it.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from collections.abc import Sequence
 
 from repro.core.comparator import FlowComparator
 from repro.core.config import PdqConfig
@@ -25,7 +25,7 @@ from repro.units import USEC, tx_time
 from repro.utils.rng import spawn_rng
 from repro.workload.flow import FlowSpec
 
-Edge = Tuple[str, str]
+Edge = tuple[str, str]
 
 #: per-hop one-way latency components used for the RTT estimate, matching
 #: the packet-level defaults (processing dominates)
@@ -43,7 +43,7 @@ class NaiveFlowLevelSimulation:
         header_bytes: int = 56,
         init_rtts: float = 2.0,
         refresh_interval: float = 1e-3,
-        metrics: Optional[MetricsCollector] = None,
+        metrics: MetricsCollector | None = None,
     ):
         if mtu <= header_bytes:
             raise ExperimentError("mtu must exceed header size")
@@ -67,7 +67,7 @@ class NaiveFlowLevelSimulation:
         packets = -(-size_bytes // self.payload)
         return size_bytes + packets * self.header_bytes
 
-    def _estimate_rtt(self, path: Sequence[Tuple[str, str]]) -> float:
+    def _estimate_rtt(self, path: Sequence[tuple[str, str]]) -> float:
         rtt = 0.0
         for a, b in path:
             rate = self.capacities[(a, b)]
@@ -97,8 +97,8 @@ class NaiveFlowLevelSimulation:
         )
         for flow in pending:
             self.metrics.on_start(flow.fid, flow.spec.arrival)
-        waiting: List[FlowProgress] = list(pending)  # not yet transferring
-        active: List[FlowProgress] = []
+        waiting: list[FlowProgress] = list(pending)  # not yet transferring
+        active: list[FlowProgress] = []
 
         while (waiting or active) and self.now <= deadline:
             self.iterations += 1
@@ -132,11 +132,11 @@ class NaiveFlowLevelSimulation:
 
     # -- helpers ---------------------------------------------------------------------------
 
-    def _promote(self, waiting: List[FlowProgress],
-                 active: List[FlowProgress]) -> None:
+    def _promote(self, waiting: list[FlowProgress],
+                 active: list[FlowProgress]) -> None:
         # single pass: repeated list.remove would be quadratic at scale
         cutoff = self.now + 1e-12
-        still_waiting: List[FlowProgress] = []
+        still_waiting: list[FlowProgress] = []
         for flow in waiting:
             if flow.transfer_start <= cutoff:
                 active.append(flow)
@@ -145,8 +145,8 @@ class NaiveFlowLevelSimulation:
         if len(still_waiting) != len(waiting):
             waiting[:] = still_waiting
 
-    def _apply_rates(self, active: List[FlowProgress],
-                     rates: Dict[int, float]) -> None:
+    def _apply_rates(self, active: list[FlowProgress],
+                     rates: dict[int, float]) -> None:
         now = self.now
         for flow in active:
             rate = rates.get(flow.fid, 0.0)
@@ -157,8 +157,8 @@ class NaiveFlowLevelSimulation:
                 flow.paused_since = None
             flow.rate = rate
 
-    def _terminate_flows(self, active: List[FlowProgress],
-                         rates: Dict[int, float]) -> bool:
+    def _terminate_flows(self, active: list[FlowProgress],
+                         rates: dict[int, float]) -> bool:
         doomed = self.model.terminations(active, rates, self.now)
         if not doomed:
             return False
@@ -169,20 +169,20 @@ class NaiveFlowLevelSimulation:
         active[:] = [f for f in active if f.fid not in doomed_fids]
         return True
 
-    def _next_event_time(self, waiting: List[FlowProgress],
-                         active: List[FlowProgress], deadline: float) -> float:
+    def _next_event_time(self, waiting: list[FlowProgress],
+                         active: list[FlowProgress], deadline: float) -> float:
         horizon = self.now + self.refresh_interval
         if waiting:
             horizon = min(horizon, min(f.transfer_start for f in waiting))
         for flow in active:
             horizon = min(horizon, flow.completion_eta(self.now))
             # ET condition boundaries also warrant a recomputation
-            if flow.spec.absolute_deadline is not None:
-                if flow.spec.absolute_deadline > self.now:
-                    horizon = min(horizon, flow.spec.absolute_deadline)
+            if flow.spec.absolute_deadline is not None and \
+                    flow.spec.absolute_deadline > self.now:
+                horizon = min(horizon, flow.spec.absolute_deadline)
         return min(horizon, deadline + self.refresh_interval)
 
-    def _complete_finished(self, active: List[FlowProgress]) -> None:
+    def _complete_finished(self, active: list[FlowProgress]) -> None:
         finished = [f for f in active if f.remaining_wire <= 1e-6]
         if not finished:
             return
@@ -202,12 +202,12 @@ class NaivePdqModel:
 
     name = "PDQ"
 
-    def __init__(self, config: Optional[PdqConfig] = None,
-                 comparator: Optional[FlowComparator] = None):
+    def __init__(self, config: PdqConfig | None = None,
+                 comparator: FlowComparator | None = None):
         self.config = config or PdqConfig.full()
         self.comparator = comparator or FlowComparator()
 
-    def _criticality(self, flow: FlowProgress, now: float) -> Optional[float]:
+    def _criticality(self, flow: FlowProgress, now: float) -> float | None:
         mode = self.config.criticality_mode
         if flow.criticality is not None:
             return flow.criticality
@@ -239,11 +239,11 @@ class NaivePdqModel:
             self._criticality(flow, now),
         )
 
-    def allocate(self, flows: List[FlowProgress],
-                 capacities: Dict[Edge, float],
-                 now: float) -> Dict[int, float]:
+    def allocate(self, flows: list[FlowProgress],
+                 capacities: dict[Edge, float],
+                 now: float) -> dict[int, float]:
         residual = dict(capacities)
-        rates: Dict[int, float] = {}
+        rates: dict[int, float] = {}
         ordered = sorted(flows, key=lambda f: self._key(f, now))
         for flow in ordered:
             available = min(
@@ -262,8 +262,8 @@ class NaivePdqModel:
                 residual[edge] -= rate
         return rates
 
-    def terminations(self, flows: List[FlowProgress],
-                     rates: Dict[int, float], now: float) -> List[Tuple[int, str]]:
+    def terminations(self, flows: list[FlowProgress],
+                     rates: dict[int, float], now: float) -> list[tuple[int, str]]:
         if not self.config.early_termination:
             return []
         doomed = []
@@ -282,14 +282,14 @@ class NaivePdqModel:
         return doomed
 
 
-def naive_max_min_rates(flows: List[FlowProgress],
-                        capacities: Dict[Edge, float]) -> Dict[int, float]:
+def naive_max_min_rates(flows: list[FlowProgress],
+                        capacities: dict[Edge, float]) -> dict[int, float]:
     """Seed max-min water-filling over string-tuple capacity dicts."""
-    rates: Dict[int, float] = {f.spec.fid: 0.0 for f in flows}
+    rates: dict[int, float] = {f.spec.fid: 0.0 for f in flows}
     residual = dict(capacities)
-    unfrozen: Set[int] = {f.spec.fid for f in flows}
+    unfrozen: set[int] = {f.spec.fid for f in flows}
     by_fid = {f.spec.fid: f for f in flows}
-    link_flows: Dict[Edge, Set[int]] = {}
+    link_flows: dict[Edge, set[int]] = {}
     for flow in flows:
         for edge in flow.path:
             link_flows.setdefault(edge, set()).add(flow.spec.fid)
@@ -335,12 +335,12 @@ class NaiveRcpModel:
 
     name = "RCP"
 
-    def allocate(self, flows: List[FlowProgress],
-                 capacities: Dict[Edge, float],
-                 now: float) -> Dict[int, float]:
+    def allocate(self, flows: list[FlowProgress],
+                 capacities: dict[Edge, float],
+                 now: float) -> dict[int, float]:
         return naive_max_min_rates(flows, capacities)
 
-    def terminations(self, flows, rates, now) -> List[Tuple[int, str]]:
+    def terminations(self, flows, rates, now) -> list[tuple[int, str]]:
         return []
 
 
@@ -349,11 +349,11 @@ class NaiveD3Model:
 
     name = "D3"
 
-    def allocate(self, flows: List[FlowProgress],
-                 capacities: Dict[Edge, float],
-                 now: float) -> Dict[int, float]:
+    def allocate(self, flows: list[FlowProgress],
+                 capacities: dict[Edge, float],
+                 now: float) -> dict[int, float]:
         residual = dict(capacities)
-        reserved: Dict[int, float] = {f.spec.fid: 0.0 for f in flows}
+        reserved: dict[int, float] = {f.spec.fid: 0.0 for f in flows}
 
         deadline_flows = sorted(
             (f for f in flows if f.spec.has_deadline),
@@ -384,8 +384,8 @@ class NaiveD3Model:
             for f in flows
         }
 
-    def terminations(self, flows: List[FlowProgress],
-                     rates: Dict[int, float], now: float) -> List[Tuple[int, str]]:
+    def terminations(self, flows: list[FlowProgress],
+                     rates: dict[int, float], now: float) -> list[tuple[int, str]]:
         return [
             (f.spec.fid, "quenching:deadline_passed")
             for f in flows

@@ -9,14 +9,13 @@ packet-vs-flow-level comparison depends on that correspondence.
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Tuple
 
 from repro.errors import RoutingError
 from repro.net.routing import ecmp_hash
 from repro.topology.base import Topology
 
 #: a directed edge between named nodes
-Edge = Tuple[str, str]
+Edge = tuple[str, str]
 
 
 class GraphRouter:
@@ -25,27 +24,27 @@ class GraphRouter:
     def __init__(self, topology: Topology):
         self.topology = topology
         graph = topology.graph
-        self._node_id: Dict[str, int] = {
+        self._node_id: dict[str, int] = {
             name: i for i, name in enumerate(sorted(graph.nodes()))
         }
         #: dense directed-edge ids (see Topology.directed_edge_index for the
         #: assignment contract); these double as the packet-level link ids
-        self.edge_index: Dict[Edge, int] = topology.directed_edge_index()
+        self.edge_index: dict[Edge, int] = topology.directed_edge_index()
         # out-adjacency with deterministic link ids matching Network's
-        self._out: Dict[str, List[Tuple[int, str]]] = {
+        self._out: dict[str, list[tuple[int, str]]] = {
             name: [] for name in graph.nodes()
         }
         for (a, b), eid in self.edge_index.items():
             self._out[a].append((eid, b))
         for neighbors in self._out.values():
             neighbors.sort()
-        self._dist_cache: Dict[str, Dict[str, int]] = {}
-        self._path_cache: Dict[Tuple[int, str, str], Tuple[Edge, ...]] = {}
-        self._path_ids_cache: Dict[Tuple[int, str, str], Tuple[int, ...]] = {}
+        self._dist_cache: dict[str, dict[str, int]] = {}
+        self._path_cache: dict[tuple[int, str, str], tuple[Edge, ...]] = {}
+        self._path_ids_cache: dict[tuple[int, str, str], tuple[int, ...]] = {}
 
     # -- public ---------------------------------------------------------------
 
-    def flow_path(self, fid: int, src: str, dst: str) -> Tuple[Edge, ...]:
+    def flow_path(self, fid: int, src: str, dst: str) -> tuple[Edge, ...]:
         key = (fid, src, dst)
         path = self._path_cache.get(key)
         if path is None:
@@ -53,7 +52,7 @@ class GraphRouter:
             self._path_cache[key] = path
         return path
 
-    def flow_path_ids(self, fid: int, src: str, dst: str) -> Tuple[int, ...]:
+    def flow_path_ids(self, fid: int, src: str, dst: str) -> tuple[int, ...]:
         """Same pinned path as :meth:`flow_path`, as dense edge ids.
 
         The optimized flow-level engine stores these on
@@ -74,15 +73,15 @@ class GraphRouter:
             raise RoutingError(f"no route {src} -> {dst}")
         return dist[src]
 
-    def capacities(self) -> Dict[Edge, float]:
+    def capacities(self) -> dict[Edge, float]:
         """Directed capacity map for every link in the topology."""
-        caps: Dict[Edge, float] = {}
+        caps: dict[Edge, float] = {}
         for a, b, data in self.topology.graph.edges(data=True):
             caps[(a, b)] = data["rate_bps"]
             caps[(b, a)] = data["rate_bps"]
         return caps
 
-    def capacity_vector(self) -> List[float]:
+    def capacity_vector(self) -> list[float]:
         """Flat capacity list indexed by dense directed-edge id."""
         edges = self.topology.graph.edges
         caps = [0.0] * len(self.edge_index)
@@ -92,7 +91,7 @@ class GraphRouter:
 
     # -- internals ----------------------------------------------------------------
 
-    def _distances(self, dst: str) -> Dict[str, int]:
+    def _distances(self, dst: str) -> dict[str, int]:
         dist = self._dist_cache.get(dst)
         if dist is not None:
             return dist
@@ -107,13 +106,13 @@ class GraphRouter:
         self._dist_cache[dst] = dist
         return dist
 
-    def _compute(self, fid: int, src: str, dst: str) -> Tuple[Edge, ...]:
+    def _compute(self, fid: int, src: str, dst: str) -> tuple[Edge, ...]:
         if src == dst:
             raise RoutingError("flow src equals dst")
         dist = self._distances(dst)
         if src not in dist:
             raise RoutingError(f"no route {src} -> {dst}")
-        path: List[Edge] = []
+        path: list[Edge] = []
         node = src
         while node != dst:
             here = dist[node]

@@ -14,7 +14,6 @@ edge tokens (see :mod:`repro.flowsim.progress`).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro.core.comparator import FlowComparator
 from repro.core.config import PdqConfig
@@ -28,8 +27,8 @@ class PdqModel:
 
     name = "PDQ"
 
-    def __init__(self, config: Optional[PdqConfig] = None,
-                 comparator: Optional[FlowComparator] = None):
+    def __init__(self, config: PdqConfig | None = None,
+                 comparator: FlowComparator | None = None):
         self.config = config or PdqConfig.full()
         self.comparator = comparator or FlowComparator()
         # comparator-key cache: flow -> (remaining_wire at computation,
@@ -37,14 +36,14 @@ class PdqModel:
         # _keys_are_static); transmission progress invalidates via
         # remaining_wire. Entries live as long as the model does (bounded
         # by the flows of one run; models are built per scenario).
-        self._key_cache: Dict[FlowProgress, Tuple[float, tuple]] = {}
+        self._key_cache: dict[FlowProgress, tuple[float, tuple]] = {}
         # comparator-cache telemetry: keys served from cache vs recomputed
         # (covers both the incremental-sort reuse and the static-key cache)
         self.cache_hits = 0
         self.cache_misses = 0
         # incremental-sort state, only used under the begin_run() contract
         self._incremental = False
-        self._prev_keyed: Optional[list] = None
+        self._prev_keyed: list | None = None
 
     def begin_run(self) -> None:
         """Opt into incremental sorting (called by the engine).
@@ -60,7 +59,7 @@ class PdqModel:
 
     # -- criticality -------------------------------------------------------------
 
-    def _criticality(self, flow: FlowProgress, now: float) -> Optional[float]:
+    def _criticality(self, flow: FlowProgress, now: float) -> float | None:
         """Resolve the comparator's criticality input for ``flow``.
 
         Caching contract (relied on by the comparator-key cache):
@@ -115,8 +114,8 @@ class PdqModel:
 
     # -- allocation ------------------------------------------------------------------
 
-    def allocate(self, flows: List[FlowProgress], capacities,
-                 now: float) -> Dict[int, float]:
+    def allocate(self, flows: list[FlowProgress], capacities,
+                 now: float) -> dict[int, float]:
         config = self.config
         comparator_key = self.comparator.key
         static = self._keys_are_static()
@@ -191,7 +190,7 @@ class PdqModel:
             keyed.sort()
 
         residual = capacities.copy()
-        rates: Dict[int, float] = {}
+        rates: dict[int, float] = {}
         min_rate = config.min_rate
         crumb_fraction = config.crumb_fraction
         for entry in keyed:
@@ -217,8 +216,8 @@ class PdqModel:
 
     # -- early termination (§3.1) -----------------------------------------------------
 
-    def terminations(self, flows: List[FlowProgress],
-                     rates: Dict[int, float], now: float) -> List[Tuple[int, str]]:
+    def terminations(self, flows: list[FlowProgress],
+                     rates: dict[int, float], now: float) -> list[tuple[int, str]]:
         if not self.config.early_termination:
             return []
         doomed = []

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from collections.abc import Sequence
 
 from repro.workload.flow import FlowSpec
 
@@ -10,7 +10,7 @@ from repro.workload.flow import FlowSpec
 #: ``(src, dst)`` name tuple (reference engine, hand-built tests). Rate
 #: models only require that ``capacities[token]`` yields a capacity, so
 #: both representations work against list- and dict-shaped capacity maps.
-EdgeToken = Union[int, tuple]
+EdgeToken = int | tuple
 
 
 class FlowProgress:
@@ -46,9 +46,9 @@ class FlowProgress:
         self.transfer_start = transfer_start
         self.rate = 0.0
         self.waited = 0.0          # accumulated paused time (aging, §7)
-        self.paused_since: Optional[float] = None
-        self.criticality: Optional[float] = spec.criticality
-        self.abs_deadline: Optional[float] = spec.absolute_deadline
+        self.paused_since: float | None = None
+        self.criticality: float | None = spec.criticality
+        self.abs_deadline: float | None = spec.absolute_deadline
         self.eta_version = 0
         self.departed = False
 

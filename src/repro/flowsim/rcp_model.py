@@ -10,20 +10,19 @@ list indexed by dense edge ids; flow paths hold the matching edge tokens.
 
 from __future__ import annotations
 
-from typing import Dict, List, Set, Tuple
 
 from repro.flowsim.progress import EdgeToken, FlowProgress
 
 
-def max_min_rates(flows: List[FlowProgress],
-                  capacities) -> Dict[int, float]:
+def max_min_rates(flows: list[FlowProgress],
+                  capacities) -> dict[int, float]:
     """Progressive-filling max-min allocation honoring per-flow max rates."""
-    rates: Dict[int, float] = {f.fid: 0.0 for f in flows}
+    rates: dict[int, float] = {f.fid: 0.0 for f in flows}
     residual = capacities.copy()
-    unfrozen: Set[int] = {f.fid for f in flows}
+    unfrozen: set[int] = {f.fid for f in flows}
     by_fid = {f.fid: f for f in flows}
     # flows per link (only links actually used)
-    link_flows: Dict[EdgeToken, Set[int]] = {}
+    link_flows: dict[EdgeToken, set[int]] = {}
     for flow in flows:
         for edge in flow.path:
             link_flows.setdefault(edge, set()).add(flow.fid)
@@ -72,9 +71,9 @@ class RcpModel:
 
     name = "RCP"
 
-    def allocate(self, flows: List[FlowProgress], capacities,
-                 now: float) -> Dict[int, float]:
+    def allocate(self, flows: list[FlowProgress], capacities,
+                 now: float) -> dict[int, float]:
         return max_min_rates(flows, capacities)
 
-    def terminations(self, flows, rates, now) -> List[Tuple[int, str]]:
+    def terminations(self, flows, rates, now) -> list[tuple[int, str]]:
         return []

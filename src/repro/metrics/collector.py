@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Optional
+from collections.abc import Callable, Iterable
 
 from repro.errors import ExperimentError
 from repro.metrics.records import FlowRecord
@@ -21,15 +21,15 @@ class MetricsCollector:
     """
 
     def __init__(self) -> None:
-        self.records: Dict[int, FlowRecord] = {}
+        self.records: dict[int, FlowRecord] = {}
         self._unresolved = 0
-        self._observers: List[Callable[[], None]] = []
+        self._observers: list[Callable[[], None]] = []
         #: run counters harvested from the engines (repro.obs.stats)
-        self.stats: Dict[str, int] = {}
+        self.stats: dict[str, int] = {}
         #: declarative probe series keyed by probe name (repro.obs.probes)
-        self.probes: Dict[str, dict] = {}
+        self.probes: dict[str, dict] = {}
         #: flow-lifecycle events when tracing was requested (repro.obs.trace)
-        self.trace: List[dict] = []
+        self.trace: list[dict] = []
         #: live FlowTracer during a traced run; engines check for None on
         #: every lifecycle transition, so un-traced runs pay one test
         self.tracer = None
@@ -152,13 +152,13 @@ class MetricsCollector:
     def record(self, fid: int) -> FlowRecord:
         return self.records[fid]
 
-    def all_records(self) -> List[FlowRecord]:
+    def all_records(self) -> list[FlowRecord]:
         return list(self.records.values())
 
-    def completed_records(self) -> List[FlowRecord]:
+    def completed_records(self) -> list[FlowRecord]:
         return [r for r in self.records.values() if r.completed]
 
-    def deadline_records(self) -> List[FlowRecord]:
+    def deadline_records(self) -> list[FlowRecord]:
         return [r for r in self.records.values() if r.spec.has_deadline]
 
     # -- paper metrics ---------------------------------------------------------------
@@ -172,7 +172,7 @@ class MetricsCollector:
         met = sum(1 for r in deadline_flows if r.met_deadline)
         return met / len(deadline_flows)
 
-    def mean_fct(self, only: Optional[Iterable[int]] = None) -> float:
+    def mean_fct(self, only: Iterable[int] | None = None) -> float:
         """Mean flow completion time over completed flows (optionally
         restricted to the given fids)."""
         wanted = set(only) if only is not None else None
@@ -191,12 +191,12 @@ class MetricsCollector:
             raise ExperimentError("no completed flows")
         return max(fcts)
 
-    def fct_by_fid(self) -> Dict[int, float]:
+    def fct_by_fid(self) -> dict[int, float]:
         return {
             fid: r.fct for fid, r in self.records.items() if r.completed
         }
 
-    def unfinished(self) -> List[FlowRecord]:
+    def unfinished(self) -> list[FlowRecord]:
         return [
             r for r in self.records.values()
             if not r.completed and not r.terminated

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.workload.flow import FlowSpec
 
@@ -18,10 +17,10 @@ class FlowRecord:
     """
 
     spec: FlowSpec
-    start_time: Optional[float] = None
-    completion_time: Optional[float] = None
+    start_time: float | None = None
+    completion_time: float | None = None
     terminated: bool = False
-    termination_time: Optional[float] = None
+    termination_time: float | None = None
     termination_reason: str = ""
     bytes_delivered: int = 0
     retransmissions: int = 0
@@ -32,7 +31,7 @@ class FlowRecord:
         return self.completion_time is not None
 
     @property
-    def fct(self) -> Optional[float]:
+    def fct(self) -> float | None:
         """Flow completion time measured from flow arrival."""
         if self.completion_time is None:
             return None

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import List, Optional
 
 from repro.metrics.collector import MetricsCollector
 from repro.utils.stats import mean, percentile
@@ -16,16 +15,16 @@ class SummaryStats:
     n_flows: int
     n_completed: int
     n_terminated: int
-    mean_fct: Optional[float]
-    p95_fct: Optional[float]
-    max_fct: Optional[float]
-    application_throughput: Optional[float]
+    mean_fct: float | None
+    p95_fct: float | None
+    max_fct: float | None
+    application_throughput: float | None
     total_retransmissions: int
 
     @classmethod
     def from_collector(cls, collector: MetricsCollector) -> "SummaryStats":
         records = collector.all_records()
-        fcts: List[float] = [r.fct for r in records if r.completed]
+        fcts: list[float] = [r.fct for r in records if r.completed]
         has_deadlines = any(r.spec.has_deadline for r in records)
         return cls(
             n_flows=len(records),

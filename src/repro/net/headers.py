@@ -9,10 +9,10 @@ separately via each protocol's ``header_bytes``.
 
 from __future__ import annotations
 
-from typing import Optional
+import math
 
 #: sentinel for "no switch" in the pauseby field (paper's \"ø\")
-NO_SWITCH: Optional[int] = None
+NO_SWITCH: int | None = None
 
 
 class PdqHeader:
@@ -45,12 +45,12 @@ class PdqHeader:
     def __init__(
         self,
         rate: float,
-        pauseby: Optional[int] = NO_SWITCH,
-        deadline: Optional[float] = None,
+        pauseby: int | None = NO_SWITCH,
+        deadline: float | None = None,
         expected_tx: float = 0.0,
         rtt: float = 0.0,
         inter_probe: float = 1.0,
-        criticality: Optional[float] = None,
+        criticality: float | None = None,
     ):
         self.rate = rate
         self.pauseby = pauseby
@@ -105,9 +105,9 @@ class D3Header:
         self,
         desired: float,
         prev_alloc: float = 0.0,
-        allocated: float = float("inf"),
+        allocated: float = math.inf,
         rtt: float = 0.0,
-        deadline: Optional[float] = None,
+        deadline: float | None = None,
     ):
         self.desired = desired
         self.prev_alloc = prev_alloc

@@ -14,7 +14,7 @@ hot path recycles objects instead of allocating.
 from __future__ import annotations
 
 from heapq import heappush
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -50,14 +50,14 @@ class Link:
         self.prop_delay = prop_delay
         self.queue = DropTailQueue(buffer_bytes)
         self.link_id = link_id
-        self.reverse: Optional["Link"] = None
+        self.reverse: "Link" | None = None
 
         # terminal sink: tail-drops and wire losses release into the pool
-        self.pool: Optional["PacketPool"] = None
+        self.pool: "PacketPool" | None = None
 
         # random wire loss (Fig 9); set via Network.set_loss
         self.loss_rate: float = 0.0
-        self._loss_rng: Optional[np.random.Generator] = None
+        self._loss_rng: np.random.Generator | None = None
         self.wire_losses = 0
 
         # statistics
@@ -90,6 +90,7 @@ class Link:
 
     # -- data path ---------------------------------------------------------------
 
+    # repro: hot
     def enqueue(self, packet: Packet) -> bool:
         """Accept a packet for transmission; False means it was tail-dropped."""
         if self._transmitting:
@@ -116,6 +117,7 @@ class Link:
         sim._live += 1
         return True
 
+    # repro: hot
     def _start_next(self) -> None:
         packet = self.queue.pop()
         if packet is None:
@@ -135,6 +137,7 @@ class Link:
         sim._seq += 1
         sim._live += 1
 
+    # repro: hot
     def _finish(self, packet: Packet) -> None:
         # busy time is charged as it elapses (pro-rated via the property
         # while in flight, folded into the accumulator here), so a

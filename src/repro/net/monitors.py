@@ -9,7 +9,7 @@ to any scenario through the ``probes`` spec option.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+import math
 
 from repro.events.simulator import Simulator
 from repro.events.timers import PeriodicTimer
@@ -30,7 +30,7 @@ class LinkMonitor:
         self.sim = sim
         self.link = link
         self.interval = interval
-        self.samples: List[Tuple[float, float, int, int]] = []
+        self.samples: list[tuple[float, float, int, int]] = []
         self._last_busy = link.busy_time
         self._last_time = sim.now
         self._timer = PeriodicTimer(sim, interval, self._sample)
@@ -59,24 +59,24 @@ class LinkMonitor:
     # -- series accessors -----------------------------------------------------
 
     @property
-    def utilization(self) -> List[Tuple[float, float]]:
+    def utilization(self) -> list[tuple[float, float]]:
         return [(t, u) for t, u, _, _ in self.samples]
 
     @property
-    def queue_packets(self) -> List[Tuple[float, int]]:
+    def queue_packets(self) -> list[tuple[float, int]]:
         return [(t, q) for t, _, q, _ in self.samples]
 
     @property
-    def queue_bytes(self) -> List[Tuple[float, int]]:
+    def queue_bytes(self) -> list[tuple[float, int]]:
         return [(t, b) for t, _, _, b in self.samples]
 
-    def mean_utilization(self, start: float = 0.0, end: float = float("inf")) -> float:
+    def mean_utilization(self, start: float = 0.0, end: float = math.inf) -> float:
         window = [u for t, u, _, _ in self.samples if start <= t <= end]
         if not window:
             return 0.0
         return sum(window) / len(window)
 
-    def max_queue_packets(self, start: float = 0.0, end: float = float("inf")) -> int:
+    def max_queue_packets(self, start: float = 0.0, end: float = math.inf) -> int:
         window = [q for t, _, q, _ in self.samples if start <= t <= end]
         return max(window) if window else 0
 
@@ -98,8 +98,8 @@ class FlowRateMonitor:
         self.collector = collector
         self.interval = interval
         #: (time, {fid (as str, JSON-stable): rate_bps})
-        self.samples: List[Tuple[float, Dict[str, float]]] = []
-        self._delivered: Dict[int, int] = {}
+        self.samples: list[tuple[float, dict[str, float]]] = []
+        self._delivered: dict[int, int] = {}
         self._timer = PeriodicTimer(sim, interval, self._sample)
 
     def start(self) -> None:
@@ -113,7 +113,7 @@ class FlowRateMonitor:
         self._timer.stop()
 
     def _sample(self) -> None:
-        rates: Dict[str, float] = {}
+        rates: dict[str, float] = {}
         seen = self._delivered
         for fid, record in self.collector.records.items():
             delta = record.bytes_delivered - seen.get(fid, 0)

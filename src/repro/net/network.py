@@ -8,7 +8,7 @@ wires per-switch protocol state, pins flow paths, and launches flows from
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 from repro.errors import TopologyError
 from repro.events.simulator import Simulator
@@ -33,7 +33,7 @@ class NetworkConfig:
     prop_delay: float = 0.1 * USEC
     processing_delay: float = 25 * USEC
     rto_min: float = 2e-3  # small RTOmin per §5.1 (alleviates incast)
-    receiver_rate_limits: Optional[Dict[str, float]] = None
+    receiver_rate_limits: dict[str, float] | None = None
 
 
 class Network:
@@ -43,9 +43,9 @@ class Network:
         self,
         topology: Topology,
         stack,
-        sim: Optional[Simulator] = None,
-        config: Optional[NetworkConfig] = None,
-        metrics: Optional[MetricsCollector] = None,
+        sim: Simulator | None = None,
+        config: NetworkConfig | None = None,
+        metrics: MetricsCollector | None = None,
     ):
         self.topology = topology
         self.stack = stack
@@ -60,10 +60,10 @@ class Network:
         self.flow_pauses = 0
         self.flow_resumes = 0
 
-        self.nodes: List[Node] = []
-        self._by_name: Dict[str, Node] = {}
-        self.links: List[Link] = []
-        self._link_by_pair: Dict[Tuple[int, int], Link] = {}
+        self.nodes: list[Node] = []
+        self._by_name: dict[str, Node] = {}
+        self.links: list[Link] = []
+        self._link_by_pair: dict[tuple[int, int], Link] = {}
         self._build_nodes_and_links()
         self.router = Router(self.nodes, self.links)
         self._attach_switch_protocols()
@@ -121,13 +121,13 @@ class Network:
         except KeyError:
             raise TopologyError(f"no link {a} -> {b}") from None
 
-    def links_for_path(self, names: Sequence[str]) -> Tuple[Link, ...]:
+    def links_for_path(self, names: Sequence[str]) -> tuple[Link, ...]:
         """Turn a node-name walk into the Link sequence along it (used for
         source-routed paths, e.g. BCube address-based routing)."""
         if len(names) < 2:
             raise TopologyError("path needs at least two nodes")
         return tuple(
-            self.link_between(a, b) for a, b in zip(names, names[1:])
+            self.link_between(a, b) for a, b in zip(names, names[1:], strict=False)
         )
 
     def receiver_rate_limit(self, host_name: str) -> float:
@@ -152,8 +152,8 @@ class Network:
         monitor.start()
         return monitor
 
-    def estimate_rtt(self, fwd_path: Tuple[Link, ...],
-                     control_bytes: Optional[int] = None) -> float:
+    def estimate_rtt(self, fwd_path: tuple[Link, ...],
+                     control_bytes: int | None = None) -> float:
         """Unloaded round-trip estimate along a pinned path (control-sized
         packets both ways), used to seed sender RTT estimators."""
         size = control_bytes or self.stack.header_bytes
@@ -174,7 +174,7 @@ class Network:
         Arrivals are batched: one dispatcher event per distinct arrival
         time, not one event per flow. Flows sharing a timestamp start in
         launch order, exactly as per-flow events would have fired."""
-        batches: Dict[float, list] = {}
+        batches: dict[float, list] = {}
         for spec in flows:
             record = self.metrics.register(spec)
             batch = batches.get(spec.arrival)
@@ -198,8 +198,8 @@ class Network:
 
     # -- execution --------------------------------------------------------------------------
 
-    def run(self, until: Optional[float] = None,
-            max_events: Optional[int] = None) -> None:
+    def run(self, until: float | None = None,
+            max_events: int | None = None) -> None:
         self.sim.run(until=until, max_events=max_events)
 
     def run_until_quiet(self, deadline: float, max_events: int = 50_000_000) -> None:

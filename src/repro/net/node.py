@@ -12,7 +12,7 @@ ports (the PDQ shim layer sits on every node).
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Protocol
+from typing import Protocol
 
 from repro.errors import ProtocolError
 from repro.events.simulator import Simulator
@@ -45,12 +45,12 @@ class Node:
         self.id = node_id
         self.name = name
         self.processing_delay = processing_delay
-        self.protocol: Optional[NodeProtocol] = None
+        self.protocol: NodeProtocol | None = None
         #: packet pool, wired by Network; hosts release consumed packets
         self.pool = None
         self.forwarded = 0
 
-    def receive(self, packet: Packet, in_link: Optional[Link]) -> None:
+    def receive(self, packet: Packet, in_link: Link | None) -> None:
         raise NotImplementedError
 
     def _forward(self, packet: Packet) -> bool:
@@ -78,7 +78,8 @@ class Node:
 class Switch(Node):
     """Forwards packets along their pinned path."""
 
-    def receive(self, packet: Packet, in_link: Optional[Link]) -> None:
+    # repro: hot
+    def receive(self, packet: Packet, in_link: Link | None) -> None:
         # _forward inlined: switches relay every packet they see, so this
         # is the hottest receive path in the engine (one frame per hop)
         path = packet.path
@@ -106,8 +107,8 @@ class Host(Node):
     def __init__(self, sim: Simulator, node_id: int, name: str,
                  processing_delay: float):
         super().__init__(sim, node_id, name, processing_delay)
-        self.senders: Dict[int, Endpoint] = {}
-        self.receivers: Dict[int, Endpoint] = {}
+        self.senders: dict[int, Endpoint] = {}
+        self.receivers: dict[int, Endpoint] = {}
         self.stray_packets = 0
 
     # -- outbound ---------------------------------------------------------------
@@ -121,16 +122,16 @@ class Host(Node):
 
     # -- inbound -----------------------------------------------------------------
 
-    def receive(self, packet: Packet, in_link: Optional[Link]) -> None:
+    # repro: hot
+    def receive(self, packet: Packet, in_link: Link | None) -> None:
         if packet.dst != self.id:
             # through-traffic: this host is a relay on the packet's path
             # (server-centric topologies such as BCube)
             self._forward(packet)
             return
-        if packet.kind in FORWARD_KINDS:
-            endpoint = self.receivers.get(packet.fid)
-        else:
-            endpoint = self.senders.get(packet.fid)
+        endpoint = (self.receivers.get(packet.fid)
+                    if packet.kind in FORWARD_KINDS
+                    else self.senders.get(packet.fid))
         if endpoint is None:
             # late packet for an already-closed flow; harmless
             self.stray_packets += 1

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import enum
-from typing import Optional, Tuple
 
 
 class PacketKind(enum.IntEnum):
@@ -66,11 +65,11 @@ class Packet:
         size: int,
         seq: int = 0,
         payload: int = 0,
-        sched: Optional[object] = None,
+        sched: object | None = None,
         ack_seq: int = 0,
-        ack_range: Optional[Tuple[int, int]] = None,
+        ack_range: tuple[int, int] | None = None,
         echo_time: float = -1.0,
-        path: Tuple = (),
+        path: tuple = (),
     ):
         if size <= 0:
             raise ValueError(f"packet size must be positive, got {size}")

@@ -27,7 +27,7 @@ flags packets that never came back.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+import sys
 
 from repro.errors import ProtocolError
 from repro.net.headers import D3Header, PdqHeader, RcpHeader
@@ -38,15 +38,16 @@ class PacketPool:
     """Free-list recycler for :class:`Packet` and scheduling headers."""
 
     def __init__(self, preallocate: int = 0, debug: bool = False):
-        self._free: List[Packet] = []
-        self._free_pdq: List[PdqHeader] = []
-        self._free_rcp: List[RcpHeader] = []
-        self._free_d3: List[D3Header] = []
+        self._free: list[Packet] = []
+        self._free_pdq: list[PdqHeader] = []
+        self._free_rcp: list[RcpHeader] = []
+        self._free_d3: list[D3Header] = []
         self.hits = 0
         self.misses = 0
         self.created = 0
         self.debug = debug
-        self._outstanding: dict = {}  # id(packet) -> packet (debug only)
+        #: id(packet) -> (packet, "file:line" acquire site); debug only
+        self._outstanding: dict[int, tuple[Packet, str]] = {}
         for _ in range(preallocate):
             packet = Packet.__new__(Packet)
             packet.sched = None
@@ -66,11 +67,11 @@ class PacketPool:
         size: int,
         seq: int = 0,
         payload: int = 0,
-        sched: Optional[object] = None,
+        sched: object | None = None,
         ack_seq: int = 0,
-        ack_range: Optional[Tuple[int, int]] = None,
+        ack_range: tuple[int, int] | None = None,
         echo_time: float = -1.0,
-        path: Tuple = (),
+        path: tuple = (),
     ) -> Packet:
         """Checked-out packet with every field assigned; no allocation on
         a free-list hit, and no ``Packet.__init__`` validation either way
@@ -100,7 +101,11 @@ class PacketPool:
         packet.hop = 0
         packet.sent_time = -1.0
         if self.debug:
-            self._outstanding[id(packet)] = packet
+            # record the caller so a leak report can name who acquired
+            # the packet (the release sink is whoever *didn't* run)
+            frame = sys._getframe(1)
+            site = f"{frame.f_code.co_filename}:{frame.f_lineno}"
+            self._outstanding[id(packet)] = (packet, site)
         return packet
 
     def release(self, packet: Packet) -> None:
@@ -109,13 +114,12 @@ class PacketPool:
         Terminal sinks only: the consuming host, a tail-drop, or a wire
         loss. Reference fields are cleared so a recycled packet can never
         leak a previous flow's header, ack range or pinned path."""
-        if self.debug:
-            if self._outstanding.pop(id(packet), None) is None:
-                raise ProtocolError(
-                    f"pool release of a packet it does not own: {packet!r} "
-                    "(double release, or a packet constructed outside the "
-                    "pool)"
-                )
+        if self.debug and self._outstanding.pop(id(packet), None) is None:
+            raise ProtocolError(
+                f"pool release of a packet it does not own: {packet!r} "
+                "(double release, or a packet constructed outside the "
+                "pool)"
+            )
         sched = packet.sched
         if sched is not None:
             self.release_header(sched)
@@ -176,17 +180,25 @@ class PacketPool:
     def free_count(self) -> int:
         return len(self._free)
 
-    def outstanding(self) -> List[Packet]:
+    def outstanding(self) -> list[Packet]:
         """Debug mode only: packets acquired but never released."""
+        return [packet for packet, _site in self._outstanding.values()]
+
+    def outstanding_sites(self) -> list[tuple[Packet, str]]:
+        """Debug mode only: (packet, acquire site) for every leak."""
         return list(self._outstanding.values())
 
     def assert_no_leaks(self) -> None:
-        """Debug mode: raise if any acquired packet was never released."""
+        """Debug mode: raise if any acquired packet was never released,
+        naming each leaked packet's acquire call site."""
         if self._outstanding:
-            leaked = ", ".join(repr(p) for p in self._outstanding.values())
+            leaked = ", ".join(
+                f"{packet!r} acquired at {site}"
+                for packet, site in self._outstanding.values()
+            )
             raise ProtocolError(
-                f"packet pool leak: {len(self._outstanding)} packet(s) "
-                f"never released: {leaked}"
+                f"{type(self).__name__} leak: {len(self._outstanding)} "
+                f"packet(s) never released: {leaked}"
             )
 
     def _check_clean(self, packet: Packet) -> None:

@@ -12,7 +12,6 @@ O(1) on both ends.
 
 from __future__ import annotations
 
-from typing import List, Optional
 
 from repro.net.packet import Packet
 
@@ -34,7 +33,7 @@ class DropTailQueue:
         if capacity_bytes <= 0:
             raise ValueError(f"capacity must be positive, got {capacity_bytes}")
         self.capacity_bytes = capacity_bytes
-        self._buf: List[Optional[Packet]] = [None] * _MIN_SLOTS
+        self._buf: list[Packet | None] = [None] * _MIN_SLOTS
         self._mask = _MIN_SLOTS - 1
         self._head = 0
         self._count = 0
@@ -51,6 +50,7 @@ class DropTailQueue:
         """Bytes currently waiting (excludes any packet in transmission)."""
         return self._bytes
 
+    # repro: hot
     def offer(self, packet: Packet) -> bool:
         """Append if it fits; returns False (and counts a drop) otherwise."""
         nbytes = self._bytes + packet.size
@@ -69,6 +69,7 @@ class DropTailQueue:
             self.peak_bytes = nbytes
         return True
 
+    # repro: hot
     def touch(self, packet: Packet) -> bool:
         """Accounting-only ``offer`` + immediate ``pop`` for a packet that
         goes straight into transmission on an idle link: identical drop
@@ -83,7 +84,8 @@ class DropTailQueue:
             self.peak_bytes = nbytes
         return True
 
-    def pop(self) -> Optional[Packet]:
+    # repro: hot
+    def pop(self) -> Packet | None:
         """Remove and return the head packet, or None when empty."""
         count = self._count
         if count == 0:
@@ -97,13 +99,13 @@ class DropTailQueue:
         self._bytes -= packet.size
         return packet
 
-    def _grow(self) -> List[Optional[Packet]]:
+    def _grow(self) -> list[Packet | None]:
         """Double the ring, unrolling it so head lands at slot 0."""
         old = self._buf
         n = len(old)
         head = self._head
         mask = self._mask
-        new: List[Optional[Packet]] = [None] * (n * 2)
+        new: list[Packet | None] = [None] * (n * 2)
         for i in range(self._count):
             new[i] = old[(head + i) & mask]
         self._buf = new

@@ -10,7 +10,7 @@ state sits on the round-trip path (required by PDQ's two-phase acceptance).
 from __future__ import annotations
 
 from collections import deque
-from typing import Dict, List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.errors import RoutingError
 from repro.net.link import Link
@@ -29,19 +29,19 @@ class Router:
     """Computes and caches pinned flow paths over the built Link objects."""
 
     def __init__(self, nodes: Sequence[Node], links: Sequence[Link]):
-        self._nodes: Dict[int, Node] = {node.id: node for node in nodes}
-        self._out_links: Dict[int, List[Link]] = {node.id: [] for node in nodes}
+        self._nodes: dict[int, Node] = {node.id: node for node in nodes}
+        self._out_links: dict[int, list[Link]] = {node.id: [] for node in nodes}
         for link in links:
             self._out_links[link.src.id].append(link)
         for out in self._out_links.values():
             out.sort(key=lambda lk: lk.link_id)
         # hop distance to each destination, computed lazily per destination
-        self._dist_cache: Dict[int, Dict[int, int]] = {}
-        self._path_cache: Dict[Tuple[int, int, int], Tuple[Link, ...]] = {}
+        self._dist_cache: dict[int, dict[int, int]] = {}
+        self._path_cache: dict[tuple[int, int, int], tuple[Link, ...]] = {}
 
     # -- public API ---------------------------------------------------------------
 
-    def flow_path(self, fid: int, src_id: int, dst_id: int) -> Tuple[Link, ...]:
+    def flow_path(self, fid: int, src_id: int, dst_id: int) -> tuple[Link, ...]:
         """Pinned forward path for flow ``fid`` from src to dst."""
         key = (fid, src_id, dst_id)
         path = self._path_cache.get(key)
@@ -50,7 +50,7 @@ class Router:
             self._path_cache[key] = path
         return path
 
-    def reverse_path(self, forward: Sequence[Link]) -> Tuple[Link, ...]:
+    def reverse_path(self, forward: Sequence[Link]) -> tuple[Link, ...]:
         """The exact reverse of a pinned forward path."""
         reverse = []
         for link in reversed(forward):
@@ -72,14 +72,14 @@ class Router:
 
     # -- internals -----------------------------------------------------------------
 
-    def _distances(self, dst_id: int) -> Dict[int, int]:
+    def _distances(self, dst_id: int) -> dict[int, int]:
         dist = self._dist_cache.get(dst_id)
         if dist is not None:
             return dist
         if dst_id not in self._nodes:
             raise RoutingError(f"unknown destination node {dst_id}")
         # BFS over reversed adjacency: dist[n] = hops from n to dst
-        incoming: Dict[int, List[int]] = {nid: [] for nid in self._nodes}
+        incoming: dict[int, list[int]] = {nid: [] for nid in self._nodes}
         for nid, links in self._out_links.items():
             for link in links:
                 incoming[link.dst.id].append(nid)
@@ -94,7 +94,7 @@ class Router:
         self._dist_cache[dst_id] = dist
         return dist
 
-    def _candidates(self, node_id: int, dist: Dict[int, int]) -> List[Link]:
+    def _candidates(self, node_id: int, dist: dict[int, int]) -> list[Link]:
         here = dist.get(node_id)
         if here is None:
             return []
@@ -104,13 +104,13 @@ class Router:
             if dist.get(link.dst.id, here) == here - 1
         ]
 
-    def _compute_path(self, fid: int, src_id: int, dst_id: int) -> Tuple[Link, ...]:
+    def _compute_path(self, fid: int, src_id: int, dst_id: int) -> tuple[Link, ...]:
         if src_id == dst_id:
             raise RoutingError("flow src equals dst")
         dist = self._distances(dst_id)
         if src_id not in dist:
             raise RoutingError(f"no route {src_id} -> {dst_id}")
-        path: List[Link] = []
+        path: list[Link] = []
         node_id = src_id
         while node_id != dst_id:
             candidates = self._candidates(node_id, dist)

@@ -33,7 +33,8 @@ requested: the engines only consult them when the option is present.
 from __future__ import annotations
 
 import math
-from typing import Any, Dict, List, Mapping
+from collections.abc import Mapping
+from typing import Any
 
 from repro.errors import ExperimentError
 
@@ -43,14 +44,14 @@ LINK_COLUMNS = ["t", "utilization", "queue_packets", "queue_bytes"]
 FLOW_RATE_COLUMNS = ["t", "rates_bps"]
 
 
-def validate_probes_option(probes: Any) -> Dict[str, dict]:
+def validate_probes_option(probes: Any) -> dict[str, dict]:
     """Check the ``probes`` option shape; returns it as a plain dict."""
     if not isinstance(probes, Mapping):
         raise ExperimentError(
             "the 'probes' option must map probe names to probe specs, "
             f"got {type(probes).__name__}"
         )
-    out: Dict[str, dict] = {}
+    out: dict[str, dict] = {}
     for name, params in probes.items():
         if not isinstance(params, Mapping):
             raise ExperimentError(
@@ -80,8 +81,8 @@ def validate_probes_option(probes: Any) -> Dict[str, dict]:
     return out
 
 
-def _result(kind: str, params: Mapping[str, Any], columns: List[str],
-            samples: List[list]) -> dict:
+def _result(kind: str, params: Mapping[str, Any], columns: list[str],
+            samples: list[list]) -> dict:
     return {
         "kind": kind,
         "params": {k: v for k, v in sorted(params.items()) if k != "kind"},
@@ -125,7 +126,7 @@ class PacketFlowRateProbe:
                        [[t, rates] for t, rates in self.monitor.samples])
 
 
-def attach_packet_probes(net, probes: Any) -> List:
+def attach_packet_probes(net, probes: Any) -> list:
     """Instantiate every declared probe on a built (unrun) Network."""
     attached = []
     for name, params in sorted(validate_probes_option(probes).items()):
@@ -149,7 +150,7 @@ class _FluidProbe:
         self.params = params
         self.interval = params["interval"]
         self._next = self.interval
-        self.samples: List[list] = []
+        self.samples: list[list] = []
 
     def on_step(self, sim, active) -> None:
         now = sim.now
@@ -198,21 +199,20 @@ class FluidFlowRateProbe(_FluidProbe):
                        self.samples)
 
 
-def attach_fluid_probes(sim, probes: Any) -> List:
+def attach_fluid_probes(sim, probes: Any) -> list:
     """Instantiate declared probes on a FlowLevelSimulation and register
     them as per-event-boundary samplers."""
     attached = []
     for name, params in sorted(validate_probes_option(probes).items()):
-        if params["kind"] == "link":
-            probe = FluidLinkProbe(sim, name, params)
-        else:
-            probe = FluidFlowRateProbe(name, params)
+        probe = (FluidLinkProbe(sim, name, params)
+                 if params["kind"] == "link"
+                 else FluidFlowRateProbe(name, params))
         attached.append(probe)
         sim.samplers.append(probe)
     return attached
 
 
-def collect_probes(collector, attached: List) -> None:
+def collect_probes(collector, attached: list) -> None:
     """Fold finished probes into ``collector.probes``."""
     for probe in attached:
         collector.probes[probe.name] = probe.result()

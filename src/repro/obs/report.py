@@ -20,7 +20,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
 
 REPORT_SCHEMA = 1
 
@@ -28,12 +27,12 @@ REPORT_SCHEMA = 1
 TOP_N = 10
 
 
-def _campaign_summary(log_rows: List[dict]) -> dict:
+def _campaign_summary(log_rows: list[dict]) -> dict:
     executed = sum(1 for r in log_rows if not r.get("cached"))
     cached = sum(1 for r in log_rows if r.get("cached"))
     failed = sum(1 for r in log_rows if not r.get("ok"))
     retries = sum(max(0, r.get("attempts", 1) - 1) for r in log_rows)
-    workers: Dict[str, int] = {}
+    workers: dict[str, int] = {}
     for row in log_rows:
         worker = row.get("worker")
         if worker is not None:
@@ -52,7 +51,7 @@ def _campaign_summary(log_rows: List[dict]) -> dict:
     }
 
 
-def _slowest(entries) -> List[dict]:
+def _slowest(entries) -> list[dict]:
     ranked = sorted(entries, key=lambda e: e.elapsed, reverse=True)
     return [
         {
@@ -64,8 +63,8 @@ def _slowest(entries) -> List[dict]:
     ]
 
 
-def _counter_totals(entries) -> Dict[str, int]:
-    totals: Dict[str, int] = {}
+def _counter_totals(entries) -> dict[str, int]:
+    totals: dict[str, int] = {}
     for entry in entries:
         for name, value in entry.stats.items():
             totals[name] = totals.get(name, 0) + value
@@ -73,7 +72,7 @@ def _counter_totals(entries) -> Dict[str, int]:
 
 
 def _validation_margins(payload: dict) -> dict:
-    margins: List[dict] = []
+    margins: list[dict] = []
     for pair in payload.get("pairs", []):
         for check in pair.get("checks", []):
             measured, limit = check.get("measured"), check.get("limit")
@@ -97,7 +96,7 @@ def _validation_margins(payload: dict) -> dict:
     }
 
 
-def build_report(store, validate_path: Optional[Union[str, Path]] = None,
+def build_report(store, validate_path: str | Path | None = None,
                  ) -> dict:
     """Summarize a :class:`~repro.campaign.store.ResultStore`.
 
@@ -127,7 +126,7 @@ def build_report(store, validate_path: Optional[Union[str, Path]] = None,
     return report
 
 
-def write_report(report: dict, path: Union[str, Path]) -> Path:
+def write_report(report: dict, path: str | Path) -> Path:
     path = Path(path)
     with path.open("w", encoding="utf-8") as fh:
         json.dump(report, fh, indent=2)

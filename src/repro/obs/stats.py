@@ -18,7 +18,7 @@ scenarios without a schema.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from collections.abc import Mapping
 
 
 class RunStats:
@@ -26,8 +26,8 @@ class RunStats:
 
     __slots__ = ("counters",)
 
-    def __init__(self, counters: Optional[Mapping[str, int]] = None):
-        self.counters: Dict[str, int] = dict(counters or {})
+    def __init__(self, counters: Mapping[str, int] | None = None):
+        self.counters: dict[str, int] = dict(counters or {})
 
     def inc(self, name: str, n: int = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
@@ -50,7 +50,7 @@ class RunStats:
     def __len__(self) -> int:
         return len(self.counters)
 
-    def to_dict(self) -> Dict[str, int]:
+    def to_dict(self) -> dict[str, int]:
         return {name: self.counters[name] for name in sorted(self.counters)}
 
     @classmethod

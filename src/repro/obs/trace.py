@@ -25,7 +25,6 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Dict, List, Optional, Union
 
 
 class FlowTracer:
@@ -34,9 +33,9 @@ class FlowTracer:
     __slots__ = ("events", "_rates")
 
     def __init__(self) -> None:
-        self.events: List[dict] = []
+        self.events: list[dict] = []
         #: last reported rate per flow (absent = never granted a rate)
-        self._rates: Dict[int, float] = {}
+        self._rates: dict[int, float] = {}
 
     # -- hooks (called by collector / engines) ---------------------------------
 
@@ -77,8 +76,8 @@ class FlowTracer:
         return len(self.events)
 
 
-def write_trace_jsonl(path: Union[str, Path], events: List[dict],
-                      header: Optional[dict] = None) -> Path:
+def write_trace_jsonl(path: str | Path, events: list[dict],
+                      header: dict | None = None) -> Path:
     """Write one trace as JSON Lines (optionally preceded by a header
     line carrying provenance, e.g. the scenario key)."""
     path = Path(path)
@@ -91,9 +90,9 @@ def write_trace_jsonl(path: Union[str, Path], events: List[dict],
     return path
 
 
-def read_trace_jsonl(path: Union[str, Path]) -> List[dict]:
+def read_trace_jsonl(path: str | Path) -> list[dict]:
     """Read a JSONL trace back (header lines are skipped)."""
-    out: List[dict] = []
+    out: list[dict] = []
     with Path(path).open(encoding="utf-8") as fh:
         for line in fh:
             line = line.strip()

@@ -13,15 +13,15 @@ formal-property checks (distributed PDQ's equilibrium must match it).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Sequence, Tuple
+from collections.abc import Mapping, Sequence
 
-Edge = Tuple[str, str]
+Edge = tuple[str, str]
 
 
 def centralized_rates(
-    flows: Sequence[Tuple[int, float, Sequence[Edge], float]],
+    flows: Sequence[tuple[int, float, Sequence[Edge], float]],
     capacities: Mapping[Edge, float],
-) -> Dict[int, float]:
+) -> dict[int, float]:
     """Rates for (fid, expected_tx_time, path, max_rate) tuples.
 
     Flows are served in increasing expected transmission time (ties by
@@ -29,7 +29,7 @@ def centralized_rates(
     rate.
     """
     residual = dict(capacities)
-    rates: Dict[int, float] = {}
+    rates: dict[int, float] = {}
     ordered = sorted(flows, key=lambda f: (f[1], f[0]))
     for fid, _, path, max_rate in ordered:
         available = min((residual[e] for e in path), default=0.0)

@@ -9,11 +9,11 @@ first-come-first-reserve meets all three deadlines for exactly one of the
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 
 def fair_sharing_completions(sizes: Sequence[float],
-                             capacity: float = 1.0) -> List[float]:
+                             capacity: float = 1.0) -> list[float]:
     """Processor-sharing completion times for simultaneous arrivals.
 
     At any instant every unfinished flow receives capacity/n. Returned in
@@ -36,7 +36,7 @@ def fair_sharing_completions(sizes: Sequence[float],
 
 
 def serial_completions(sizes: Sequence[float], order: Sequence[int],
-                       capacity: float = 1.0) -> List[float]:
+                       capacity: float = 1.0) -> list[float]:
     """Run-to-completion one at a time in the given order (SJF/EDF serial
     schedules of Fig 1c). Returned in input order."""
     completions = [0.0] * len(sizes)
@@ -48,11 +48,11 @@ def serial_completions(sizes: Sequence[float], order: Sequence[int],
 
 
 def d3_fluid_schedule(
-    flows: Sequence[Tuple[float, float]],
+    flows: Sequence[tuple[float, float]],
     arrival_order: Sequence[int],
     capacity: float = 1.0,
     dt: float = 1e-3,
-) -> Dict[int, Optional[float]]:
+) -> dict[int, float | None]:
     """Fluid D3 on one bottleneck: greedy arrival-order rate reservation.
 
     ``flows`` are (size, deadline) pairs, all present from t=0; the
@@ -67,7 +67,7 @@ def d3_fluid_schedule(
     """
     remaining = [float(size) for size, _ in flows]
     deadlines = [float(d) for _, d in flows]
-    completions: Dict[int, Optional[float]] = {i: None for i in range(len(flows))}
+    completions: dict[int, float | None] = {i: None for i in range(len(flows))}
     horizon = 10.0 * max(deadlines)
     now = 0.0
     while now < horizon and any(r > 1e-12 for r in remaining):
@@ -98,7 +98,7 @@ def d3_fluid_schedule(
     return completions
 
 
-def deadline_misses(completions: Dict[int, Optional[float]],
+def deadline_misses(completions: dict[int, float | None],
                     deadlines: Sequence[float]) -> int:
     """How many flows missed their deadline (unfinished counts as a miss)."""
     misses = 0

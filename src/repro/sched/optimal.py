@@ -13,10 +13,10 @@ arrivals); completion times are prefix sums of transmission times.
 from __future__ import annotations
 
 import heapq
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 
-def max_ontime_subset(jobs: Sequence[Tuple[float, float]]) -> List[int]:
+def max_ontime_subset(jobs: Sequence[tuple[float, float]]) -> list[int]:
     """Moore-Hodgson: indexes of a maximum on-time subset.
 
     ``jobs`` are (processing_time, deadline) pairs, all released at time 0
@@ -24,7 +24,7 @@ def max_ontime_subset(jobs: Sequence[Tuple[float, float]]) -> List[int]:
     rest are the discarded tardy jobs.
     """
     order = sorted(range(len(jobs)), key=lambda i: (jobs[i][1], jobs[i][0]))
-    kept: List[Tuple[float, int]] = []  # max-heap by processing time (neg)
+    kept: list[tuple[float, int]] = []  # max-heap by processing time (neg)
     elapsed = 0.0
     for i in order:
         processing, deadline = jobs[i]
@@ -48,11 +48,11 @@ def optimal_application_throughput(
         raise ValueError("sizes and deadlines must align")
     if not sizes:
         raise ValueError("no flows")
-    jobs = [(s * 8.0 / rate_bps, d) for s, d in zip(sizes, deadlines)]
+    jobs = [(s * 8.0 / rate_bps, d) for s, d in zip(sizes, deadlines, strict=True)]
     return len(max_ontime_subset(jobs)) / len(sizes)
 
 
-def sjf_completion_times(sizes: Sequence[float], rate_bps: float) -> List[float]:
+def sjf_completion_times(sizes: Sequence[float], rate_bps: float) -> list[float]:
     """Completion times under shortest-job-first on one bottleneck,
     simultaneous arrivals; returned in the input order of ``sizes``."""
     order = sorted(range(len(sizes)), key=lambda i: (sizes[i], i))
@@ -65,7 +65,7 @@ def sjf_completion_times(sizes: Sequence[float], rate_bps: float) -> List[float]
 
 
 def srpt_mean_fct(
-    flows: Sequence[Tuple[float, float]], rate_bps: float
+    flows: Sequence[tuple[float, float]], rate_bps: float
 ) -> float:
     """Mean completion time under preemptive SRPT on one bottleneck.
 
@@ -76,7 +76,7 @@ def srpt_mean_fct(
     if not flows:
         raise ValueError("no flows")
     pending = sorted(flows)  # by arrival
-    remaining: List[Tuple[float, float]] = []  # heap of (remaining_time, arrival)
+    remaining: list[tuple[float, float]] = []  # heap of (remaining_time, arrival)
     now = 0.0
     total = 0.0
     i = 0

@@ -9,7 +9,6 @@ simulator consumes the same graph directly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
 
 import networkx as nx
 
@@ -23,7 +22,7 @@ class Topology:
     def __init__(self, default_rate_bps: float = 1 * GBPS):
         self.default_rate_bps = default_rate_bps
         self.graph = nx.Graph()
-        self._edge_index: Dict[Tuple[str, str], int] | None = None
+        self._edge_index: dict[tuple[str, str], int] | None = None
 
     # -- construction helpers (used by subclasses) ------------------------------
 
@@ -44,13 +43,13 @@ class Topology:
     # -- accessors ----------------------------------------------------------------
 
     @property
-    def hosts(self) -> List[str]:
+    def hosts(self) -> list[str]:
         return sorted(
             n for n, d in self.graph.nodes(data=True) if d["kind"] == "host"
         )
 
     @property
-    def switches(self) -> List[str]:
+    def switches(self) -> list[str]:
         return sorted(
             n for n, d in self.graph.nodes(data=True) if d["kind"] == "switch"
         )
@@ -58,7 +57,7 @@ class Topology:
     def edge_rate(self, a: str, b: str) -> float:
         return self.graph.edges[a, b]["rate_bps"]
 
-    def directed_edge_index(self) -> Dict[Tuple[str, str], int]:
+    def directed_edge_index(self) -> dict[tuple[str, str], int]:
         """Dense integer id for every *directed* edge.
 
         Contract (relied on by :class:`~repro.flowsim.paths.GraphRouter`
@@ -75,7 +74,7 @@ class Topology:
           once the topology stops being mutated.
         """
         if self._edge_index is None:
-            index: Dict[Tuple[str, str], int] = {}
+            index: dict[tuple[str, str], int] = {}
             eid = 0
             for a, b in sorted(self.graph.edges()):
                 index[(a, b)] = eid
@@ -97,14 +96,14 @@ class Topology:
             if data["rate_bps"] <= 0:
                 raise TopologyError("non-positive link rate")
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> dict[str, int]:
         return {
             "hosts": len(self.hosts),
             "switches": len(self.switches),
             "links": self.graph.number_of_edges(),
         }
 
-    def host_pairs(self) -> List[Tuple[str, str]]:
+    def host_pairs(self) -> list[tuple[str, str]]:
         """All ordered host pairs (diagnostic helper)."""
         hosts = self.hosts
         return [(a, b) for a in hosts for b in hosts if a != b]

@@ -12,7 +12,6 @@ which is what M-PDQ's subflow striping exploits.
 
 from __future__ import annotations
 
-from typing import List, Tuple
 
 from repro.errors import TopologyError
 from repro.topology.base import Topology
@@ -35,7 +34,7 @@ class BCube(Topology):
 
     # -- addressing ---------------------------------------------------------------
 
-    def address(self, server_index: int) -> Tuple[int, ...]:
+    def address(self, server_index: int) -> tuple[int, ...]:
         """Base-n digits (a_k, ..., a_0) of a server index."""
         digits = []
         x = server_index
@@ -44,7 +43,7 @@ class BCube(Topology):
             x //= self.n
         return tuple(reversed(digits))
 
-    def _switch_name(self, level: int, addr: Tuple[int, ...]) -> str:
+    def _switch_name(self, level: int, addr: tuple[int, ...]) -> str:
         """Level-l switch connecting servers whose addresses differ only in
         digit l; ``addr`` is the server address with digit l dropped."""
         return f"sw{level}_" + "".join(str(d) for d in addr)
@@ -79,13 +78,13 @@ class BCube(Topology):
     def nics_per_server(self) -> int:
         return self.k + 1
 
-    def parallel_paths(self, src_index: int, dst_index: int) -> List[int]:
+    def parallel_paths(self, src_index: int, dst_index: int) -> list[int]:
         """Levels at which src and dst addresses differ (each differing digit
         yields an independent one-switch path when only one digit differs)."""
         a, b = self.address(src_index), self.address(dst_index)
-        return [self.k - i for i, (x, y) in enumerate(zip(a, b)) if x != y]
+        return [self.k - i for i, (x, y) in enumerate(zip(a, b, strict=True)) if x != y]
 
-    def disjoint_paths(self, src: str, dst: str) -> List[List[str]]:
+    def disjoint_paths(self, src: str, dst: str) -> list[list[str]]:
         """BCube address-based routing (Guo et al.; used by M-PDQ, §6).
 
         One path per differing digit: path ``r`` corrects the differing
@@ -107,7 +106,7 @@ class BCube(Topology):
         ]
         if not levels:
             raise TopologyError(f"{src} and {dst} are the same server")
-        paths: List[List[str]] = []
+        paths: list[list[str]] = []
         for rotation in range(len(levels)):
             order = levels[rotation:] + levels[:rotation]
             here = list(src_addr)

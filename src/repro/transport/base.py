@@ -12,7 +12,7 @@ TCP (window-based) has its own sender in :mod:`repro.transport.tcp`.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Dict, Optional, Set
+from typing import TYPE_CHECKING
 
 from repro.errors import ProtocolError
 from repro.events.timers import Timer
@@ -43,7 +43,7 @@ class ProtocolStack(abc.ABC):
     def payload_bytes(self) -> int:
         return self.mtu - self.header_bytes
 
-    def make_switch_protocol(self, network: "Network", switch) -> Optional[object]:
+    def make_switch_protocol(self, network: "Network", switch) -> object | None:
         """Per-switch protocol instance, or None for dumb switches."""
         return None
 
@@ -98,9 +98,9 @@ class RateBasedSender(EndpointBase):
         self.payload = stack.payload_bytes
         self.size = spec.size_bytes
         self.next_offset = 0
-        self.unacked: Dict[int, float] = {}  # offset -> last send time
+        self.unacked: dict[int, float] = {}  # offset -> last send time
         self.resend: list[int] = []
-        self._resend_set: Set[int] = set()
+        self._resend_set: set[int] = set()
         self.bytes_acked = 0
 
         initial_rtt = network.estimate_rtt(fwd_path)
@@ -118,7 +118,7 @@ class RateBasedSender(EndpointBase):
         # hole-driven fast retransmit: per-packet selective ACKs let the
         # sender spot a missing offset after a few later ACKs instead of
         # waiting a full RTO (PDQ's loss resilience, Fig 9, leans on this)
-        self._dup_hints: Dict[int, int] = {}
+        self._dup_hints: dict[int, int] = {}
         self.dupack_threshold = 3
 
     # -- lifecycle -----------------------------------------------------------------
@@ -233,7 +233,7 @@ class RateBasedSender(EndpointBase):
         at = max(self.sim.now, self._last_emit + gap)
         self._send_timer.start(at - self.sim.now)
 
-    def _next_offset_to_send(self) -> Optional[int]:
+    def _next_offset_to_send(self) -> int | None:
         while self.resend:
             offset = self.resend.pop(0)
             self._resend_set.discard(offset)
@@ -245,6 +245,7 @@ class RateBasedSender(EndpointBase):
             return offset
         return None
 
+    # repro: hot
     def _emit(self) -> None:
         if self.closed or self.term_sent or self.rate <= 0:
             return
@@ -388,7 +389,7 @@ class AckingReceiver(EndpointBase):
         super().__init__(network, stack, spec, record, rev_path)
         self.host = host
         self.src_id = network.node(spec.src).id
-        self.received: Set[int] = set()
+        self.received: set[int] = set()
         self.bytes_received = 0
         self.complete = False
 
@@ -412,6 +413,7 @@ class AckingReceiver(EndpointBase):
             self.host.unregister_receiver(self.spec.fid)
             self.closed = True
 
+    # repro: hot
     def _on_data(self, packet: Packet) -> None:
         if packet.seq not in self.received:
             self.received.add(packet.seq)
@@ -430,6 +432,7 @@ class AckingReceiver(EndpointBase):
     def on_complete(self) -> None:
         """Subclass hook (e.g. M-PDQ resequencing notification)."""
 
+    # repro: hot
     def _reply(self, packet: Packet, kind: PacketKind, ack_range=None) -> None:
         sched = self.make_ack_header(packet)
         if sched is not None and sched is packet.sched:

@@ -29,7 +29,7 @@ the arrival-order allocation.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Optional, Tuple
+from typing import TYPE_CHECKING
 
 from repro.events.timers import Timer
 from repro.net.headers import D3Header
@@ -56,8 +56,8 @@ class D3LinkState:
         self.protocol = protocol
         self.link = link
         # fid -> (first_seen, last_seen, desired_rate)
-        self.flows: Dict[int, Tuple[float, float, float]] = {}
-        self.grants: Dict[int, float] = {}
+        self.flows: dict[int, tuple[float, float, float]] = {}
+        self.grants: dict[int, float] = {}
         self.rtt_avg = Ewma(alpha=0.1, default=DEFAULT_RTT)
         self.fair_share = link.rate_bps / 8.0
         self._last_bytes = 0.0
@@ -67,7 +67,7 @@ class D3LinkState:
     # -- forward path -------------------------------------------------------------
 
     def observe(self, packet: Packet, now: float) -> None:
-        header: Optional[D3Header] = packet.sched
+        header: D3Header | None = packet.sched
         if packet.kind == PacketKind.TERM:
             self.flows.pop(packet.fid, None)
             self.grants.pop(packet.fid, None)
@@ -104,7 +104,7 @@ class D3LinkState:
         rtt = self.rtt_avg.value_or(DEFAULT_RTT)
         floor = floor_rate(rtt)
         remaining = self.link.rate_bps
-        grants: Dict[int, float] = {}
+        grants: dict[int, float] = {}
         ordered = sorted(self.flows.items(), key=lambda kv: (kv[1][0], kv[0]))
         for fid, (_, _, desired) in ordered:
             reserved = min(desired, max(0.0, remaining))
@@ -146,7 +146,7 @@ class D3SwitchProtocol:
         self.net = network
         self.sim = network.sim
         self.switch_id = switch.id
-        self._states: Dict[int, D3LinkState] = {}
+        self._states: dict[int, D3LinkState] = {}
 
     def process(self, packet: Packet, out_link: Link) -> None:
         if packet.kind in (PacketKind.SYN, PacketKind.DATA,
@@ -184,7 +184,7 @@ class D3Sender(RateBasedSender):
     def _rtt_now(self) -> float:
         return self.rtt.srtt if self.rtt.srtt is not None else DEFAULT_RTT
 
-    def make_sched_header(self, kind: PacketKind) -> Optional[D3Header]:
+    def make_sched_header(self, kind: PacketKind) -> D3Header | None:
         request_due = (
             kind == PacketKind.SYN
             or kind == PacketKind.TERM

@@ -16,7 +16,7 @@ floor keeps the feedback loop alive while a standing queue drains).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict
+from typing import TYPE_CHECKING
 
 from repro.events.timers import Timer
 from repro.net.headers import RcpHeader
@@ -51,7 +51,7 @@ class RcpLinkState:
     def __init__(self, protocol: "RcpSwitchProtocol", link: Link):
         self.protocol = protocol
         self.link = link
-        self.flows: Dict[int, float] = {}  # fid -> last seen
+        self.flows: dict[int, float] = {}  # fid -> last seen
         self.rtt_avg = Ewma(alpha=0.1, default=DEFAULT_RTT)
         self.rate = link.rate_bps
         self._timer = Timer(protocol.sim, self._update)
@@ -97,7 +97,7 @@ class RcpSwitchProtocol:
         self.net = network
         self.sim = network.sim
         self.switch_id = switch.id
-        self._states: Dict[int, RcpLinkState] = {}
+        self._states: dict[int, RcpLinkState] = {}
 
     def process(self, packet: Packet, out_link: Link) -> None:
         if packet.sched.__class__ is not RcpHeader:

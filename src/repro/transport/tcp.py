@@ -11,7 +11,6 @@ Switches are dumb for TCP: no switch protocol is attached.
 
 from __future__ import annotations
 
-from typing import Set
 
 from repro.events.timers import Timer
 from repro.net.packet import Packet, PacketKind
@@ -95,6 +94,7 @@ class TcpSender(EndpointBase):
         )
         self.host.send(packet)
 
+    # repro: hot
     def _send_segment(self, offset: int, retransmit: bool = False) -> None:
         chunk = min(self.payload, self.size - offset)
         if chunk <= 0:
@@ -112,6 +112,7 @@ class TcpSender(EndpointBase):
         if not self._rto_timer.armed:
             self._rto_timer.start(self.rtt.rto() * self._backoff)
 
+    # repro: hot
     def _pump(self) -> None:
         """Send as much new data as the window allows."""
         while self._can_send():
@@ -221,9 +222,10 @@ class TcpReceiver(AckingReceiver):
 
     def __init__(self, network, stack, spec, record, rev_path, host):
         super().__init__(network, stack, spec, record, rev_path, host)
-        self._got: Set[int] = set()
+        self._got: set[int] = set()
         self._cum = 0  # next expected byte
 
+    # repro: hot
     def _on_data(self, packet: Packet) -> None:
         if packet.seq not in self._got:
             self._got.add(packet.seq)
@@ -241,6 +243,7 @@ class TcpReceiver(AckingReceiver):
     def _payload_at(self, offset: int) -> int:
         return min(self.stack.payload_bytes, self.spec.size_bytes - offset)
 
+    # repro: hot
     def _reply(self, packet: Packet, kind: PacketKind, ack_range=None) -> None:
         ack = self.pool.acquire(
             self.spec.fid, self.host.id, self.src_id,

@@ -7,7 +7,6 @@ the rate controller (every 2 RTTs) and the dampening window.
 
 from __future__ import annotations
 
-from typing import Optional
 
 
 class Ewma:
@@ -26,7 +25,7 @@ class Ewma:
 
     __slots__ = ("alpha", "_value", "samples")
 
-    def __init__(self, alpha: float = 0.125, default: Optional[float] = None):
+    def __init__(self, alpha: float = 0.125, default: float | None = None):
         if not 0.0 < alpha <= 1.0:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self.alpha = alpha
@@ -34,7 +33,7 @@ class Ewma:
         self.samples = 0
 
     @property
-    def value(self) -> Optional[float]:
+    def value(self) -> float | None:
         return self._value
 
     def update(self, sample: float) -> float:
@@ -43,10 +42,10 @@ class Ewma:
         The first sample discards any ``default`` (see class docstring);
         ``samples`` counts only real observations, never the fallback.
         """
-        if self._value is None or self.samples == 0:
-            self._value = sample
-        else:
-            self._value = (1.0 - self.alpha) * self._value + self.alpha * sample
+        self._value = (
+            sample if self._value is None or self.samples == 0
+            else (1.0 - self.alpha) * self._value + self.alpha * sample
+        )
         self.samples += 1
         return self._value
 
@@ -61,10 +60,10 @@ class RttEstimator:
     """
 
     def __init__(self, rto_min: float = 2e-3, rto_max: float = 1.0,
-                 initial_rtt: Optional[float] = None):
+                 initial_rtt: float | None = None):
         self.rto_min = rto_min
         self.rto_max = rto_max
-        self.srtt: Optional[float] = initial_rtt
+        self.srtt: float | None = initial_rtt
         self.rttvar: float = (initial_rtt / 2.0) if initial_rtt else 0.0
 
     def update(self, sample: float) -> None:

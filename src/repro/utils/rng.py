@@ -7,14 +7,13 @@ from an experiment-level seed, so every simulation is reproducible.
 
 from __future__ import annotations
 
-from typing import Optional, Union
 
 import numpy as np
 
-SeedLike = Union[int, np.random.Generator, None]
+SeedLike = int | np.random.Generator | None
 
 
-def spawn_rng(seed: SeedLike = None, stream: Optional[str] = None) -> np.random.Generator:
+def spawn_rng(seed: SeedLike = None, stream: str | None = None) -> np.random.Generator:
     """Build a Generator from ``seed``.
 
     ``stream`` derives an independent child stream from the same seed, so

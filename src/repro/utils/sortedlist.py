@@ -8,7 +8,8 @@ fancier structure and keeps the code obvious.
 
 from __future__ import annotations
 
-from typing import Callable, Generic, Iterator, List, Optional, TypeVar
+from collections.abc import Callable, Iterator
+from typing import Generic, TypeVar
 
 from repro.errors import FlowListError
 
@@ -17,11 +18,11 @@ K = TypeVar("K")
 
 
 class SortedFlowList(Generic[T]):
-    """List sorted ascending by ``key`` (smaller key = more critical)."""
+    """list sorted ascending by ``key`` (smaller key = more critical)."""
 
     def __init__(self, key: Callable[[T], K]):
         self._key = key
-        self._items: List[T] = []
+        self._items: list[T] = []
 
     # -- container protocol ----------------------------------------------------
 
@@ -77,7 +78,7 @@ class SortedFlowList(Generic[T]):
             )
         return self._items.pop()
 
-    def least_critical(self) -> Optional[T]:
+    def least_critical(self) -> T | None:
         return self._items[-1] if self._items else None
 
     def index_of(self, item: T) -> int:
@@ -89,5 +90,5 @@ class SortedFlowList(Generic[T]):
         """Re-establish order after keys changed in place."""
         self._items.sort(key=self._key)
 
-    def as_list(self) -> List[T]:
+    def as_list(self) -> list[T]:
         return list(self._items)

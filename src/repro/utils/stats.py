@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from collections.abc import Iterable, Sequence
 
 
 def mean(values: Iterable[float]) -> float:
@@ -32,7 +32,7 @@ def percentile(values: Sequence[float], q: float) -> float:
     return min(max(value, ordered[0]), ordered[-1])
 
 
-def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
+def cdf_points(values: Sequence[float]) -> list[tuple[float, float]]:
     """Empirical CDF as (value, fraction <= value) points, one per sample."""
     if not values:
         return []

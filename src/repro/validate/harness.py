@@ -17,7 +17,7 @@ import json
 import platform
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.campaign.context import current_runner
 from repro.errors import ExperimentError
@@ -35,11 +35,11 @@ class CheckResult:
 
     name: str
     ok: bool
-    measured: Optional[float] = None
-    limit: Optional[float] = None
+    measured: float | None = None
+    limit: float | None = None
     detail: str = ""
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "name": self.name,
             "ok": self.ok,
@@ -56,19 +56,19 @@ class PairOutcome:
     name: str
     family: str
     protocol: str
-    checks: List[CheckResult] = field(default_factory=list)
-    packet_summary: Optional[Dict] = None
-    fluid_summary: Optional[Dict] = None
-    error: Optional[str] = None
+    checks: list[CheckResult] = field(default_factory=list)
+    packet_summary: dict | None = None
+    fluid_summary: dict | None = None
+    error: str | None = None
 
     @property
     def ok(self) -> bool:
         return self.error is None and all(c.ok for c in self.checks)
 
-    def failures(self) -> List[CheckResult]:
+    def failures(self) -> list[CheckResult]:
         return [c for c in self.checks if not c.ok]
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "name": self.name,
             "family": self.family,
@@ -85,7 +85,7 @@ class PairOutcome:
 class ValidationReport:
     """All pair outcomes of one validation run."""
 
-    outcomes: List[PairOutcome]
+    outcomes: list[PairOutcome]
     quick: bool = False
     elapsed_s: float = 0.0
 
@@ -97,10 +97,10 @@ class ValidationReport:
     def n_failed(self) -> int:
         return sum(1 for o in self.outcomes if not o.ok)
 
-    def failures(self) -> List[PairOutcome]:
+    def failures(self) -> list[PairOutcome]:
         return [o for o in self.outcomes if not o.ok]
 
-    def to_dict(self) -> Dict:
+    def to_dict(self) -> dict:
         return {
             "schema": REPORT_SCHEMA,
             "suite": "cross_engine",
@@ -194,8 +194,8 @@ def compare_pair(pair: ValidationPair, packet: MetricsCollector,
 
 
 def select_pairs(pairs: Sequence[ValidationPair],
-                 only: Optional[Sequence[str]] = None
-                 ) -> List[ValidationPair]:
+                 only: Sequence[str] | None = None
+                 ) -> list[ValidationPair]:
     """Filter by family name or name substring (``fig3``, ``D3``, ...)."""
     if not only:
         return list(pairs)
@@ -212,9 +212,9 @@ def select_pairs(pairs: Sequence[ValidationPair],
     return picked
 
 
-def run_validation(pairs: Optional[Sequence[ValidationPair]] = None,
+def run_validation(pairs: Sequence[ValidationPair] | None = None,
                    quick: bool = False,
-                   only: Optional[Sequence[str]] = None) -> ValidationReport:
+                   only: Sequence[str] | None = None) -> ValidationReport:
     """Execute pairs through the ambient runner and check tolerances.
 
     A scenario that fails to execute fails its pair (with the scenario
@@ -228,7 +228,7 @@ def run_validation(pairs: Optional[Sequence[ValidationPair]] = None,
     result = current_runner().run(specs)
     elapsed = time.perf_counter() - started
 
-    outcomes: List[PairOutcome] = []
+    outcomes: list[PairOutcome] = []
     for i, pair in enumerate(chosen):
         packet_out, fluid_out = result.outcomes[2 * i], result.outcomes[2 * i + 1]
         broken = [
@@ -248,7 +248,7 @@ def run_validation(pairs: Optional[Sequence[ValidationPair]] = None,
 
 
 def write_report(report: ValidationReport,
-                 path: str = DEFAULT_REPORT) -> Dict:
+                 path: str = DEFAULT_REPORT) -> dict:
     """Write the JSON report (the CI artifact) and return the dict."""
     payload = report.to_dict()
     with open(path, "w", encoding="utf-8") as fh:

@@ -35,7 +35,7 @@ that bound the agreement analytically.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
 from repro.errors import ExperimentError
@@ -73,7 +73,7 @@ class Tolerance:
 
 #: per-protocol mean-FCT tolerance (see module docstring for the why;
 #: measured worst cases on the default grids: PDQ 0.45, RCP 0.17, D3 1.40)
-FCT_RTOL: Dict[str, float] = {
+FCT_RTOL: dict[str, float] = {
     "PDQ(Full)": 0.55,
     "RCP": 0.45,
     "D3": 2.00,
@@ -82,7 +82,7 @@ FCT_RTOL: Dict[str, float] = {
 #: per-protocol application-throughput tolerance. PDQ's packet stack
 #: misses deadlines under heavy fan-in (probe/termination round trips)
 #: that the fluid allocator meets exactly; measured worst case 0.22.
-APP_TPUT_ATOL: Dict[str, float] = {
+APP_TPUT_ATOL: dict[str, float] = {
     "PDQ(Full)": 0.30,
     "RCP": 0.20,
     "D3": 0.35,
@@ -90,7 +90,7 @@ APP_TPUT_ATOL: Dict[str, float] = {
 
 #: per-protocol completed-fraction tolerance (same mechanism: packet PDQ
 #: early-terminates deadline-missing flows the fluid model completes)
-COMPLETION_ATOL: Dict[str, float] = {
+COMPLETION_ATOL: dict[str, float] = {
     "PDQ(Full)": 0.30,
     "RCP": 0.20,
     "D3": 0.25,
@@ -100,7 +100,7 @@ COMPLETION_ATOL: Dict[str, float] = {
 #: vanish but *startup* round trips remain — dominant for D3, whose
 #: sender spends RTTs acquiring its reservation before data flows
 #: (measured: RCP 0.04, PDQ 0.18, D3 0.64).
-SINGLE_FLOW_RTOL: Dict[str, float] = {
+SINGLE_FLOW_RTOL: dict[str, float] = {
     "PDQ(Full)": 0.30,
     "RCP": 0.25,
     "D3": 0.85,
@@ -108,7 +108,7 @@ SINGLE_FLOW_RTOL: Dict[str, float] = {
 
 
 def tolerance_for(protocol: str,
-                  fct_rtol: Optional[float] = None) -> Tolerance:
+                  fct_rtol: float | None = None) -> Tolerance:
     return Tolerance(
         fct_rtol=fct_rtol if fct_rtol is not None else FCT_RTOL[protocol],
         app_tput_atol=APP_TPUT_ATOL[protocol],
@@ -138,7 +138,7 @@ class ValidationPair:
     def protocol(self) -> str:
         return self.packet.protocol
 
-    def specs(self) -> Tuple[ScenarioSpec, ScenarioSpec]:
+    def specs(self) -> tuple[ScenarioSpec, ScenarioSpec]:
         return (self.packet, self.fluid)
 
 
@@ -288,7 +288,7 @@ def edge_single_panel(
 
 
 def pairs_from_panel(panel: Panel, family: str, name_for,
-                     tolerance_for_cell) -> List[ValidationPair]:
+                     tolerance_for_cell) -> list[ValidationPair]:
     """One :class:`ValidationPair` per packet-engine grid cell of a
     panel whose axes include ``engine``; ``name_for(combo)`` and
     ``tolerance_for_cell(combo, spec)`` shape the pair."""
@@ -307,7 +307,7 @@ def pairs_from_panel(panel: Panel, family: str, name_for,
 
 def fig3_pairs(quick: bool = False,
                protocols: Sequence[str] = VALIDATION_PROTOCOLS,
-               ) -> List[ValidationPair]:
+               ) -> list[ValidationPair]:
     def name_for(combo) -> str:
         tag = "dl" if combo["deadline"] else "nodl"
         return (f"fig3/{combo['protocol']}-n{combo['workload.n_flows']}"
@@ -321,7 +321,7 @@ def fig3_pairs(quick: bool = False,
 
 def fig5_pairs(quick: bool = False,
                protocols: Sequence[str] = VALIDATION_PROTOCOLS,
-               ) -> List[ValidationPair]:
+               ) -> list[ValidationPair]:
     def name_for(combo) -> str:
         return (f"fig5/{combo['protocol']}"
                 f"-r{combo['workload.rate_per_sec']:.0f}-s{combo['seed']}")
@@ -334,7 +334,7 @@ def fig5_pairs(quick: bool = False,
 
 def edge_pairs(quick: bool = False,
                protocols: Sequence[str] = VALIDATION_PROTOCOLS,
-               ) -> List[ValidationPair]:
+               ) -> list[ValidationPair]:
     pairs = pairs_from_panel(
         edge_empty_panel(), "edge",
         lambda combo: "edge/empty",
@@ -350,7 +350,7 @@ def edge_pairs(quick: bool = False,
     return pairs
 
 
-def fattree_pairs(quick: bool = False) -> List[ValidationPair]:
+def fattree_pairs(quick: bool = False) -> list[ValidationPair]:
     def name_for(combo) -> str:
         return f"fattree/PDQ(Full)-s{combo['seed']}"
 
@@ -364,7 +364,7 @@ def fattree_pairs(quick: bool = False) -> List[ValidationPair]:
     )
 
 
-def default_pairs(quick: bool = False) -> List[ValidationPair]:
+def default_pairs(quick: bool = False) -> list[ValidationPair]:
     """The standard cross-engine validation grid (CI runs ``quick``)."""
     return (
         edge_pairs(quick) + fig3_pairs(quick) + fig5_pairs(quick)
@@ -377,10 +377,10 @@ def default_pairs(quick: bool = False) -> List[ValidationPair]:
 
 @register_reducer("validate.agreement")
 def _reduce_agreement(run, family: str = "custom",
-                      fct_rtol: Optional[float] = None,
-                      app_tput_atol: Optional[float] = None,
-                      completion_atol: Optional[float] = None,
-                      fct_rtol_by_protocol: Optional[Dict[str, float]] = None,
+                      fct_rtol: float | None = None,
+                      app_tput_atol: float | None = None,
+                      completion_atol: float | None = None,
+                      fct_rtol_by_protocol: dict[str, float] | None = None,
                       ) -> dict:
     """Pair each grid cell across its ``engine`` axis and run the
     harness tolerance checks; tolerances default to the per-protocol
@@ -390,7 +390,7 @@ def _reduce_agreement(run, family: str = "custom",
     from repro.validate.harness import compare_pair
 
     cell_axes = [a for a in run.axis_names() if a != "engine"]
-    cells: Dict[tuple, Dict[str, tuple]] = {}
+    cells: dict[tuple, dict[str, tuple]] = {}
     for combo, spec, collector in run.rows:
         if "engine" not in combo:
             raise ExperimentError(

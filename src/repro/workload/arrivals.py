@@ -2,13 +2,12 @@
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.errors import WorkloadError
 from repro.utils.rng import SeedLike, spawn_rng
 
 
-def simultaneous_arrivals(n: int, at: float = 0.0) -> List[float]:
+def simultaneous_arrivals(n: int, at: float = 0.0) -> list[float]:
     """All flows arrive at the same instant (query aggregation, §5.2)."""
     if n < 0:
         raise WorkloadError(f"n must be >= 0, got {n}")
@@ -16,7 +15,7 @@ def simultaneous_arrivals(n: int, at: float = 0.0) -> List[float]:
 
 
 def poisson_arrivals(rate_per_sec: float, duration: float,
-                     rng: SeedLike = None, start: float = 0.0) -> List[float]:
+                     rng: SeedLike = None, start: float = 0.0) -> list[float]:
     """Poisson process arrivals over [start, start + duration) (§5.3's flow
     arrival rate sweeps)."""
     if rate_per_sec <= 0:

@@ -7,7 +7,6 @@ we set it to 3 ms in our experiments."
 
 from __future__ import annotations
 
-from typing import List
 
 from repro.errors import WorkloadError
 from repro.units import MSEC
@@ -19,7 +18,7 @@ DEFAULT_FLOOR = 3 * MSEC
 
 def exponential_deadlines(n: int, mean: float = DEFAULT_MEAN,
                           floor: float = DEFAULT_FLOOR,
-                          rng: SeedLike = None) -> List[float]:
+                          rng: SeedLike = None) -> list[float]:
     """Exponential deadlines (relative to flow arrival) with a floor."""
     if mean <= 0:
         raise WorkloadError(f"mean deadline must be positive, got {mean}")

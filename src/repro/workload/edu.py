@@ -10,7 +10,7 @@ paper used, yielding flow summaries for the simulator.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from repro.workload.trace import TracePacket, flows_from_trace
 def edu1_packet_trace(hosts: Sequence[str], duration: float,
                       flows_per_second: float, rng: SeedLike = None,
                       mean_packets_per_flow: float = 10.0,
-                      packet_bytes: int = 1_000) -> List[TracePacket]:
+                      packet_bytes: int = 1_000) -> list[TracePacket]:
     """Generate an EDU1-like synthetic packet trace.
 
     Flow starts follow a Poisson process; within a flow, packets arrive in
@@ -36,7 +36,7 @@ def edu1_packet_trace(hosts: Sequence[str], duration: float,
     if duration <= 0 or flows_per_second <= 0:
         raise WorkloadError("duration and rate must be positive")
     gen = spawn_rng(rng, "edu1:trace")
-    packets: List[TracePacket] = []
+    packets: list[TracePacket] = []
     t = 0.0
     key = 0
     p_stop = 1.0 / mean_packets_per_flow
@@ -64,7 +64,7 @@ def edu1_packet_trace(hosts: Sequence[str], duration: float,
 
 def edu1_flow_summaries(hosts: Sequence[str], duration: float,
                         flows_per_second: float, rng: SeedLike = None,
-                        fid_start: int = 0) -> List[FlowSpec]:
+                        fid_start: int = 0) -> list[FlowSpec]:
     """EDU1-like workload: synthetic packet trace -> Bro-like flow
     summaries, ready for either simulator."""
     trace = edu1_packet_trace(hosts, duration, flows_per_second, rng)

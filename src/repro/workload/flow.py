@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.errors import WorkloadError
 
@@ -23,8 +22,8 @@ class FlowSpec:
     dst: str
     size_bytes: int
     arrival: float = 0.0
-    deadline: Optional[float] = None
-    criticality: Optional[float] = None
+    deadline: float | None = None
+    criticality: float | None = None
 
     def __post_init__(self) -> None:
         if self.size_bytes <= 0:
@@ -41,7 +40,7 @@ class FlowSpec:
         return self.deadline is not None
 
     @property
-    def absolute_deadline(self) -> Optional[float]:
+    def absolute_deadline(self) -> float | None:
         if self.deadline is None:
             return None
         return self.arrival + self.deadline

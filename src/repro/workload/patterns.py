@@ -11,7 +11,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.errors import WorkloadError
 from repro.topology.single_rooted import SingleRootedTree
@@ -20,9 +20,9 @@ from repro.workload.flow import FlowSpec
 
 
 def _build(pairs: Sequence[tuple], sizes: Sequence[int],
-           deadlines: Optional[Sequence[Optional[float]]],
-           arrivals: Optional[Sequence[float]],
-           fid_start: int) -> List[FlowSpec]:
+           deadlines: Sequence[float | None] | None,
+           arrivals: Sequence[float] | None,
+           fid_start: int) -> list[FlowSpec]:
     if len(pairs) != len(sizes):
         raise WorkloadError(
             f"{len(pairs)} pairs but {len(sizes)} sizes"
@@ -32,7 +32,7 @@ def _build(pairs: Sequence[tuple], sizes: Sequence[int],
     if arrivals is not None and len(arrivals) != len(pairs):
         raise WorkloadError("arrivals length mismatch")
     flows = []
-    for i, ((src, dst), size) in enumerate(zip(pairs, sizes)):
+    for i, ((src, dst), size) in enumerate(zip(pairs, sizes, strict=True)):
         flows.append(FlowSpec(
             fid=fid_start + i,
             src=src,
@@ -46,10 +46,10 @@ def _build(pairs: Sequence[tuple], sizes: Sequence[int],
 
 def aggregation_flows(senders: Sequence[str], receiver: str,
                       sizes: Sequence[int],
-                      deadlines: Optional[Sequence[Optional[float]]] = None,
-                      arrivals: Optional[Sequence[float]] = None,
+                      deadlines: Sequence[float | None] | None = None,
+                      arrivals: Sequence[float] | None = None,
                       rng: SeedLike = None,
-                      fid_start: int = 0) -> List[FlowSpec]:
+                      fid_start: int = 0) -> list[FlowSpec]:
     """Spread ``len(sizes)`` flows over ``senders`` toward ``receiver`` so
     each sender carries floor(f/n) or ceil(f/n) flows (§5.2 footnote)."""
     if not senders:
@@ -62,9 +62,9 @@ def aggregation_flows(senders: Sequence[str], receiver: str,
 
 
 def stride_flows(hosts: Sequence[str], stride: int, sizes: Sequence[int],
-                 deadlines: Optional[Sequence[Optional[float]]] = None,
-                 arrivals: Optional[Sequence[float]] = None,
-                 fid_start: int = 0) -> List[FlowSpec]:
+                 deadlines: Sequence[float | None] | None = None,
+                 arrivals: Sequence[float] | None = None,
+                 fid_start: int = 0) -> list[FlowSpec]:
     """Stride(i): host x sends to host (x + i) mod N. ``sizes`` must have
     one entry per host (or fewer, using the first hosts)."""
     n = len(hosts)
@@ -78,10 +78,10 @@ def stride_flows(hosts: Sequence[str], stride: int, sizes: Sequence[int],
 
 def staggered_flows(tree: SingleRootedTree, sizes: Sequence[int],
                     p_local: float,
-                    deadlines: Optional[Sequence[Optional[float]]] = None,
-                    arrivals: Optional[Sequence[float]] = None,
+                    deadlines: Sequence[float | None] | None = None,
+                    arrivals: Sequence[float] | None = None,
                     rng: SeedLike = None,
-                    fid_start: int = 0) -> List[FlowSpec]:
+                    fid_start: int = 0) -> list[FlowSpec]:
     """Staggered Prob(p): each flow's sender is random; its destination is
     under the same ToR with probability p, anywhere else otherwise."""
     if not 0.0 <= p_local <= 1.0:
@@ -97,10 +97,9 @@ def staggered_flows(tree: SingleRootedTree, sizes: Sequence[int],
         other_rack = [
             h for h in hosts if not tree.same_rack(h, src)
         ]
-        if same_rack and (not other_rack or gen.random() < p_local):
-            dst = same_rack[int(gen.integers(len(same_rack)))]
-        else:
-            dst = other_rack[int(gen.integers(len(other_rack)))]
+        local = same_rack and (not other_rack or gen.random() < p_local)
+        bucket = same_rack if local else other_rack
+        dst = bucket[int(gen.integers(len(bucket)))]
         pairs.append((src, dst))
     return _build(pairs, sizes, deadlines, arrivals, fid_start)
 
@@ -108,7 +107,7 @@ def staggered_flows(tree: SingleRootedTree, sizes: Sequence[int],
 def random_permutation_flows(hosts: Sequence[str], sizes: Sequence[int],
                              deadlines=None, arrivals=None,
                              rng: SeedLike = None,
-                             fid_start: int = 0) -> List[FlowSpec]:
+                             fid_start: int = 0) -> list[FlowSpec]:
     """Random permutation: a derangement of hosts; round r maps host x to
     its image in a fresh derangement, so every host sends and receives
     exactly once per round. ``len(sizes)`` must be a multiple of
@@ -129,7 +128,7 @@ def random_permutation_flows(hosts: Sequence[str], sizes: Sequence[int],
     return _build(pairs, sizes, deadlines, arrivals, fid_start)
 
 
-def _derangement(n: int, gen) -> List[int]:
+def _derangement(n: int, gen) -> list[int]:
     """Random permutation with no fixed points (rejection sampling)."""
     while True:
         perm = list(gen.permutation(n))

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import List
 
 import numpy as np
 
@@ -16,7 +15,7 @@ DEADLINE_SIZE_HI = 198 * KBYTE
 
 
 def uniform_sizes(n: int, mean_bytes: float, rng: SeedLike = None,
-                  min_bytes: int = 2 * KBYTE) -> List[int]:
+                  min_bytes: int = 2 * KBYTE) -> list[int]:
     """Uniform sizes with the given mean: U[min, 2*mean - min] (the paper
     draws sizes "uniformly from an interval with a mean of 100/1000 KByte",
     matching U[2 KB, 198 KB] for the 100 KB case)."""
@@ -30,7 +29,7 @@ def uniform_sizes(n: int, mean_bytes: float, rng: SeedLike = None,
 
 
 def pareto_sizes(n: int, mean_bytes: float, rng: SeedLike = None,
-                 tail_index: float = 1.1, min_bytes: int = 1 * KBYTE) -> List[int]:
+                 tail_index: float = 1.1, min_bytes: int = 1 * KBYTE) -> list[int]:
     """Heavy-tailed Pareto sizes with the given mean and tail index
     (Fig 10 uses tail index 1.1)."""
     if tail_index <= 1.0:

@@ -10,7 +10,7 @@ summarization a network monitor performs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from collections.abc import Iterable
 
 from repro.errors import WorkloadError
 from repro.workload.flow import FlowSpec
@@ -36,7 +36,7 @@ class TracePacket:
 
 def flows_from_trace(packets: Iterable[TracePacket],
                      idle_timeout: float = 0.1,
-                     fid_start: int = 0) -> List[FlowSpec]:
+                     fid_start: int = 0) -> list[FlowSpec]:
     """Summarize a packet trace into flows.
 
     Packets sharing (src, dst, key) belong to the same flow until a gap
@@ -45,10 +45,10 @@ def flows_from_trace(packets: Iterable[TracePacket],
     """
     ordered = sorted(packets, key=lambda p: p.time)
     # open flows: (src, dst, key) -> [arrival, last_time, bytes]
-    open_flows: Dict[Tuple[str, str, int], List[float]] = {}
-    finished: List[Tuple[float, str, str, int]] = []
+    open_flows: dict[tuple[str, str, int], list[float]] = {}
+    finished: list[tuple[float, str, str, int]] = []
 
-    def _close(state: List[float], src: str, dst: str) -> None:
+    def _close(state: list[float], src: str, dst: str) -> None:
         arrival, _, size = state
         finished.append((arrival, src, dst, int(size)))
 

@@ -12,7 +12,7 @@ band carries most of the bytes.
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 import numpy as np
 
@@ -21,7 +21,7 @@ from repro.units import KBYTE, MBYTE
 from repro.utils.rng import SeedLike, spawn_rng
 
 #: (probability, low, high) log-uniform bands
-VL2_BANDS: Tuple[Tuple[float, float, float], ...] = (
+VL2_BANDS: tuple[tuple[float, float, float], ...] = (
     (0.55, 2 * KBYTE, 10 * KBYTE),      # mice: queries, control messages
     (0.25, 10 * KBYTE, 100 * KBYTE),    # small transfers
     (0.15, 100 * KBYTE, 1 * MBYTE),     # medium transfers
@@ -33,9 +33,9 @@ SHORT_FLOW_CUTOFF = 40 * KBYTE
 
 
 def vl2_flow_sizes(n: int, rng: SeedLike = None,
-                   bands: Sequence[Tuple[float, float, float]] = VL2_BANDS,
+                   bands: Sequence[tuple[float, float, float]] = VL2_BANDS,
                    scale: float = 1.0,
-                   cap_bytes: int | None = None) -> List[int]:
+                   cap_bytes: int | None = None) -> list[int]:
     """Draw ``n`` sizes from the VL2-like mixture; ``scale`` shrinks every
     band (handy for fast tests at the same shape) and ``cap_bytes``
     truncates the elephant tail (bounds packet-level simulation cost)."""

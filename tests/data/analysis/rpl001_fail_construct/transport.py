@@ -1,0 +1,14 @@
+"""RPL001 fail fixture: raw pooled-class construction in a transport."""
+
+from repro.net.packet import Packet
+
+
+class Sender:
+    def __init__(self, pool, host):
+        self.pool = pool
+        self.host = host
+
+    def emit(self, fid, src, dst, kind, size):
+        packet = Packet(fid, src, dst, kind, size)  # bypasses the pool
+        self.host.send(packet)
+        self.pool.release(packet)

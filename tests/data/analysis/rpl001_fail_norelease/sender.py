@@ -1,0 +1,11 @@
+"""RPL001 fail fixture: acquires from the pool, never releases."""
+
+
+class Sender:
+    def __init__(self, pool, host):
+        self.pool = pool
+        self.host = host
+
+    def emit(self, fid, src, dst, kind, size):
+        packet = self.pool.acquire(fid, src, dst, kind, size)
+        self.host.send(packet)

@@ -1,0 +1,18 @@
+"""RPL001 fail fixture: a link whose documented terminal sinks were
+"cleaned up" — tail-drop and wire loss no longer release into the pool."""
+
+
+class Link:
+    def __init__(self, sim, queue, pool):
+        self.sim = sim
+        self.queue = queue
+        self.pool = pool
+        self._transmitting = False
+
+    def enqueue(self, packet):
+        if not self.queue.offer(packet):
+            return False  # dropped packet leaks: no pool.release
+        return True
+
+    def _finish(self, packet):
+        self._transmitting = False  # lost packet leaks: no pool.release

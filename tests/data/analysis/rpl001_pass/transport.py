@@ -1,0 +1,19 @@
+"""RPL001 pass fixture: pooled acquire with a terminal-sink release."""
+
+
+class Sender:
+    def __init__(self, pool, host):
+        self.pool = pool
+        self.host = host
+
+    def emit(self, fid, src, dst, kind, size):
+        packet = self.pool.acquire(fid, src, dst, kind, size)
+        self.host.send(packet)
+
+
+class Receiver:
+    def __init__(self, pool):
+        self.pool = pool
+
+    def consume(self, packet):
+        self.pool.release(packet)

@@ -1,0 +1,20 @@
+"""RPL002 pass fixture: a hot function that keeps its hands clean."""
+
+
+class Engine:
+    def __init__(self):
+        self.count = 0
+        self._cb = self.on_event
+
+    def on_event(self, item):
+        self.count += 1
+
+    # repro: hot
+    def drain(self, heap, pop):
+        cb = self._cb
+        while heap:
+            item = pop(heap)
+            cb(item)
+            self.count += 1
+            if item is None:
+                raise ValueError(f"tombstone leaked into {heap!r}")

@@ -1,0 +1,16 @@
+"""RPL003 fail fixture: typoed kind literals that only a run would catch."""
+
+from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+
+
+def make_spec():
+    return ScenarioSpec(
+        protocol="PDQ(Full)",
+        topology=TopologySpec("single_root"),
+        workload=WorkloadSpec(kind="fig4.patern"),
+        engine="packt",
+    )
+
+
+def make_panel(panel_cls, spec):
+    return panel_cls(name="p", base=spec, axes=(), reducer="tables")

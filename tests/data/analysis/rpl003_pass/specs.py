@@ -1,0 +1,16 @@
+"""RPL003 pass fixture: every kind literal resolves against a registry."""
+
+from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+
+
+def make_spec():
+    return ScenarioSpec(
+        protocol="PDQ(Full)",
+        topology=TopologySpec("single_rooted"),
+        workload=WorkloadSpec("fig4.pattern", {"pattern": "Aggregation"}),
+        engine="packet",
+    )
+
+
+def make_panel(panel_cls, spec):
+    return panel_cls(name="p", base=spec, axes=(), reducer="table")

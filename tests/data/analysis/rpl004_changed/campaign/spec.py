@@ -1,0 +1,48 @@
+"""RPL004 fixture (v2): a miniature canonicalization surface with an edited key()."""
+
+import hashlib
+import json
+
+
+def _plain(value):
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in sorted(value.items())}
+    return value
+
+
+def canonical_json(value):
+    return json.dumps(_plain(value), sort_keys=True)
+
+
+class TopologySpec:
+    def __init__(self, kind, params=None):
+        self.kind = kind
+        self.params = params or {}
+
+    def canonical(self):
+        return {"kind": self.kind, "params": _plain(self.params)}
+
+
+class WorkloadSpec:
+    def __init__(self, kind, params=None):
+        self.kind = kind
+        self.params = params or {}
+
+    def canonical(self):
+        return {"kind": self.kind, "params": _plain(self.params)}
+
+
+class ScenarioSpec:
+    def __init__(self, topology, workload):
+        self.topology = topology
+        self.workload = workload
+
+    def canonical(self):
+        return {
+            "topology": self.topology.canonical(),
+            "workload": self.workload.canonical(),
+        }
+
+    def key(self):
+        blob = canonical_json(self.canonical()) + "v2"  # changes every key
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()

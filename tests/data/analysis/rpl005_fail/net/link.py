@@ -1,0 +1,26 @@
+"""RPL005 fail fixture: the fig3c revert — delivery scheduled at
+tx-*start*, handing it an earlier heap seq than the finish event."""
+
+from heapq import heappush
+
+
+class Link:
+    def __init__(self, sim, dst):
+        self.sim = sim
+        self._finish_cb = self._finish
+        self._deliver_cb = dst.receive
+        self._arrival_delay = 1e-6
+
+    def enqueue(self, packet):
+        sim = self.sim
+        tx = 1e-6
+        heappush(sim._heap, (sim.now + tx, sim._seq,
+                             self._finish_cb, (packet,)))
+        sim._seq += 1
+        # "optimization": schedule the arrival now instead of at finish
+        heappush(sim._heap, (sim.now + tx + self._arrival_delay, sim._seq,
+                             self._deliver_cb, (packet, self)))
+        sim._seq += 1
+
+    def _finish(self, packet):
+        self._transmitting = False

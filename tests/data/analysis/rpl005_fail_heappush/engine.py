@@ -1,0 +1,9 @@
+"""RPL005 fail fixture: raw heap push on a simulator from outside the
+simulator/link modules (must go through the scheduling API)."""
+
+from heapq import heappush
+
+
+def inject(sim, callback, packet):
+    heappush(sim._heap, (sim.now, sim._seq, callback, (packet,)))
+    sim._seq += 1

@@ -1,0 +1,23 @@
+"""RPL005 pass fixture: delivery scheduled only at the tx-finish site."""
+
+from heapq import heappush
+
+
+class Link:
+    def __init__(self, sim, dst):
+        self.sim = sim
+        self._finish_cb = self._finish
+        self._deliver_cb = dst.receive
+        self._arrival_delay = 1e-6
+
+    def enqueue(self, packet):
+        sim = self.sim
+        heappush(sim._heap, (sim.now + 1e-6, sim._seq,
+                             self._finish_cb, (packet,)))
+        sim._seq += 1
+
+    def _finish(self, packet):
+        sim = self.sim
+        heappush(sim._heap, (sim.now + self._arrival_delay, sim._seq,
+                             self._deliver_cb, (packet, self)))
+        sim._seq += 1

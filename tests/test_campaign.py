@@ -254,7 +254,7 @@ class TestSerialRunner:
         warm = CampaignRunner(store=store).run(specs)
         assert warm.executed_count == 0
         assert warm.cached_count == 2
-        for a, b in zip(cold.collectors(), warm.collectors()):
+        for a, b in zip(cold.collectors(), warm.collectors(), strict=True):
             assert a.to_dict() == b.to_dict()
 
     def test_duplicate_specs_run_once(self):
@@ -316,12 +316,12 @@ class TestParallelRunner:
         store = ResultStore(tmp_path)
         cold = CampaignRunner(max_workers=2, store=store).run(specs)
         assert cold.executed_count == len(specs)
-        for a, b in zip(serial.collectors(), cold.collectors()):
+        for a, b in zip(serial.collectors(), cold.collectors(), strict=True):
             assert a.to_dict() == b.to_dict()
         warm = CampaignRunner(max_workers=2, store=store).run(specs)
         assert warm.executed_count == 0
         assert warm.cached_count == len(specs)
-        for a, b in zip(serial.collectors(), warm.collectors()):
+        for a, b in zip(serial.collectors(), warm.collectors(), strict=True):
             assert a.to_dict() == b.to_dict()
 
     @needs_fork

@@ -120,7 +120,7 @@ class TestProbesOnEngines:
                                    "queue_bytes"]
         assert link["params"]["link"] == ["tor0", "h0"]
         assert link["samples"], "link probe recorded no samples"
-        for t, util, qp, qb in link["samples"]:
+        for t, util, _qp, _qb in link["samples"]:
             assert t >= 0
             assert 0.0 <= util <= 1.0
         # three 100 KB flows fan in through tor0->h0: some sample must
@@ -132,7 +132,7 @@ class TestProbesOnEngines:
         assert rates["columns"] == ["t", "rates_bps"]
         assert rates["samples"]
         seen_fids = set()
-        for t, per_flow in rates["samples"]:
+        for _t, per_flow in rates["samples"]:
             assert isinstance(per_flow, dict)
             for fid, bps in per_flow.items():
                 assert isinstance(fid, str)
@@ -308,7 +308,7 @@ class TestCampaignTelemetry:
         serial = CampaignRunner(max_workers=0).run(specs)
         with CampaignRunner(max_workers=2) as runner:
             parallel = runner.run(specs)
-        for a, b in zip(serial.collectors(), parallel.collectors()):
+        for a, b in zip(serial.collectors(), parallel.collectors(), strict=True):
             assert a.stats == b.stats
             assert a.probes == b.probes
             assert a.trace == b.trace

@@ -68,7 +68,7 @@ class TestBasicOperation:
         completions = sorted(r.fct for r in net.metrics.all_records())
         assert completions[-1] < 45e-3
         # serial SJF spacing: each subsequent completion ~8.4ms apart
-        gaps = [b - a for a, b in zip(completions, completions[1:])]
+        gaps = [b - a for a, b in zip(completions, completions[1:], strict=False)]
         for gap in gaps:
             assert 7e-3 < gap < 10.5e-3
 

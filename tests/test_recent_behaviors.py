@@ -37,7 +37,7 @@ class TestBCubeDisjointPaths:
     def test_paths_follow_existing_links(self):
         topo = BCube(2, 3)
         for path in topo.disjoint_paths("h1", "h14"):
-            for a, b in zip(path, path[1:]):
+            for a, b in zip(path, path[1:], strict=False):
                 assert topo.graph.has_edge(a, b), (a, b)
 
     def test_partial_hamming_distance(self):

@@ -35,7 +35,7 @@ class TestRouter:
         path = net.router.flow_path(1, src.id, dst.id)
         assert path[0].src is src
         assert path[-1].dst is dst
-        for a, b in zip(path, path[1:]):
+        for a, b in zip(path, path[1:], strict=False):
             assert a.dst is b.src
 
     def test_path_is_shortest(self, fattree_net):

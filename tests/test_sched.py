@@ -155,7 +155,7 @@ class TestFig1Fluid:
         sharing (for this example)."""
         fair = fair_sharing_completions([1, 2, 3])
         sjf = serial_completions([1, 2, 3], [0, 1, 2])
-        assert all(s <= f for s, f in zip(sjf, fair))
+        assert all(s <= f for s, f in zip(sjf, fair, strict=True))
 
     def test_d3_only_edf_order_succeeds(self):
         flows = [(1.0, 1.0), (2.0, 4.0), (3.0, 6.0)]

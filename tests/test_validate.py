@@ -110,14 +110,14 @@ class TestPacketEngineThroughCampaign:
         warm = CampaignRunner(store=store).run(specs)
         assert warm.executed_count == 0
         assert warm.cached_count == 2
-        for a, b in zip(cold.collectors(), warm.collectors()):
+        for a, b in zip(cold.collectors(), warm.collectors(), strict=True):
             assert a.to_dict() == b.to_dict()
 
     def test_packet_parallel_matches_serial(self, tmp_path):
         specs = [_single_flow_spec(p) for p in ("RCP", "PDQ(Full)")]
         serial = CampaignRunner(max_workers=0).run(specs)
         parallel = CampaignRunner(max_workers=2).run(specs)
-        for a, b in zip(serial.collectors(), parallel.collectors()):
+        for a, b in zip(serial.collectors(), parallel.collectors(), strict=True):
             assert a.to_dict() == b.to_dict()
 
 
