@@ -9,6 +9,13 @@ the simulator's processed-event count, so ``events_per_sec`` is directly
 comparable across PRs). The packet engine has no frozen naive twin, so
 those rows carry no baseline/speedup/parity columns; correctness is
 covered by ``python -m repro validate`` instead.
+
+Every benchmark also reports ``flows_per_sec`` and (unless disabled with
+``--no-mem``) ``peak_mem_bytes`` from one extra run under tracemalloc —
+the untraced timing runs stay clean, since tracemalloc slows allocation
+severalfold. Streaming (open-system) scenarios pair the engine with a
+memory-bounded :class:`~repro.metrics.streaming.StreamingMetricsCollector`
+and skip the naive baseline, which only understands batch workloads.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from __future__ import annotations
 import json
 import platform
 import time
+import tracemalloc
 from dataclasses import dataclass, field
 from collections.abc import Sequence
 
@@ -25,6 +33,20 @@ from repro.flowsim.naive import NaiveFlowLevelSimulation, naive_model_for
 from repro.bench.scenarios import SCENARIOS, BenchScenario
 
 DEFAULT_REPORT = "BENCH_flowsim.json"
+
+#: report/history schema: 2 adds flows_per_sec + peak_mem_bytes columns
+#: and the streaming scenarios
+BENCH_SCHEMA = 2
+
+#: seed for the streaming collectors' reservoir RNG in bench runs
+_BENCH_METRICS_SEED = 0
+
+
+def _bench_metrics():
+    """Fresh streaming collector for an open-system bench run."""
+    from repro.metrics.streaming import streaming_collector
+
+    return streaming_collector(True, seed=_BENCH_METRICS_SEED)
 
 
 @dataclass
@@ -41,6 +63,7 @@ class BenchResult:
     engine: str = "flow"
     baseline_elapsed_s: float | None = None
     baseline_parity: bool | None = None
+    peak_mem_bytes: int | None = None
     extras: dict = field(default_factory=dict)
 
     @property
@@ -51,6 +74,10 @@ class BenchResult:
     def allocate_calls_per_sec(self) -> float:
         return (self.recomputations / self.elapsed_s
                 if self.elapsed_s > 0 else 0.0)
+
+    @property
+    def flows_per_sec(self) -> float:
+        return self.flows / self.elapsed_s if self.elapsed_s > 0 else 0.0
 
     @property
     def speedup(self) -> float | None:
@@ -70,11 +97,13 @@ class BenchResult:
             "events_per_sec": self.events_per_sec,
             "allocate_calls_per_sec": self.allocate_calls_per_sec,
             "flows": self.flows,
+            "flows_per_sec": self.flows_per_sec,
             "completed": self.completed,
             "terminated": self.terminated,
             "baseline_elapsed_s": self.baseline_elapsed_s,
             "speedup": self.speedup,
             "baseline_parity": self.baseline_parity,
+            "peak_mem_bytes": self.peak_mem_bytes,
             **({"extras": self.extras} if self.extras else {}),
         }
 
@@ -84,41 +113,86 @@ def _timed_run(engine_cls, scenario: BenchScenario, quick: bool, repeat: int,
     """Best-of-``repeat`` wall time; returns (elapsed, sim, metrics)."""
     best = None
     for _ in range(max(1, repeat)):
-        topology, model, flows, sim_deadline = scenario.build(quick)
-        if model_transform is not None:
-            model = model_transform(model)
-        sim = engine_cls(topology, model)
-        started = time.perf_counter()
-        metrics = sim.run(flows, deadline=sim_deadline)
-        elapsed = time.perf_counter() - started
+        elapsed, sim, metrics = _one_run(engine_cls, scenario, quick,
+                                         model_transform)
         if best is None or elapsed < best[0]:
             best = (elapsed, sim, metrics)
     return best
 
 
+def _one_run(engine_cls, scenario: BenchScenario, quick: bool,
+             model_transform=None):
+    topology, model, flows, sim_deadline = scenario.build(quick)
+    if model_transform is not None:
+        model = model_transform(model)
+    if scenario.streaming:
+        sim = engine_cls(topology, model, metrics=_bench_metrics())
+    else:
+        sim = engine_cls(topology, model)
+    started = time.perf_counter()
+    metrics = sim.run(flows, deadline=sim_deadline)
+    elapsed = time.perf_counter() - started
+    return elapsed, sim, metrics
+
+
 def _timed_packet_run(scenario: BenchScenario, quick: bool, repeat: int):
     """Best-of-``repeat`` wall time for a packet-level scenario; returns
     (elapsed, simulator, metrics)."""
-    from repro.campaign.engines import make_stack
-    from repro.net.network import Network
-
     best = None
     for _ in range(max(1, repeat)):
-        topology, protocol, flows, sim_deadline = scenario.build(quick)
-        net = Network(topology, make_stack(protocol))
-        started = time.perf_counter()
-        net.launch(flows)
-        net.run_until_quiet(deadline=sim_deadline)
-        elapsed = time.perf_counter() - started
+        elapsed, sim, metrics = _one_packet_run(scenario, quick)
         if best is None or elapsed < best[0]:
-            best = (elapsed, net.sim, net.metrics)
+            best = (elapsed, sim, metrics)
     return best
 
 
-def run_packet_scenario(scenario: BenchScenario, quick: bool = False,
-                        repeat: int = 1) -> BenchResult:
-    elapsed, sim, metrics = _timed_packet_run(scenario, quick, repeat)
+def _one_packet_run(scenario: BenchScenario, quick: bool):
+    from repro.campaign.engines import make_stack
+    from repro.net.network import Network
+
+    topology, protocol, flows, sim_deadline = scenario.build(quick)
+    metrics = _bench_metrics() if scenario.streaming else None
+    net = Network(topology, make_stack(protocol), metrics=metrics)
+    started = time.perf_counter()
+    net.launch(flows)
+    net.run_until_quiet(deadline=sim_deadline)
+    elapsed = time.perf_counter() - started
+    return elapsed, net.sim, net.metrics
+
+
+def _peak_memory(run_once) -> int:
+    """Peak traced allocation of one full build+run pass.
+
+    A separate pass, not the timed one: tracemalloc slows allocation
+    severalfold, so folding it into the timing runs would poison every
+    events_per_sec trajectory in the history file.
+    """
+    tracemalloc.start()
+    try:
+        run_once()
+        return tracemalloc.get_traced_memory()[1]
+    finally:
+        tracemalloc.stop()
+
+
+def _flow_counts(metrics) -> tuple[int, int, int]:
+    """(flows, completed, terminated) for either collector flavor."""
+    n_completed = getattr(metrics, "n_completed", None)
+    if n_completed is not None:
+        return len(metrics), n_completed, metrics.n_terminated
     records = metrics.all_records()
+    return (len(records),
+            sum(1 for r in records if r.completed),
+            sum(1 for r in records if r.terminated))
+
+
+def run_packet_scenario(scenario: BenchScenario, quick: bool = False,
+                        repeat: int = 1,
+                        measure_memory: bool = True) -> BenchResult:
+    elapsed, sim, metrics = _timed_packet_run(scenario, quick, repeat)
+    flows, completed, terminated = _flow_counts(metrics)
+    peak = (_peak_memory(lambda: _one_packet_run(scenario, quick))
+            if measure_memory else None)
     return BenchResult(
         name=scenario.name,
         description=scenario.description,
@@ -126,10 +200,11 @@ def run_packet_scenario(scenario: BenchScenario, quick: bool = False,
         elapsed_s=elapsed,
         iterations=sim.processed_events,
         recomputations=0,
-        flows=len(records),
-        completed=sum(1 for r in records if r.completed),
-        terminated=sum(1 for r in records if r.terminated),
+        flows=flows,
+        completed=completed,
+        terminated=terminated,
         engine="packet",
+        peak_mem_bytes=peak,
         # heap hygiene: how tombstone-laden the event heap ended up and
         # how often bounded compaction had to rebuild it
         extras={
@@ -141,13 +216,18 @@ def run_packet_scenario(scenario: BenchScenario, quick: bool = False,
 
 
 def run_scenario(scenario: BenchScenario, quick: bool = False,
-                 baseline: bool = True, repeat: int = 1) -> BenchResult:
+                 baseline: bool = True, repeat: int = 1,
+                 measure_memory: bool = True) -> BenchResult:
     if scenario.engine == "packet":
-        return run_packet_scenario(scenario, quick=quick, repeat=repeat)
+        return run_packet_scenario(scenario, quick=quick, repeat=repeat,
+                                   measure_memory=measure_memory)
     elapsed, sim, metrics = _timed_run(
         FlowLevelSimulation, scenario, quick, repeat
     )
-    records = metrics.all_records()
+    flows, completed, terminated = _flow_counts(metrics)
+    peak = (_peak_memory(
+        lambda: _one_run(FlowLevelSimulation, scenario, quick))
+        if measure_memory else None)
     result = BenchResult(
         name=scenario.name,
         description=scenario.description,
@@ -155,11 +235,12 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
         elapsed_s=elapsed,
         iterations=sim.iterations,
         recomputations=sim.recomputations,
-        flows=len(records),
-        completed=sum(1 for r in records if r.completed),
-        terminated=sum(1 for r in records if r.terminated),
+        flows=flows,
+        completed=completed,
+        terminated=terminated,
+        peak_mem_bytes=peak,
     )
-    if baseline:
+    if baseline and not scenario.streaming:
         # the baseline pairs the frozen engine with the frozen models, so
         # speedups measure the whole pre-PR hot path, not just the engine
         base_elapsed, _, base_metrics = _timed_run(
@@ -179,6 +260,7 @@ def run_scenario(scenario: BenchScenario, quick: bool = False,
 def run_bench(only: Sequence[str] | None = None, quick: bool = False,
               baseline: bool = True, repeat: int = 1,
               scenarios: Sequence[BenchScenario] | None = None,
+              measure_memory: bool = True,
               ) -> list[BenchResult]:
     pool = list(scenarios if scenarios is not None else SCENARIOS)
     if only:
@@ -192,7 +274,8 @@ def run_bench(only: Sequence[str] | None = None, quick: bool = False,
             )
         pool = [s for s in pool if s.name in wanted]
     return [
-        run_scenario(s, quick=quick, baseline=baseline, repeat=repeat)
+        run_scenario(s, quick=quick, baseline=baseline, repeat=repeat,
+                     measure_memory=measure_memory)
         for s in pool
     ]
 
@@ -201,7 +284,7 @@ def write_report(results: Sequence[BenchResult], path: str = DEFAULT_REPORT,
                  quick: bool = False) -> dict:
     """Write ``BENCH_flowsim.json`` and return the report dict."""
     report = {
-        "schema": 1,
+        "schema": BENCH_SCHEMA,
         "suite": "flowsim",
         "quick": quick,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -229,7 +312,7 @@ def write_history(results: Sequence[BenchResult],
     wall times. Returns the row appended.
     """
     row = {
-        "schema": 1,
+        "schema": BENCH_SCHEMA,
         "suite": "flowsim",
         "quick": quick,
         "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
@@ -239,6 +322,9 @@ def write_history(results: Sequence[BenchResult],
                 "engine": r.engine,
                 "elapsed_s": round(r.elapsed_s, 6),
                 "events_per_sec": round(r.events_per_sec, 1),
+                "flows_per_sec": round(r.flows_per_sec, 1),
+                **({"peak_mem_bytes": r.peak_mem_bytes}
+                   if r.peak_mem_bytes is not None else {}),
                 **({"speedup": round(r.speedup, 3)}
                    if r.speedup is not None else {}),
             }

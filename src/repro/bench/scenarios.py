@@ -43,6 +43,10 @@ class BenchScenario:
     build: Callable[[bool], Built]  # build(quick) -> Built
     params: Callable[[bool], dict]  # the knobs that sized the run
     engine: str = "flow"            # "flow" | "packet"
+    #: open-system cell: ``build`` returns a FlowStream instead of a flow
+    #: list, the engine gets a memory-bounded streaming collector, and the
+    #: naive baseline (which only understands batches) is skipped
+    streaming: bool = False
 
 
 def _single_bottleneck(quick: bool) -> Built:
@@ -194,6 +198,66 @@ def _packet_vl2_params(quick: bool) -> dict:
             "protocol": "RCP", "engine": "packet"}
 
 
+#: simulated arrival rate of the stream-vl2 cells (flows per second);
+#: sized so flow count is set by stream duration alone
+STREAM_VL2_RATE = 100_000.0
+
+
+def build_stream_vl2(n_flows: int, seed: int = 1):
+    """Open-system VL2-mix stream sized to ``n_flows`` expected arrivals.
+
+    Public so CI's memory-budget smoke and the memory-boundedness tests
+    can build the *same* cell at other sizes (10k vs 100k) and compare
+    peak tracemalloc. Sizes are scaled down so per-flow service time stays
+    well under the mean interarrival gap: the live flow set — and with it
+    peak memory — is O(concurrency), independent of ``n_flows``.
+    """
+    from repro.workload.open_system import open_system
+
+    topo = SingleRootedTree()
+    stream = open_system(topo, seed, duration=n_flows / STREAM_VL2_RATE,
+                         rate_per_sec=STREAM_VL2_RATE, size_scale=0.005)
+    return topo, stream
+
+
+def _stream_vl2(quick: bool) -> Built:
+    """Fluid million-flow open-system cell: RCP on the single-rooted
+    tree under a scaled VL2 mix at 100k arrivals per simulated second —
+    the constant-memory streaming hot path (admission, bounded path
+    caches, streaming collector) end to end."""
+    n_flows = 100_000 if quick else 1_000_000
+    topo, stream = build_stream_vl2(n_flows)
+    return (topo, RcpModel(), stream, stream.horizon)
+
+
+def _stream_vl2_params(quick: bool) -> dict:
+    return {"n_flows": 100_000 if quick else 1_000_000,
+            "rate_per_sec": STREAM_VL2_RATE, "size_scale": 0.005,
+            "protocol": "RCP", "workload": "open_system"}
+
+
+def _stream_vl2_packet(quick: bool) -> Built:
+    """Packet-level twin of the stream-vl2 cell, sized to the
+    discrete-event budget (every packet is simulated, so flow counts sit
+    ~100x under the fluid cell's); same admission path, same streaming
+    collector, RCP's stateless switches keep per-flow switch state out
+    of the picture."""
+    n_flows = 1_000 if quick else 10_000
+    from repro.workload.open_system import open_system
+
+    topo = SingleRootedTree()
+    stream = open_system(topo, 1, duration=n_flows / STREAM_VL2_RATE,
+                         rate_per_sec=STREAM_VL2_RATE, size_scale=0.005)
+    return (topo, "RCP", stream, stream.horizon)
+
+
+def _stream_vl2_packet_params(quick: bool) -> dict:
+    return {"n_flows": 1_000 if quick else 10_000,
+            "rate_per_sec": STREAM_VL2_RATE, "size_scale": 0.005,
+            "protocol": "RCP", "workload": "open_system",
+            "engine": "packet"}
+
+
 SCENARIOS: list[BenchScenario] = [
     BenchScenario(
         name="single-bottleneck",
@@ -239,5 +303,20 @@ SCENARIOS: list[BenchScenario] = [
         build=_packet_incast,
         params=_packet_incast_params,
         engine="packet",
+    ),
+    BenchScenario(
+        name="stream-vl2",
+        description="open-system VL2 stream, fluid RCP (constant-memory path)",
+        build=_stream_vl2,
+        params=_stream_vl2_params,
+        streaming=True,
+    ),
+    BenchScenario(
+        name="stream-vl2-packet",
+        description="open-system VL2 stream at the packet level (RCP)",
+        build=_stream_vl2_packet,
+        params=_stream_vl2_packet_params,
+        engine="packet",
+        streaming=True,
     ),
 ]

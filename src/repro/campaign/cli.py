@@ -21,7 +21,8 @@ Subcommands::
     repro ls [--cache DIR]
         list the cached scenario results.
 
-    repro bench [--quick] [--only NAME ...] [--no-baseline] [--repeat N]
+    repro bench [--quick] [--only NAME ...] [--no-baseline] [--no-mem]
+                [--repeat N]
                 [--profile [--profile-top N] [--profile-out PATH]]
         Time the simulation engines on canonical scenarios (flow-level
         cells against the frozen naive baseline, packet-level cells for
@@ -377,7 +378,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             profiler = cProfile.Profile()
             profiler.enable()
         got = run_bench(only=[scenario.name], quick=args.quick,
-                        baseline=not args.no_baseline, repeat=args.repeat)
+                        baseline=not args.no_baseline, repeat=args.repeat,
+                        measure_memory=not args.no_mem)
         if args.profile:
             profiler.disable()
             _dump_profile(profiler, scenario.name, args.profile_top,
@@ -391,13 +393,16 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     rows = [
         [r.name, r.engine, r.flows, f"{r.elapsed_s:.3f}",
          f"{r.events_per_sec:,.0f}", f"{r.allocate_calls_per_sec:,.0f}",
+         f"{r.flows_per_sec:,.0f}",
+         (f"{r.peak_mem_bytes / 1e6:.1f}"
+          if r.peak_mem_bytes is not None else "-"),
          f"{r.speedup:.2f}x" if r.speedup else "-",
          {True: "ok", False: "FAIL", None: "-"}[r.baseline_parity]]
         for r in results
     ]
     print(format_table(
         ["scenario", "engine", "flows", "wall_s", "events/s", "alloc/s",
-         "speedup", "parity"],
+         "flows/s", "peak_MB", "speedup", "parity"],
         rows,
         title=f"engine bench ({'quick' if args.quick else 'full'} scale)",
     ))
@@ -614,6 +619,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run only the named benchmark scenario(s)")
     bench.add_argument("--no-baseline", action="store_true",
                        help="skip the naive-engine baseline/parity run")
+    bench.add_argument("--no-mem", action="store_true",
+                       help="skip the peak-memory (tracemalloc) pass")
     bench.add_argument("--repeat", type=int, default=1,
                        help="best-of-N wall times (default 1)")
     bench.add_argument("--out", default="BENCH_flowsim.json",

@@ -138,6 +138,7 @@ def run_packet_level(
     n_subflows: int = 3,
     probes: Mapping[str, dict] | None = None,
     trace: bool = False,
+    metrics: "MetricsCollector | None" = None,
     **pdq_overrides,
 ) -> "MetricsCollector":
     """Run one packet-level scenario and return its metrics.
@@ -145,7 +146,8 @@ def run_packet_level(
     ``loss`` is (node_a, node_b, rate, seed) for Fig 9's random wire loss.
     ``probes``/``trace`` are the telemetry options (repro.obs); run
     counters are always harvested into ``collector.stats`` — reading a
-    handful of ints after the run is free.
+    handful of ints after the run is free. ``metrics`` substitutes a
+    pre-built collector (the streaming-metrics mode rides in here).
     """
     from repro.net.network import Network
     from repro.obs import (
@@ -156,7 +158,7 @@ def run_packet_level(
     )
 
     stack = make_stack(protocol, n_subflows=n_subflows, **pdq_overrides)
-    net = Network(topology, stack, config=network_config)
+    net = Network(topology, stack, config=network_config, metrics=metrics)
     if loss is not None:
         a, b, rate, seed = loss
         net.set_loss(a, b, rate, seed=seed)
@@ -181,13 +183,15 @@ def run_flow_level(
     sim_deadline: float = 10.0,
     probes: Mapping[str, dict] | None = None,
     trace: bool = False,
+    metrics: "MetricsCollector | None" = None,
     **pdq_overrides,
 ) -> "MetricsCollector":
     """Run one flow-level (fluid) scenario and return its metrics.
 
     Telemetry mirrors :func:`run_packet_level`: same option names, same
     ``collector.stats`` / ``collector.probes`` / ``collector.trace``
-    shapes, so studies switch engines without touching their specs.
+    shapes (plus the same ``metrics`` injection point), so studies switch
+    engines without touching their specs.
     """
     from repro.flowsim.engine import FlowLevelSimulation
     from repro.obs import (
@@ -199,7 +203,8 @@ def run_flow_level(
 
     model = make_model(protocol, **pdq_overrides)
     header = {"RCP": 44, "D3": 52}.get(protocol, 56)
-    sim = FlowLevelSimulation(topology, model, header_bytes=header)
+    sim = FlowLevelSimulation(topology, model, header_bytes=header,
+                              metrics=metrics)
     tracer = FlowTracer() if trace else None
     sim.metrics.tracer = tracer
     attached = attach_fluid_probes(sim, probes) if probes else []
@@ -215,13 +220,33 @@ def run_flow_level(
 # -- engine adapters ----------------------------------------------------------------
 
 
+def _pop_metrics(spec: "ScenarioSpec",
+                 options: Mapping[str, Any]) -> tuple[dict, Any]:
+    """Split the ``streaming_metrics`` option off and build its collector.
+
+    The option is additive: specs that omit it hash and run exactly as
+    before. When present (``true`` or an options dict), the adapter
+    injects a :class:`~repro.metrics.streaming.StreamingMetricsCollector`
+    seeded from the spec so reservoir sampling is reproducible.
+    """
+    options = dict(options)
+    streaming = options.pop("streaming_metrics", None)
+    if not streaming:
+        return options, None
+    from repro.metrics.streaming import streaming_collector
+
+    return options, streaming_collector(streaming, seed=spec.seed)
+
+
 @register_engine("packet")
 def _packet_adapter(spec: "ScenarioSpec", topology: "Topology",
                     flows: list["FlowSpec"],
                     options: Mapping[str, Any]) -> "MetricsCollector":
     """ns-2-style packet engine: Network + transport endpoints + switches."""
+    options, metrics = _pop_metrics(spec, options)
     return run_packet_level(
-        topology, spec.protocol, flows, loss=spec.loss, **options
+        topology, spec.protocol, flows, loss=spec.loss, metrics=metrics,
+        **options
     )
 
 
@@ -230,7 +255,10 @@ def _flow_adapter(spec: "ScenarioSpec", topology: "Topology",
                   flows: list["FlowSpec"],
                   options: Mapping[str, Any]) -> "MetricsCollector":
     """Fluid flow-level engine: rate model + event-driven allocator."""
-    return run_flow_level(topology, spec.protocol, flows, **options)
+    options, metrics = _pop_metrics(spec, options)
+    return run_flow_level(
+        topology, spec.protocol, flows, metrics=metrics, **options
+    )
 
 
 def execute_spec(spec: "ScenarioSpec") -> "MetricsCollector":
@@ -240,7 +268,11 @@ def execute_spec(spec: "ScenarioSpec") -> "MetricsCollector":
     the topology and workload from their registered kinds, then hands
     them to the spec's engine adapter. Keyword options ride in
     ``spec.options`` (``n_subflows`` plus any PDQ config overrides); a
-    spec without ``sim_deadline`` runs at the engine's default horizon.
+    spec without ``sim_deadline`` runs at the engine's default horizon —
+    except open-system workloads, which carry their own simulated-time
+    horizon (arrival window plus drain) that becomes the deadline, so
+    the campaign runner's wall-clock budget never races an engine
+    default that a long stream would overrun.
     """
     adapter = _ENGINES.get(spec.engine)
     if adapter is None:
@@ -252,4 +284,8 @@ def execute_spec(spec: "ScenarioSpec") -> "MetricsCollector":
     options = dict(spec.options)
     if spec.sim_deadline is not None:
         options["sim_deadline"] = spec.sim_deadline
+    else:
+        horizon = getattr(flows, "horizon", None)
+        if horizon is not None:
+            options["sim_deadline"] = horizon
     return adapter(spec, topology, flows, options)

@@ -175,3 +175,12 @@ def _single_flow_workload(topology, seed: int, src: str, dst: str,
 
     return [FlowSpec(fid=0, src=src, dst=dst, size_bytes=size_bytes,
                      arrival=arrival, deadline=deadline)]
+
+
+@register_workload("open_system")
+def _open_system_workload(topology, seed: int, **params) -> Any:
+    """Streaming arrival process (returns a FlowStream, not a list);
+    see :func:`repro.workload.open_system.open_system` for the knobs."""
+    from repro.workload.open_system import open_system
+
+    return open_system(topology, seed, **params)

@@ -71,7 +71,22 @@ def _completion_fraction(collector: MetricsCollector) -> float:
     total = len(collector)
     if total == 0:
         return 1.0
-    return len(collector.completed_records()) / total
+    return collector.completed_count() / total
+
+
+@register_metric("p50_fct")
+def _p50_fct(collector: MetricsCollector) -> float:
+    return collector.fct_percentile(50.0)
+
+
+@register_metric("p95_fct")
+def _p95_fct(collector: MetricsCollector) -> float:
+    return collector.fct_percentile(95.0)
+
+
+@register_metric("p99_fct")
+def _p99_fct(collector: MetricsCollector) -> float:
+    return collector.fct_percentile(99.0)
 
 
 # -- reducer registry ---------------------------------------------------------------

@@ -32,6 +32,7 @@ from repro.metrics.collector import MetricsCollector
 from repro.topology.base import Topology
 from repro.units import USEC, tx_time
 from repro.workload.flow import FlowSpec
+from repro.workload.stream import FlowStream
 
 #: per-hop one-way latency components used for the RTT estimate, matching
 #: the packet-level defaults (processing dominates)
@@ -62,7 +63,8 @@ class FlowLevelSimulation:
         self.payload = mtu - header_bytes
         self.init_rtts = init_rtts
         self.refresh_interval = refresh_interval
-        self.metrics = metrics or MetricsCollector()
+        # explicit None test: an injected-but-empty collector is falsy
+        self.metrics = MetricsCollector() if metrics is None else metrics
         self.router = GraphRouter(topology)
         #: flat list indexed by dense directed-edge id (FlowProgress.path
         #: holds the matching ids); rate models copy and index it directly
@@ -72,6 +74,8 @@ class FlowLevelSimulation:
         self.iterations = 0      # main-loop passes (event boundaries)
         self.pauses = 0          # flows preempted (rate driven to zero)
         self.resumes = 0         # paused flows granted rate again
+        self.stream_batches = 0  # non-empty streaming admission pulls
+        self._stream_admitted = 0  # flows admitted from a FlowStream
         #: per-event-boundary samplers (repro.obs.probes); empty unless a
         #: scenario requested probes, so the default run pays one truth
         #: test per iteration
@@ -107,13 +111,19 @@ class FlowLevelSimulation:
 
     # -- main loop -------------------------------------------------------------------
 
-    def run(self, flows: Sequence[FlowSpec], deadline: float = 60.0,
+    def run(self, flows: Sequence[FlowSpec] | FlowStream,
+            deadline: float = 60.0,
             max_recomputations: int = 2_000_000) -> MetricsCollector:
         begin_run = getattr(self.model, "begin_run", None)
         if begin_run is not None:
             # the engine honors the incremental-sort contract: the active
             # list only gains flows at its tail and sheds departed flows
             begin_run()
+        if isinstance(flows, FlowStream):
+            # open-system runs admit incrementally; the closed-batch path
+            # below stays textually untouched so its float trajectories —
+            # pinned bit-identical against the naive engine — cannot move
+            return self._run_stream(flows, deadline, max_recomputations)
         pending = sorted(
             (self._make_progress(self.metrics.register(s).spec) for s in flows),
             key=lambda f: f.spec.arrival,
@@ -181,6 +191,126 @@ class FlowLevelSimulation:
                 for sampler in self.samplers:
                     sampler.on_step(self, active)
         return self.metrics
+
+    # -- streaming (open-system) main loop ---------------------------------------------
+
+    def _run_stream(self, stream: FlowStream, deadline: float,
+                    max_recomputations: int) -> MetricsCollector:
+        """The main loop for a lazy arrival process (``begin_run`` was
+        already called by :meth:`run`).
+
+        Identical event mechanics to the closed loop, plus an admission
+        step each pass: flows are pulled from the stream in
+        ``refresh_interval``-sized windows, and the advance horizon never
+        crosses the next unadmitted arrival, so an admitted flow always
+        enters the waiting heap before simulated time reaches it. Memory
+        is O(concurrent flows): the engine never sees the whole workload.
+        Flows arriving after ``deadline`` are never admitted (the closed
+        path registers them as unfinished records instead).
+        """
+        waiting: list[tuple[float, int, FlowProgress]] = []
+        active: list[FlowProgress] = []
+        eta_heap: list[tuple[float, int, int, FlowProgress]] = []
+        deadline_heap: list[tuple[float, int, FlowProgress]] = []
+
+        while waiting or active or not stream.exhausted:
+            if self.now > deadline:
+                break
+            self.iterations += 1
+            if not stream.exhausted:
+                if not active and not waiting:
+                    # idle gap: jump straight to the next arrival
+                    next_arrival = stream.peek_arrival()
+                    if next_arrival is None:
+                        continue
+                    if next_arrival > deadline:
+                        break
+                    if next_arrival > self.now:
+                        self.now = next_arrival
+                self._admit_from_stream(stream, waiting)
+            if not active and waiting:
+                # jump to the next transfer start, but never past an
+                # unadmitted arrival (its transfer start could precede it)
+                jump = waiting[0][0]
+                next_arrival = stream.peek_arrival()
+                if next_arrival is not None and next_arrival < jump:
+                    jump = next_arrival
+                if jump > self.now:
+                    self.now = jump
+                if not stream.exhausted:
+                    self._admit_from_stream(stream, waiting)
+            self._promote(waiting, active, deadline_heap)
+            if not active:
+                continue
+
+            rates = self.model.allocate(active, self.capacities, self.now)
+            self.recomputations += 1
+            # open-ended runs admit without bound, so the convergence
+            # budget tracks admissions instead of staying a flat constant
+            budget = 64 * self._stream_admitted + 1024
+            if budget < max_recomputations:
+                budget = max_recomputations
+            if self.recomputations > budget:
+                raise ExperimentError(
+                    "flow-level simulation did not converge "
+                    f"({budget} recomputations)"
+                )
+            sending = self._apply_rates(active, rates, eta_heap)
+            if len(eta_heap) > 64 and len(eta_heap) > 4 * len(active):
+                eta_heap = [
+                    entry for entry in eta_heap
+                    if not entry[3].departed
+                    and entry[1] == entry[3].eta_version
+                ]
+                heapq.heapify(eta_heap)
+            if self._terminate_flows(active, rates):
+                continue  # rates changed; recompute immediately
+
+            horizon = self._next_event_time(waiting, eta_heap, deadline_heap,
+                                            deadline)
+            if not stream.exhausted:
+                next_arrival = stream.peek_arrival()
+                if next_arrival is not None and next_arrival < horizon:
+                    horizon = next_arrival
+            dt = horizon - self.now
+            if dt < 0:
+                raise ExperimentError("fluid engine time went backwards")
+            for flow in active:
+                if flow.rate > 0:
+                    flow.remaining_wire = max(
+                        0.0, flow.remaining_wire - flow.rate * dt / 8.0
+                    )
+                else:
+                    flow.waited += dt
+            self.now = horizon
+            self._complete_finished(sending, active)
+            if self.samplers:
+                for sampler in self.samplers:
+                    sampler.on_step(self, active)
+        return self.metrics
+
+    # repro: hot
+    def _admit_from_stream(self, stream: FlowStream,
+                           waiting: list) -> None:
+        """Admission step: pull every arrival inside the next refresh
+        window into the waiting heap (register + on_start, exactly what
+        the closed path does up front). Runs once per main-loop pass."""
+        batch = stream.take_until(self.now + self.refresh_interval)
+        if not batch:
+            return
+        self.stream_batches += 1
+        register = self.metrics.register
+        on_start = self.metrics.on_start
+        make_progress = self._make_progress
+        push = heapq.heappush
+        seq = self._stream_admitted
+        for spec in batch:
+            record = register(spec)
+            on_start(spec.fid, spec.arrival)
+            flow = make_progress(record.spec)
+            push(waiting, (flow.transfer_start, seq, flow))
+            seq += 1
+        self._stream_admitted = seq
 
     # -- helpers ---------------------------------------------------------------------------
 

@@ -17,6 +17,13 @@ from repro.topology.base import Topology
 #: a directed edge between named nodes
 Edge = tuple[str, str]
 
+#: pinned-path cache bound: each flow asks for its path once, so the
+#: cache only earns hits on re-launched fids; past this many entries
+#: (an open-system stream of fresh fids) it is cleared rather than
+#: allowed to grow O(flows) — kept small so the cache, not the live
+#: flow set, never dominates a streaming run's peak memory
+PATH_CACHE_LIMIT = 4096
+
 
 class GraphRouter:
     """ECMP path pinning on a topology graph (no Link objects needed)."""
@@ -49,6 +56,8 @@ class GraphRouter:
         path = self._path_cache.get(key)
         if path is None:
             path = self._compute(fid, src, dst)
+            if len(self._path_cache) >= PATH_CACHE_LIMIT:
+                self._path_cache.clear()
             self._path_cache[key] = path
         return path
 
@@ -64,6 +73,8 @@ class GraphRouter:
         if ids is None:
             index = self.edge_index
             ids = tuple(index[edge] for edge in self.flow_path(fid, src, dst))
+            if len(self._path_ids_cache) >= PATH_CACHE_LIMIT:
+                self._path_ids_cache.clear()
             self._path_ids_cache[key] = ids
         return ids
 

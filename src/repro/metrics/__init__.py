@@ -8,6 +8,16 @@ and flow completion time -- directly comparable across levels.
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.records import FlowRecord
+from repro.metrics.streaming import (
+    StreamingMetricsCollector,
+    streaming_collector,
+)
 from repro.metrics.summary import SummaryStats
 
-__all__ = ["MetricsCollector", "FlowRecord", "SummaryStats"]
+__all__ = [
+    "MetricsCollector",
+    "FlowRecord",
+    "SummaryStats",
+    "StreamingMetricsCollector",
+    "streaming_collector",
+]

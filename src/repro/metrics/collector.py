@@ -131,6 +131,13 @@ class MetricsCollector:
 
     @classmethod
     def from_dict(cls, data: dict) -> "MetricsCollector":
+        if "streaming" in data and cls is MetricsCollector:
+            # payloads written by the memory-bounded streaming mode carry
+            # their accumulators in a "streaming" block; restore through
+            # the subclass so paper-metric queries read the accumulators
+            from repro.metrics.streaming import StreamingMetricsCollector
+
+            return StreamingMetricsCollector.from_dict(data)
         collector = cls()
         for item in data["records"]:
             record = FlowRecord.from_dict(item)
@@ -157,6 +164,12 @@ class MetricsCollector:
 
     def completed_records(self) -> list[FlowRecord]:
         return [r for r in self.records.values() if r.completed]
+
+    def completed_count(self) -> int:
+        """Number of completed flows; the streaming collector answers
+        from its accumulator, where ``completed_records()`` would only
+        see the reservoir sample."""
+        return len(self.completed_records())
 
     def deadline_records(self) -> list[FlowRecord]:
         return [r for r in self.records.values() if r.spec.has_deadline]
@@ -190,6 +203,16 @@ class MetricsCollector:
         if not fcts:
             raise ExperimentError("no completed flows")
         return max(fcts)
+
+    def fct_percentile(self, q: float) -> float:
+        """Exact FCT percentile over completed flows (``q`` in [0, 100]);
+        the streaming collector answers the same query from its sketch."""
+        from repro.utils.stats import percentile
+
+        fcts = [r.fct for r in self.records.values() if r.completed]
+        if not fcts:
+            raise ExperimentError("no completed flows")
+        return percentile(fcts, q)
 
     def fct_by_fid(self) -> dict[int, float]:
         return {

@@ -23,6 +23,11 @@ class SummaryStats:
 
     @classmethod
     def from_collector(cls, collector: MetricsCollector) -> "SummaryStats":
+        summarize = getattr(collector, "summarize", None)
+        if summarize is not None:
+            # streaming collectors evicted their records; their summary
+            # comes from the run-long accumulators instead
+            return summarize()
         records = collector.all_records()
         fcts: list[float] = [r.fct for r in records if r.completed]
         has_deadlines = any(r.spec.has_deadline for r in records)

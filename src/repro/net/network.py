@@ -19,9 +19,10 @@ from repro.net.node import Host, Node, Switch
 from repro.net.pool import PacketPool
 from repro.net.routing import Router
 from repro.topology.base import Topology
-from repro.units import MBYTE, USEC, tx_time
+from repro.units import MBYTE, MSEC, USEC, tx_time
 from repro.utils.rng import spawn_rng
 from repro.workload.flow import FlowSpec
+from repro.workload.stream import FlowStream
 
 
 @dataclass(frozen=True)
@@ -51,7 +52,8 @@ class Network:
         self.stack = stack
         self.sim = sim or Simulator()
         self.config = config or NetworkConfig()
-        self.metrics = metrics or MetricsCollector()
+        # explicit None test: an injected-but-empty collector is falsy
+        self.metrics = MetricsCollector() if metrics is None else metrics
         #: shared packet/header recycler; transports acquire, terminal
         #: sinks (consuming host, tail-drop, wire loss) release
         self.pool = PacketPool(preallocate=32)
@@ -59,6 +61,13 @@ class Network:
         #: preemption counters (senders report pause/resume transitions)
         self.flow_pauses = 0
         self.flow_resumes = 0
+
+        #: open-system streaming state: admission window width, streams
+        #: still yielding flows, and a count of non-empty admission pulls
+        self.stream_window = 1 * MSEC
+        self.stream_batches = 0
+        self._pending_streams = 0
+        self._quiet_active = False
 
         self.nodes: list[Node] = []
         self._by_name: dict[str, Node] = {}
@@ -168,12 +177,18 @@ class Network:
 
     # -- flow launching ---------------------------------------------------------------------
 
-    def launch(self, flows: Iterable[FlowSpec]) -> None:
+    def launch(self, flows: Iterable[FlowSpec] | FlowStream) -> None:
         """Register flows and schedule their starts.
 
+        A :class:`FlowStream` is admitted incrementally (see
+        :meth:`_admit_stream`); a plain iterable is registered up front.
         Arrivals are batched: one dispatcher event per distinct arrival
         time, not one event per flow. Flows sharing a timestamp start in
         launch order, exactly as per-flow events would have fired."""
+        if isinstance(flows, FlowStream):
+            self._pending_streams += 1
+            self._admit_stream(flows)
+            return
         batches: dict[float, list] = {}
         for spec in flows:
             record = self.metrics.register(spec)
@@ -187,6 +202,38 @@ class Network:
     def _start_flow_batch(self, batch) -> None:
         for spec, record in batch:
             self._start_flow(spec, record)
+
+    # repro: hot
+    def _admit_stream(self, stream: FlowStream) -> None:
+        """Admission step for an open-system stream (vLLM-scheduler
+        style): register and schedule every flow arriving inside the next
+        ``stream_window``, then re-arm at the window end — or directly at
+        the next arrival when the stream goes quiet, so idle stretches
+        cost zero events. Memory stays O(flows in the window), not
+        O(flows in the run)."""
+        window_end = self.sim.now + self.stream_window
+        batch = stream.take_until(window_end)
+        register = self.metrics.register
+        call_at = self.sim.call_at
+        start_flow = self._start_flow
+        for spec in batch:
+            record = register(spec)
+            call_at(spec.arrival, start_flow, spec, record)
+        if batch:
+            self.stream_batches += 1
+        if not stream.exhausted:
+            next_arrival = stream.peek_arrival()
+            rearm = window_end
+            if next_arrival is not None and next_arrival > window_end:
+                rearm = next_arrival
+            call_at(rearm, self._admit_stream, stream)
+            return
+        self._pending_streams -= 1
+        if (self._pending_streams == 0 and self._quiet_active
+                and self.metrics.unfinished_count() == 0):
+            # the stream drained on an admission tick with nothing in
+            # flight: no completion hook will ever fire, so stop here
+            self.sim.stop()
 
     def _start_flow(self, spec: FlowSpec, record) -> None:
         src = self.host(spec.src)
@@ -210,14 +257,26 @@ class Network:
         ``sim.stop()`` inside the event that resolves the last flow, so
         the loop processes zero further events — no chunked polling, no
         idle spins on short workloads. ``sim.now`` is left at the
-        resolving event's timestamp."""
-        if not self.metrics.unfinished_count():
+        resolving event's timestamp.
+
+        While an open-system stream is still yielding flows the observer
+        holds its fire: a quiet gap between arrivals resolves every
+        *admitted* flow without ending the run."""
+        if not self.metrics.unfinished_count() and not self._pending_streams:
             return
-        unsubscribe = self.metrics.add_completion_observer(self.sim.stop)
+        unsubscribe = self.metrics.add_completion_observer(
+            self._stop_if_drained
+        )
+        self._quiet_active = True
         try:
             self.sim.run(until=deadline, max_events=max_events)
         finally:
+            self._quiet_active = False
             unsubscribe()
+
+    def _stop_if_drained(self) -> None:
+        if not self._pending_streams:
+            self.sim.stop()
 
     # -- diagnostics ---------------------------------------------------------------------------
 

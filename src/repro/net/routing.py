@@ -16,6 +16,11 @@ from repro.errors import RoutingError
 from repro.net.link import Link
 from repro.net.node import Node
 
+#: pinned-path cache bound (mirrors repro.flowsim.paths.PATH_CACHE_LIMIT):
+#: open-system streams route an unbounded sequence of fresh fids, so the
+#: cache clears instead of growing O(flows)
+PATH_CACHE_LIMIT = 4096
+
 
 def ecmp_hash(fid: int, node_id: int) -> int:
     """Deterministic 63-bit mix used for ECMP choice (stable across runs)."""
@@ -47,6 +52,8 @@ class Router:
         path = self._path_cache.get(key)
         if path is None:
             path = self._compute_path(fid, src_id, dst_id)
+            if len(self._path_cache) >= PATH_CACHE_LIMIT:
+                self._path_cache.clear()
             self._path_cache[key] = path
         return path
 

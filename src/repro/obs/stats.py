@@ -86,6 +86,7 @@ def harvest_packet_run(net) -> RunStats:
     )
     c["flows.pauses"] = net.flow_pauses
     c["flows.resumes"] = net.flow_resumes
+    c["net.stream_batches"] = getattr(net, "stream_batches", 0)
     pool = getattr(net, "pool", None)
     if pool is not None:
         c["net.pool_hits"] = pool.hits
@@ -107,6 +108,7 @@ def harvest_fluid_run(sim) -> RunStats:
     c["fluid.allocate_calls"] = sim.recomputations
     c["flows.pauses"] = sim.pauses
     c["flows.resumes"] = sim.resumes
+    c["fluid.stream_batches"] = getattr(sim, "stream_batches", 0)
     model = sim.model
     hits = getattr(model, "cache_hits", None)
     if hits is not None:

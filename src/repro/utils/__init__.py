@@ -3,6 +3,7 @@ containers and basic statistics helpers."""
 
 from repro.utils.ewma import Ewma, RttEstimator
 from repro.utils.rng import spawn_rng
+from repro.utils.sketch import QuantileSketch
 from repro.utils.sortedlist import SortedFlowList
 from repro.utils.stats import cdf_points, mean, percentile
 
@@ -10,6 +11,7 @@ __all__ = [
     "Ewma",
     "RttEstimator",
     "spawn_rng",
+    "QuantileSketch",
     "SortedFlowList",
     "cdf_points",
     "mean",

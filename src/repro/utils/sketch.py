@@ -1,0 +1,155 @@
+"""Mergeable streaming quantile sketch (KLL/MRL-style compactors).
+
+Open-system runs (``repro.workload.open_system``) resolve millions of
+flows; keeping every FCT just to read p99 off the sorted list is exactly
+the O(n)-memory habit the streaming collector exists to break. This
+sketch keeps a ladder of fixed-capacity buffers: level ``i`` holds
+values each standing in for ``2**i`` original samples. When a level
+fills it is sorted and every other element is promoted one level up, so
+total space is ``k * log2(n / k)`` — a few kilobytes at a million
+samples — while rank error stays a small fraction of ``n``.
+
+Determinism matters more here than the last half-percent of accuracy:
+the same input sequence must serialize to the same bytes on every run
+(result-store payloads are content-hashed). Instead of the randomized
+compaction offset of the published KLL sketch, compactions alternate a
+parity bit, which cancels adjacent compaction biases the same way in
+every run. Merging folds another sketch's levels in pairwise and then
+re-compacts, so sharded runs can be combined without reprocessing.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ExperimentError
+
+
+class QuantileSketch:
+    """Fixed-space quantile estimator over a stream of floats.
+
+    ``k`` is the per-level buffer capacity: space and accuracy both grow
+    with it (rank error is roughly ``1/k`` in practice). The exact
+    minimum and maximum are tracked separately, so ``quantile(0.0)`` and
+    ``quantile(1.0)`` are always exact.
+    """
+
+    __slots__ = ("k", "n", "levels", "min_value", "max_value", "_flip")
+
+    def __init__(self, k: int = 200):
+        if k < 8:
+            raise ExperimentError(f"sketch capacity k must be >= 8, got {k}")
+        self.k = k
+        self.n = 0
+        self.levels: list[list[float]] = [[]]
+        self.min_value: float | None = None
+        self.max_value: float | None = None
+        self._flip = 0
+
+    # -- ingest -----------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.n += 1
+        if self.min_value is None or value < self.min_value:
+            self.min_value = value
+        if self.max_value is None or value > self.max_value:
+            self.max_value = value
+        level0 = self.levels[0]
+        level0.append(value)
+        if len(level0) >= self.k:
+            self._compact(0)
+
+    def _compact(self, index: int) -> None:
+        """Promote half of a full level: sort, keep alternating elements
+        (parity flips per compaction so discard bias cancels), and push
+        the survivors — each now worth twice the weight — one level up."""
+        level = self.levels[index]
+        level.sort()
+        if index + 1 == len(self.levels):
+            self.levels.append([])
+        self._flip ^= 1
+        self.levels[index + 1].extend(level[self._flip :: 2])
+        level.clear()
+        if len(self.levels[index + 1]) >= self.k:
+            self._compact(index + 1)
+
+    def merge(self, other: "QuantileSketch") -> "QuantileSketch":
+        """Fold another sketch in (levels concatenate pairwise, then any
+        overfull level re-compacts); returns self."""
+        self.n += other.n
+        if other.min_value is not None and (
+            self.min_value is None or other.min_value < self.min_value
+        ):
+            self.min_value = other.min_value
+        if other.max_value is not None and (
+            self.max_value is None or other.max_value > self.max_value
+        ):
+            self.max_value = other.max_value
+        while len(self.levels) < len(other.levels):
+            self.levels.append([])
+        for i, level in enumerate(other.levels):
+            self.levels[i].extend(level)
+        for i in range(len(self.levels)):
+            if len(self.levels[i]) >= self.k:
+                self._compact(i)
+        return self
+
+    # -- queries -----------------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Value at quantile ``q`` in [0, 1] (0 -> exact min, 1 -> exact
+        max); raises on an empty sketch."""
+        if not 0.0 <= q <= 1.0:
+            raise ExperimentError(f"quantile must be in [0, 1], got {q}")
+        if self.n == 0 or self.min_value is None or self.max_value is None:
+            raise ExperimentError("quantile of an empty sketch")
+        if q == 0.0:
+            return self.min_value
+        if q == 1.0:
+            return self.max_value
+        weighted = [
+            (value, 1 << level_index)
+            for level_index, level in enumerate(self.levels)
+            for value in level
+        ]
+        if not weighted:  # everything compacted away (cannot happen with k>=8)
+            return self.max_value
+        weighted.sort()
+        total = sum(w for _, w in weighted)
+        target = q * total
+        cumulative = 0
+        for value, weight in weighted:
+            cumulative += weight
+            if cumulative >= target:
+                return min(max(value, self.min_value), self.max_value)
+        return self.max_value
+
+    def __len__(self) -> int:
+        return self.n
+
+    # -- serialization -----------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """Plain-data form (JSON-safe), inverse of :meth:`from_dict`.
+        Trailing empty levels are dropped so equal sketches serialize to
+        equal bytes regardless of compaction history."""
+        levels = list(self.levels)
+        while levels and not levels[-1]:
+            levels = levels[:-1]
+        return {
+            "k": self.k,
+            "n": self.n,
+            "min": self.min_value,
+            "max": self.max_value,
+            "flip": self._flip,
+            "levels": [list(level) for level in levels],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "QuantileSketch":
+        sketch = cls(k=data["k"])
+        sketch.n = data["n"]
+        sketch.min_value = data["min"]
+        sketch.max_value = data["max"]
+        sketch._flip = data.get("flip", 0)
+        sketch.levels = [list(level) for level in data["levels"]] or [[]]
+        return sketch

@@ -6,6 +6,8 @@ synthetic stand-ins for the two measured datacenter workloads.
 from repro.workload.arrivals import poisson_arrivals, simultaneous_arrivals
 from repro.workload.deadlines import exponential_deadlines
 from repro.workload.flow import FlowSpec
+from repro.workload.open_system import open_system, vl2_mixture_mean
+from repro.workload.stream import FlowStream
 from repro.workload.patterns import (
     aggregation_flows,
     random_permutation_flows,
@@ -18,6 +20,9 @@ from repro.workload.edu import edu1_flow_summaries
 
 __all__ = [
     "FlowSpec",
+    "FlowStream",
+    "open_system",
+    "vl2_mixture_mean",
     "aggregation_flows",
     "stride_flows",
     "staggered_flows",

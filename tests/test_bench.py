@@ -19,7 +19,14 @@ class TestHarness:
         assert "packet-aggregation" in names
         assert "packet-vl2" in names
         assert "packet-incast" in names
+        assert "stream-vl2" in names
+        assert "stream-vl2-packet" in names
         assert len(names) == len(set(names))
+
+    def test_stream_scenarios_cover_both_engines(self):
+        streaming = {s.name: s for s in SCENARIOS if s.streaming}
+        assert streaming["stream-vl2"].engine == "flow"
+        assert streaming["stream-vl2-packet"].engine == "packet"
 
     def test_both_engines_covered(self):
         engines = {s.engine for s in SCENARIOS}
@@ -87,6 +94,37 @@ class TestHarness:
         records = net.metrics.all_records()
         assert all(r.completed for r in records)
 
+    def test_streaming_scenario_skips_baseline_and_tracks_memory(self):
+        """A mini open-system cell through the full harness path: the
+        engine gets a streaming collector (so flow counts come from the
+        accumulators), the naive baseline is skipped even when requested,
+        and the tracemalloc pass records a peak."""
+        from repro.bench.harness import run_scenario
+        from repro.bench.scenarios import BenchScenario, build_stream_vl2
+        from repro.flowsim.rcp_model import RcpModel
+
+        def build(quick):
+            topo, stream = build_stream_vl2(2_000)
+            return (topo, RcpModel(), stream, stream.horizon)
+
+        scenario = BenchScenario(
+            name="stream-mini", description="mini stream cell",
+            build=build, params=lambda quick: {"n_flows": 2_000},
+            streaming=True,
+        )
+        r = run_scenario(scenario, quick=True, baseline=True)
+        assert r.flows > 1_000
+        assert r.completed > 1_000
+        assert r.flows_per_sec > 0
+        assert r.peak_mem_bytes > 0
+        assert r.baseline_elapsed_s is None
+        assert r.baseline_parity is None
+
+    def test_no_mem_skips_tracemalloc_pass(self):
+        results = run_bench(only=["fattree-multipath"], quick=True,
+                            baseline=False, measure_memory=False)
+        assert results[0].peak_mem_bytes is None
+
     def test_report_carries_engine_field(self, tmp_path):
         results = run_bench(only=["packet-aggregation"], quick=True)
         report = write_report(results, path=str(tmp_path / "b.json"),
@@ -102,12 +140,15 @@ class TestHarness:
         report = write_report(results, path=str(out), quick=True)
         on_disk = json.loads(out.read_text())
         assert on_disk == report
-        assert on_disk["schema"] == 1
+        assert on_disk["schema"] == 2
         assert on_disk["quick"] is True
         bench = on_disk["benchmarks"][0]
         for field in ("name", "params", "elapsed_s", "events_per_sec",
-                      "allocate_calls_per_sec", "flows", "completed"):
+                      "allocate_calls_per_sec", "flows", "flows_per_sec",
+                      "peak_mem_bytes", "completed"):
             assert field in bench
+        assert bench["peak_mem_bytes"] > 0
+        assert bench["flows_per_sec"] > 0
 
 
 class TestHistory:
@@ -121,12 +162,14 @@ class TestHistory:
         assert len(lines) == 2
         first = json.loads(lines[0])
         assert first == row
-        assert first["schema"] == 1
+        assert first["schema"] == 2
         assert first["quick"] is True
         bench = first["benchmarks"]["fattree-multipath"]
         assert bench["engine"] == "flow"
         assert bench["elapsed_s"] > 0
         assert bench["events_per_sec"] > 0
+        assert bench["flows_per_sec"] > 0
+        assert bench["peak_mem_bytes"] > 0
         assert "speedup" not in bench  # no baseline requested
 
     def test_history_row_carries_speedup_with_baseline(self, tmp_path):
