@@ -13,10 +13,12 @@ corrupting accounting at scale:
   normalized, and never releasing it is a silent leak.
 * **Acquire implies a reachable terminal sink.** A file set that
   acquires from a pool must contain at least one ``release`` call, and
-  when the real link/node modules are in the set their three documented
+  when the real link/node modules are in the set their documented
   terminal sinks (``Host.receive``, ``Link.enqueue`` on tail-drop,
-  ``Link._finish`` on wire loss) must still release — deleting one is
-  exactly the kind of "cleanup" a later refactor would try.
+  ``Link._finish`` on wire loss, and ``Link.fail`` — the fault
+  controller's drop path, which drains a failed link's queue) must
+  still release — deleting one is exactly the kind of "cleanup" a later
+  refactor would try.
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ CONSTRUCTION_ALLOWED = ("pool.py", "packet.py", "headers.py")
 REQUIRED_SINKS: tuple[tuple[str, str], ...] = (
     ("net/link.py", "enqueue"),
     ("net/link.py", "_finish"),
+    ("net/link.py", "fail"),
     ("net/node.py", "receive"),
 )
 

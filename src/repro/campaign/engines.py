@@ -133,7 +133,8 @@ def run_packet_level(
     protocol: str,
     flows: Sequence["FlowSpec"],
     sim_deadline: float = 2.0,
-    loss: tuple[str, str, float, int] | None = None,
+    loss: "tuple[str, str, float, int] | Sequence | None" = None,
+    faults: "Sequence | None" = None,
     network_config=None,
     n_subflows: int = 3,
     probes: Mapping[str, dict] | None = None,
@@ -143,10 +144,13 @@ def run_packet_level(
 ) -> "MetricsCollector":
     """Run one packet-level scenario and return its metrics.
 
-    ``loss`` is (node_a, node_b, rate, seed) for Fig 9's random wire loss.
-    ``probes``/``trace`` are the telemetry options (repro.obs); run
-    counters are always harvested into ``collector.stats`` — reading a
-    handful of ints after the run is free. ``metrics`` substitutes a
+    ``loss`` is either Fig 9's legacy (node_a, node_b, rate, seed) tuple
+    or a sequence of :class:`~repro.faults.spec.LossRule`; ``faults`` is
+    a sequence of :class:`~repro.faults.spec.FaultEvent` applied by a
+    :class:`~repro.faults.controller.FaultController` at their simulated
+    times. ``probes``/``trace`` are the telemetry options (repro.obs);
+    run counters are always harvested into ``collector.stats`` — reading
+    a handful of ints after the run is free. ``metrics`` substitutes a
     pre-built collector (the streaming-metrics mode rides in here).
     """
     from repro.net.network import Network
@@ -160,8 +164,13 @@ def run_packet_level(
     stack = make_stack(protocol, n_subflows=n_subflows, **pdq_overrides)
     net = Network(topology, stack, config=network_config, metrics=metrics)
     if loss is not None:
-        a, b, rate, seed = loss
-        net.set_loss(a, b, rate, seed=seed)
+        from repro.faults.controller import apply_loss
+
+        apply_loss(net, loss)
+    if faults:
+        from repro.faults.controller import FaultController
+
+        FaultController(net, faults).start()
     tracer = FlowTracer() if trace else None
     net.metrics.tracer = tracer
     attached = attach_packet_probes(net, probes) if probes else []
@@ -181,6 +190,7 @@ def run_flow_level(
     protocol: str,
     flows: Sequence["FlowSpec"],
     sim_deadline: float = 10.0,
+    faults: "Sequence | None" = None,
     probes: Mapping[str, dict] | None = None,
     trace: bool = False,
     metrics: "MetricsCollector | None" = None,
@@ -190,8 +200,9 @@ def run_flow_level(
 
     Telemetry mirrors :func:`run_packet_level`: same option names, same
     ``collector.stats`` / ``collector.probes`` / ``collector.trace``
-    shapes (plus the same ``metrics`` injection point), so studies switch
-    engines without touching their specs.
+    shapes (plus the same ``metrics`` injection point and the same
+    ``faults`` schedule semantics), so studies switch engines without
+    touching their specs.
     """
     from repro.flowsim.engine import FlowLevelSimulation
     from repro.obs import (
@@ -204,7 +215,7 @@ def run_flow_level(
     model = make_model(protocol, **pdq_overrides)
     header = {"RCP": 44, "D3": 52}.get(protocol, 56)
     sim = FlowLevelSimulation(topology, model, header_bytes=header,
-                              metrics=metrics)
+                              metrics=metrics, faults=faults)
     tracer = FlowTracer() if trace else None
     sim.metrics.tracer = tracer
     attached = attach_fluid_probes(sim, probes) if probes else []
@@ -244,8 +255,12 @@ def _packet_adapter(spec: "ScenarioSpec", topology: "Topology",
                     options: Mapping[str, Any]) -> "MetricsCollector":
     """ns-2-style packet engine: Network + transport endpoints + switches."""
     options, metrics = _pop_metrics(spec, options)
+    # the legacy loss tuple and faults.loss both run through the rule
+    # engine (spec.loss_rules resolves seeds); exact-name rules are
+    # bit-identical to the tuple path they replaced
     return run_packet_level(
-        topology, spec.protocol, flows, loss=spec.loss, metrics=metrics,
+        topology, spec.protocol, flows, loss=spec.loss_rules() or None,
+        faults=spec.fault_events() or None, metrics=metrics,
         **options
     )
 
@@ -257,7 +272,8 @@ def _flow_adapter(spec: "ScenarioSpec", topology: "Topology",
     """Fluid flow-level engine: rate model + event-driven allocator."""
     options, metrics = _pop_metrics(spec, options)
     return run_flow_level(
-        topology, spec.protocol, flows, metrics=metrics, **options
+        topology, spec.protocol, flows,
+        faults=spec.fault_events() or None, metrics=metrics, **options
     )
 
 

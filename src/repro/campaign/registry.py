@@ -22,6 +22,7 @@ from repro.errors import CampaignError
 from repro.topology.bcube import BCube
 from repro.topology.fattree import FatTree
 from repro.topology.jellyfish import Jellyfish
+from repro.topology.random_graph import RandomGraph
 from repro.topology.single_bottleneck import SingleBottleneck
 from repro.topology.single_rooted import SingleRootedTree
 
@@ -154,6 +155,13 @@ def _bcube(n: int = 2, k: int = None, n_servers: int = None):
 @register_topology("jellyfish")
 def _jellyfish(n_servers: int, seed: int = 1):
     return Jellyfish.for_servers(n_servers, seed=seed)
+
+
+@register_topology("random_graph")
+def _random_graph(n_switches: int, mean_degree: float = 3.0,
+                  hosts_per_switch: int = 2, seed: int = 1):
+    return RandomGraph(n_switches=n_switches, mean_degree=mean_degree,
+                       hosts_per_switch=hosts_per_switch, seed=seed)
 
 
 # -- builtin workload kinds ---------------------------------------------------------

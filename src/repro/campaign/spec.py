@@ -105,10 +105,14 @@ class ScenarioSpec:
     """One simulation run: protocol x topology x workload x seed x engine.
 
     ``sim_deadline=None`` means "use the engine's own default horizon".
-    ``loss`` is the packet engine's (node_a, node_b, rate, seed) random
-    wire-loss tuple. ``options`` carries engine/protocol keyword options
-    (``n_subflows``, PDQ config overrides like ``aging_rate`` or
-    ``criticality_mode``).
+    ``loss`` is the legacy packet-engine (node_a, node_b, rate, seed)
+    random wire-loss tuple, kept byte-identical in ``canonical()`` for
+    hash stability; new specs should prefer ``faults`` — a mapping with
+    an ``events`` schedule (link/switch down/up at simulated times, both
+    engines) and/or glob-matched ``loss`` rules (packet engine), see
+    :mod:`repro.faults.spec`. ``options`` carries engine/protocol
+    keyword options (``n_subflows``, PDQ config overrides like
+    ``aging_rate`` or ``criticality_mode``).
     """
 
     protocol: str
@@ -119,6 +123,7 @@ class ScenarioSpec:
     sim_deadline: float | None = None
     loss: tuple[str, str, float, int] | None = None
     options: Mapping[str, Any] = field(default_factory=dict)
+    faults: Mapping[str, Any] | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in engine_kinds():
@@ -141,12 +146,21 @@ class ScenarioSpec:
                     "loss must be (node_a, node_b, rate, seed)"
                 )
             object.__setattr__(self, "loss", loss)
+        if self.faults is not None:
+            from repro.faults.spec import canonical_faults
+
+            normalized = canonical_faults(self.faults)
+            if "loss" in normalized and self.engine != "packet":
+                raise CampaignError(
+                    "loss injection only exists in the packet engine"
+                )
+            object.__setattr__(self, "faults", normalized)
 
     # -- identity -----------------------------------------------------------------
 
     def canonical(self) -> dict[str, Any]:
         """Plain-data form; equal runs canonicalize identically."""
-        return {
+        data = {
             "protocol": self.protocol,
             "topology": self.topology.canonical(),
             "workload": self.workload.canonical(),
@@ -156,6 +170,10 @@ class ScenarioSpec:
             "loss": list(self.loss) if self.loss is not None else None,
             "options": _plain(self.options),
         }
+        if self.faults is not None:
+            # additive: fault-free specs keep their pre-faults key
+            data["faults"] = _plain(self.faults)
+        return data
 
     @property
     def key(self) -> str:
@@ -199,7 +217,38 @@ class ScenarioSpec:
             sim_deadline=data.get("sim_deadline"),
             loss=tuple(loss) if loss is not None else None,
             options=data.get("options", {}),
+            faults=data.get("faults"),
         )
+
+    # -- fault-injection views ------------------------------------------------------
+
+    def loss_rules(self) -> tuple:
+        """Every wire-loss rule this spec declares, as typed
+        :class:`~repro.faults.spec.LossRule` objects: the legacy tuple
+        (as an exact-name rule) followed by ``faults.loss`` rules, with
+        unseeded rules resolved to the scenario seed. This is the single
+        path the packet adapter feeds to the engine — fig 9's legacy
+        tuple runs through it bit-identically.
+        """
+        rules: list = []
+        if self.loss is not None:
+            from repro.faults.spec import legacy_loss_rule
+
+            rules.append(legacy_loss_rule(self.loss))
+        if self.faults is not None and "loss" in self.faults:
+            from repro.faults.spec import loss_rules_from
+
+            rules.extend(loss_rules_from(self.faults, default_seed=self.seed))
+        return tuple(rules)
+
+    def fault_events(self) -> tuple:
+        """The spec's scheduled fault events as typed
+        :class:`~repro.faults.spec.FaultEvent` objects (time-sorted)."""
+        if self.faults is None or "events" not in self.faults:
+            return ()
+        from repro.faults.spec import events_from
+
+        return events_from(self.faults)
 
     # -- functional updates -------------------------------------------------------
 

@@ -41,3 +41,9 @@ class CampaignError(ExperimentError):
     """Raised for invalid scenario specs, cache corruption, or failed
     campaign runs (subclasses :class:`ExperimentError` so experiment-level
     callers can catch either)."""
+
+
+class FaultError(CampaignError):
+    """Raised for malformed fault schedules or loss rules, or for fault
+    events naming links/switches the topology does not have (subclasses
+    :class:`CampaignError`: a bad ``faults`` field is an invalid spec)."""

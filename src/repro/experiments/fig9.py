@@ -13,6 +13,14 @@ spec's ``loss`` tuple carries the scenario *seed* (so loss draws are
 reproducible per seed), an axis coupling the declarative grid model
 does not express. The runners still execute every scenario through the
 ambient campaign runner, so they cache and fan out like any grid.
+
+The legacy 4-tuple is now sugar over :mod:`repro.faults` loss rules —
+the engine adapter turns it into one exact-name
+:class:`~repro.faults.spec.LossRule`, proven byte-identical to the
+pre-faults wire-loss path — so this figure exercises the generalized
+loss machinery on every run. New studies should prefer the spec's
+``faults`` field (glob rules, many links); the tuple stays for these
+pinned panel hashes.
 """
 
 from __future__ import annotations

@@ -89,6 +89,35 @@ def _p99_fct(collector: MetricsCollector) -> float:
     return collector.fct_percentile(99.0)
 
 
+# fault-injection counters (repro.faults): harvested into
+# ``collector.stats`` only when a scenario declares faults, so the
+# metrics default to 0 on fault-free runs
+
+
+@register_metric("reroutes")
+def _reroutes(collector: MetricsCollector) -> float:
+    """Flows re-pinned onto surviving paths after fault events."""
+    return float(collector.stats.get("faults.reroutes", 0))
+
+
+@register_metric("flows_rejected")
+def _flows_rejected(collector: MetricsCollector) -> float:
+    """Flows terminated because faults left them no route."""
+    return float(collector.stats.get("faults.flows_rejected", 0))
+
+
+@register_metric("fault_packets_dropped")
+def _fault_packets_dropped(collector: MetricsCollector) -> float:
+    """Packets released at failed links (packet engine only)."""
+    return float(collector.stats.get("faults.packets_dropped", 0))
+
+
+@register_metric("wire_losses")
+def _wire_losses(collector: MetricsCollector) -> float:
+    """Packets lost to random wire loss (loss rules / Fig 9)."""
+    return float(collector.stats.get("net.wire_losses", 0))
+
+
 # -- reducer registry ---------------------------------------------------------------
 
 _REDUCERS: dict[str, Callable] = {}

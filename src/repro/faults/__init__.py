@@ -1,0 +1,31 @@
+"""Fault injection: scheduled link/switch failures and generalized loss.
+
+Declared on :class:`~repro.campaign.spec.ScenarioSpec` via the ``faults``
+field (see :mod:`repro.faults.spec` for the schema), executed by the
+packet engine's :class:`~repro.faults.controller.FaultController` and the
+fluid engine's fault-epoch handling in
+:meth:`~repro.flowsim.engine.FlowLevelSimulation._run_stream`.
+"""
+
+from repro.faults.spec import (
+    ACTIONS,
+    FaultEvent,
+    LossRule,
+    canonical_faults,
+    events_from,
+    legacy_loss_rule,
+    loss_rules_from,
+)
+from repro.faults.controller import FaultController, apply_loss
+
+__all__ = [
+    "ACTIONS",
+    "FaultController",
+    "FaultEvent",
+    "LossRule",
+    "apply_loss",
+    "canonical_faults",
+    "events_from",
+    "legacy_loss_rule",
+    "loss_rules_from",
+]

@@ -1,0 +1,208 @@
+"""Packet-engine fault injection: scheduled outages and loss rules.
+
+The :class:`FaultController` registers one simulator event per scheduled
+:class:`~repro.faults.spec.FaultEvent`. Applying an event updates the
+controller's down sets, syncs every :class:`~repro.net.link.Link`'s
+``up`` flag (a failed link drains its queue into the
+:class:`~repro.net.pool.PacketPool` and refuses new packets),
+invalidates the :class:`~repro.net.routing.Router` caches, and reroutes
+every live flow whose pinned path crosses a failed link — or terminates
+it when the fault partitioned its endpoints. Packets already in flight
+on a stale path are dropped (and released) at the failed link; the
+transports' retransmission machinery recovers them on the new path.
+
+:func:`apply_loss` is the run-time half of the loss generalization: it
+configures random wire loss from :class:`~repro.faults.spec.LossRule`
+glob patterns (or the legacy 4-tuple, byte-identically).
+"""
+
+from __future__ import annotations
+
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING
+
+from repro.errors import FaultError, RoutingError
+from repro.faults.spec import LossRule, FaultEvent
+from repro.utils.rng import spawn_rng
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from collections.abc import Sequence
+    from repro.net.link import Link
+    from repro.net.network import Network
+
+
+def _pair(a: str, b: str) -> tuple[str, str]:
+    """Order-free undirected edge key."""
+    return (a, b) if a <= b else (b, a)
+
+
+class FaultController:
+    """Applies a fault schedule to a built :class:`Network`."""
+
+    def __init__(self, net: "Network", events: "Sequence[FaultEvent]"):
+        self.net = net
+        # stable sort: same-time events apply in declaration order
+        self.events = tuple(sorted(events, key=lambda e: e.time))
+        self.down_pairs: set[tuple[str, str]] = set()
+        self.down_switches: set[str] = set()
+        self.events_applied = 0
+        self.reroutes = 0
+        self.flows_rejected = 0
+        self._validate()
+        net.fault_controller = self
+
+    def _validate(self) -> None:
+        """Fail fast on events naming nodes/links the topology lacks."""
+        graph = self.net.topology.graph
+        for event in self.events:
+            if event.is_link:
+                if not graph.has_edge(event.a, event.b):
+                    raise FaultError(
+                        f"{event.action} at t={event.time}: no link "
+                        f"{event.a!r} -- {event.b!r} in the topology"
+                    )
+            else:
+                if event.a not in graph.nodes:
+                    raise FaultError(
+                        f"{event.action} at t={event.time}: no node "
+                        f"{event.a!r} in the topology"
+                    )
+
+    def start(self) -> None:
+        """Schedule every event at its simulated time."""
+        for event in self.events:
+            self.net.sim.call_at(event.time, self._apply, event)
+
+    # -- event application ---------------------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        if event.action == "link_down":
+            self.down_pairs.add(_pair(event.a, event.b))
+        elif event.action == "link_up":
+            self.down_pairs.discard(_pair(event.a, event.b))
+        elif event.action == "switch_down":
+            self.down_switches.add(event.a)
+        else:  # switch_up
+            self.down_switches.discard(event.a)
+        self.events_applied += 1
+        self._sync_links()
+        self.net.router.invalidate_routes()
+        self._reroute_live_flows()
+
+    def _link_should_be_up(self, link: "Link") -> bool:
+        src, dst = link.src.name, link.dst.name
+        if src in self.down_switches or dst in self.down_switches:
+            return False
+        return _pair(src, dst) not in self.down_pairs
+
+    def _sync_links(self) -> None:
+        """Reconcile every link's ``up`` flag with the down sets.
+
+        Derived from scratch rather than updated incrementally so
+        overlapping faults compose (a link downed both explicitly and
+        via its switch stays down until *both* are lifted).
+        """
+        for link in self.net.links:
+            should = self._link_should_be_up(link)
+            if link.up and not should:
+                link.fail()
+            elif not link.up and should:
+                link.restore()
+
+    def _reroute_live_flows(self) -> None:
+        """Re-pin the path of every registered flow that lost a link.
+
+        The sweep walks the hosts' sender registries (which include
+        M-PDQ subflows under their subflow fids), recomputes the pinned
+        forward path with the same fid-keyed ECMP hash, and mirrors the
+        exact reverse onto the receiver so scheduling state stays on the
+        round-trip path. Flows whose endpoints are now partitioned are
+        terminated — the open-system analogue of rejecting work when a
+        machine disappears.
+        """
+        net = self.net
+        router = net.router
+        for node in net.nodes:
+            senders = getattr(node, "senders", None)
+            if not senders:
+                continue
+            for fid, sender in list(senders.items()):
+                path = getattr(sender, "path", None)
+                if path is None or all(link.up for link in path):
+                    continue
+                try:
+                    forward = router.flow_path(fid, node.id, sender.dst_id)
+                except RoutingError:
+                    self._reject(fid, sender)
+                    continue
+                reverse = router.reverse_path(forward)
+                sender.path = forward
+                receiver = net.nodes[sender.dst_id].receivers.get(fid)
+                if receiver is not None:
+                    receiver.path = reverse
+                self.reroutes += 1
+
+    def _reject(self, fid: int, sender) -> None:
+        self.flows_rejected += 1
+        terminate = getattr(sender, "terminate", None)
+        if terminate is not None:
+            # explicit-rate transports: records the termination and
+            # sends TERM down the (dead) old path; the packets drop at
+            # the failed link and the close timer reaps the sender
+            terminate("fault: no route after failure")
+            return
+        # window-based transports (TCP) have no TERM; record and close
+        self.net.metrics.on_terminated(
+            fid, self.net.sim.now, "fault: no route after failure"
+        )
+        close = getattr(sender, "_close", None)
+        if close is not None:
+            close()
+
+    # -- diagnostics ---------------------------------------------------------------
+
+    def packets_dropped(self) -> int:
+        """Packets released at failed links (queue drains + in-flight)."""
+        return sum(link.fault_drops for link in self.net.links)
+
+
+# -- loss rules ---------------------------------------------------------------------
+
+
+def apply_loss(net: "Network",
+               loss: "tuple | Sequence[LossRule]") -> None:
+    """Configure random wire loss from rules or the legacy 4-tuple.
+
+    The legacy ``(node_a, node_b, rate, seed)`` tuple goes through
+    :meth:`Network.set_loss` unchanged. Rules are applied in order over
+    the links in link-id order, so later rules deterministically
+    override earlier ones on overlapping links; every link draws from
+    its own ``spawn_rng(seed, "loss:<link_id>")`` stream — the same
+    stream ``set_loss`` uses, which is what keeps an exact-name rule
+    bit-identical to the tuple it generalizes.
+    """
+    if isinstance(loss, tuple) and len(loss) == 4 and \
+            isinstance(loss[0], str):
+        a, b, rate, seed = loss
+        net.set_loss(a, b, rate, seed=seed)
+        return
+    for rule in loss:
+        if not isinstance(rule, LossRule):
+            raise FaultError(f"expected a LossRule, got {rule!r}")
+        matched = 0
+        for link in net.links:
+            src, dst = link.src.name, link.dst.name
+            hit = fnmatchcase(src, rule.src) and fnmatchcase(dst, rule.dst)
+            if not hit and rule.both_directions:
+                hit = (fnmatchcase(src, rule.dst)
+                       and fnmatchcase(dst, rule.src))
+            if hit:
+                link.set_loss(
+                    rule.rate, spawn_rng(rule.seed, f"loss:{link.link_id}")
+                )
+                matched += 1
+        if not matched:
+            raise FaultError(
+                f"loss rule {rule.src!r} -> {rule.dst!r} matches no link "
+                f"in the topology"
+            )

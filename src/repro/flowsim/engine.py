@@ -25,7 +25,7 @@ from __future__ import annotations
 import heapq
 from collections.abc import Sequence
 
-from repro.errors import ExperimentError
+from repro.errors import ExperimentError, FaultError, RoutingError
 from repro.flowsim.paths import GraphRouter
 from repro.flowsim.progress import FlowProgress
 from repro.metrics.collector import MetricsCollector
@@ -41,6 +41,11 @@ _PER_HOP_DELAY = 25 * USEC + 0.1 * USEC
 _INF = float("inf")
 
 
+def _name_pair(a: str, b: str) -> tuple[str, str]:
+    """Order-free undirected edge key (matches the FaultController's)."""
+    return (a, b) if a <= b else (b, a)
+
+
 class FlowLevelSimulation:
     """Runs a workload through a rate model over a topology."""
 
@@ -53,6 +58,7 @@ class FlowLevelSimulation:
         init_rtts: float = 2.0,
         refresh_interval: float = 1e-3,
         metrics: MetricsCollector | None = None,
+        faults: Sequence | None = None,
     ):
         if mtu <= header_bytes:
             raise ExperimentError("mtu must exceed header size")
@@ -80,6 +86,41 @@ class FlowLevelSimulation:
         #: scenario requested probes, so the default run pays one truth
         #: test per iteration
         self.samplers: list = []
+        #: fault injection (repro.faults.spec.FaultEvent schedule): fault
+        #: epochs splice into the streaming loop exactly like unadmitted
+        #: arrivals — the advance horizon never crosses the next event,
+        #: and due events reroute (or reject) flows before rates are
+        #: recomputed. Mirrors the packet engine's FaultController.
+        self.fault_events: tuple = tuple(
+            sorted(faults, key=lambda e: e.time)
+        ) if faults else ()
+        self._fault_idx = 0
+        self.fault_events_applied = 0
+        self.fault_reroutes = 0
+        self.flows_rejected = 0
+        #: name-level down state (mirrors FaultController's sets)
+        self._down_pairs: set[tuple[str, str]] = set()
+        self._down_switches: set[str] = set()
+        self._base_capacities: list[float] | None = (
+            list(self.capacities) if self.fault_events else None
+        )
+        if self.fault_events:
+            self._validate_fault_events()
+
+    def _validate_fault_events(self) -> None:
+        graph = self.topology.graph
+        for event in self.fault_events:
+            if event.is_link:
+                if not graph.has_edge(event.a, event.b):
+                    raise FaultError(
+                        f"{event.action} at t={event.time}: no link "
+                        f"{event.a!r} -- {event.b!r} in the topology"
+                    )
+            elif event.a not in graph.nodes:
+                raise FaultError(
+                    f"{event.action} at t={event.time}: no node "
+                    f"{event.a!r} in the topology"
+                )
 
     # -- setup helpers --------------------------------------------------------------
 
@@ -124,6 +165,16 @@ class FlowLevelSimulation:
             # below stays textually untouched so its float trajectories —
             # pinned bit-identical against the naive engine — cannot move
             return self._run_stream(flows, deadline, max_recomputations)
+        if self.fault_events:
+            # faulted closed runs ride the streaming loop too: it is the
+            # only loop with epoch splicing, and wrapping the sorted list
+            # keeps the parity-pinned closed path textually untouched.
+            # (Admission happens at arrival time, so flows arriving after
+            # ``deadline`` are never registered — keep fault scenarios'
+            # arrivals inside the deadline.)
+            ordered = sorted(flows, key=lambda s: s.arrival)
+            stream = FlowStream(iter(ordered), expected_flows=len(ordered))
+            return self._run_stream(stream, deadline, max_recomputations)
         pending = sorted(
             (self._make_progress(self.metrics.register(s).spec) for s in flows),
             key=lambda f: f.spec.arrival,
@@ -217,9 +268,12 @@ class FlowLevelSimulation:
             if self.now > deadline:
                 break
             self.iterations += 1
+            self._apply_due_faults(waiting, active)
             if not stream.exhausted:
                 if not active and not waiting:
-                    # idle gap: jump straight to the next arrival
+                    # idle gap: jump straight to the next arrival (due
+                    # faults are applied after the jump, before the
+                    # admitted flows compute their paths)
                     next_arrival = stream.peek_arrival()
                     if next_arrival is None:
                         continue
@@ -227,16 +281,24 @@ class FlowLevelSimulation:
                         break
                     if next_arrival > self.now:
                         self.now = next_arrival
+                        self._apply_due_faults(waiting, active)
                 self._admit_from_stream(stream, waiting)
             if not active and waiting:
                 # jump to the next transfer start, but never past an
-                # unadmitted arrival (its transfer start could precede it)
+                # unadmitted arrival (its transfer start could precede
+                # it) or a fault epoch (waiting flows may need rerouting
+                # or rejecting before they are promoted)
                 jump = waiting[0][0]
                 next_arrival = stream.peek_arrival()
                 if next_arrival is not None and next_arrival < jump:
                     jump = next_arrival
+                if self._fault_idx < len(self.fault_events):
+                    fault_time = self.fault_events[self._fault_idx].time
+                    if fault_time < jump:
+                        jump = fault_time
                 if jump > self.now:
                     self.now = jump
+                self._apply_due_faults(waiting, active)
                 if not stream.exhausted:
                     self._admit_from_stream(stream, waiting)
             self._promote(waiting, active, deadline_heap)
@@ -272,6 +334,12 @@ class FlowLevelSimulation:
                 next_arrival = stream.peek_arrival()
                 if next_arrival is not None and next_arrival < horizon:
                     horizon = next_arrival
+            if self._fault_idx < len(self.fault_events):
+                # never advance past a fault epoch: rates computed under
+                # the pre-fault topology must not integrate across it
+                fault_time = self.fault_events[self._fault_idx].time
+                if fault_time < horizon:
+                    horizon = fault_time
             dt = horizon - self.now
             if dt < 0:
                 raise ExperimentError("fluid engine time went backwards")
@@ -294,7 +362,11 @@ class FlowLevelSimulation:
                            waiting: list) -> None:
         """Admission step: pull every arrival inside the next refresh
         window into the waiting heap (register + on_start, exactly what
-        the closed path does up front). Runs once per main-loop pass."""
+        the closed path does up front). Runs once per main-loop pass.
+
+        Under fault injection an arrival may find its endpoints
+        partitioned; it is rejected (terminated on arrival) instead of
+        crashing the run, matching the packet engine."""
         batch = stream.take_until(self.now + self.refresh_interval)
         if not batch:
             return
@@ -304,13 +376,116 @@ class FlowLevelSimulation:
         make_progress = self._make_progress
         push = heapq.heappush
         seq = self._stream_admitted
+        faulted = bool(self.fault_events)
         for spec in batch:
             record = register(spec)
             on_start(spec.fid, spec.arrival)
-            flow = make_progress(record.spec)
+            if faulted:
+                try:
+                    flow = make_progress(record.spec)
+                except RoutingError:
+                    self.flows_rejected += 1
+                    self.metrics.on_terminated(
+                        spec.fid, self.now, "fault: unroutable at arrival"
+                    )
+                    seq += 1
+                    continue
+            else:
+                flow = make_progress(record.spec)
             push(waiting, (flow.transfer_start, seq, flow))
             seq += 1
         self._stream_admitted = seq
+
+    # -- fault epochs (repro.faults) ---------------------------------------------------
+
+    def _apply_due_faults(self, waiting: list, active: list) -> None:
+        """Apply every fault event scheduled at or before ``now``.
+
+        Updates the down sets, rebuilds the router's excluded-edge set
+        and the capacity vector, then re-pins the path of every admitted
+        flow that lost an edge — or terminates it when no route remains
+        (the fluid analogue of the packet FaultController's reroute
+        sweep; both use the same fid-keyed ECMP hash, so surviving flows
+        land on the same repaired paths).
+        """
+        events = self.fault_events
+        idx = self._fault_idx
+        if idx >= len(events) or events[idx].time > self.now:
+            return
+        while idx < len(events) and events[idx].time <= self.now:
+            event = events[idx]
+            idx += 1
+            if event.action == "link_down":
+                self._down_pairs.add(_name_pair(event.a, event.b))
+            elif event.action == "link_up":
+                self._down_pairs.discard(_name_pair(event.a, event.b))
+            elif event.action == "switch_down":
+                self._down_switches.add(event.a)
+            else:  # switch_up
+                self._down_switches.discard(event.a)
+        self.fault_events_applied += idx - self._fault_idx
+        self._fault_idx = idx
+
+        down_ids = set()
+        down_pairs = self._down_pairs
+        down_switches = self._down_switches
+        for (a, b), eid in self.router.edge_index.items():
+            if a in down_switches or b in down_switches \
+                    or _name_pair(a, b) in down_pairs:
+                down_ids.add(eid)
+        self.router.set_down_edges(down_ids)
+        base = self._base_capacities
+        capacities = self.capacities
+        for eid in range(len(capacities)):
+            capacities[eid] = 0.0 if eid in down_ids else base[eid]
+        self._reroute_fluid_flows(waiting, active, down_ids)
+
+    def _reroute_fluid_flows(self, waiting: list, active: list,
+                             down_ids: set[int]) -> None:
+        rerouted = 0
+        rejected = 0
+        for flow in active:
+            if any(eid in down_ids for eid in flow.path):
+                rerouted, rejected = self._repath_flow(
+                    flow, rerouted, rejected
+                )
+        for _, _, flow in waiting:
+            if any(eid in down_ids for eid in flow.path):
+                rerouted, rejected = self._repath_flow(
+                    flow, rerouted, rejected
+                )
+        if not rerouted and not rejected:
+            return
+        self.fault_reroutes += rerouted
+        self.flows_rejected += rejected
+        if rejected:
+            active[:] = [f for f in active if not f.departed]
+            waiting[:] = [entry for entry in waiting
+                          if not entry[2].departed]
+            heapq.heapify(waiting)
+        # cached comparator keys embed expected_tx, which moved with
+        # max_rate for every rerouted flow; models that keep key caches
+        # (PDQ) must rebuild them
+        invalidate = getattr(self.model, "invalidate_keys", None)
+        if invalidate is not None:
+            invalidate()
+
+    def _repath_flow(self, flow: FlowProgress, rerouted: int,
+                     rejected: int) -> tuple[int, int]:
+        spec = flow.spec
+        try:
+            path = self.router.flow_path_ids(spec.fid, spec.src, spec.dst)
+        except RoutingError:
+            flow.departed = True
+            self.metrics.on_terminated(
+                spec.fid, self.now, "fault: no route after failure"
+            )
+            return rerouted, rejected + 1
+        capacities = self.capacities
+        flow.path = path
+        flow.max_rate = min(capacities[eid] for eid in path)
+        flow.rtt = self._estimate_rtt(path)
+        return rerouted + 1, rejected
 
     # -- helpers ---------------------------------------------------------------------------
 

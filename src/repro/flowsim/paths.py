@@ -48,8 +48,27 @@ class GraphRouter:
         self._dist_cache: dict[str, dict[str, int]] = {}
         self._path_cache: dict[tuple[int, str, str], tuple[Edge, ...]] = {}
         self._path_ids_cache: dict[tuple[int, str, str], tuple[int, ...]] = {}
+        #: directed edge ids excluded from routing (fault injection);
+        #: always populated in symmetric pairs — both directions of a
+        #: failed cable — so the reversed-adjacency BFS stays correct
+        self._down_edges: frozenset[int] = frozenset()
 
     # -- public ---------------------------------------------------------------
+
+    def set_down_edges(self, edge_ids) -> None:
+        """Replace the failed-edge set and invalidate every cache.
+
+        Mirrors :meth:`repro.net.routing.Router.invalidate_routes` plus
+        the packet links' ``up`` flags in one call: the fluid engine has
+        no Link objects, so the router itself carries the down set.
+        """
+        down = frozenset(edge_ids)
+        if down == self._down_edges:
+            return
+        self._down_edges = down
+        self._dist_cache.clear()
+        self._path_cache.clear()
+        self._path_ids_cache.clear()
 
     def flow_path(self, fid: int, src: str, dst: str) -> tuple[Edge, ...]:
         key = (fid, src, dst)
@@ -106,11 +125,16 @@ class GraphRouter:
         dist = self._dist_cache.get(dst)
         if dist is not None:
             return dist
+        down = self._down_edges
         dist = {dst: 0}
         frontier = deque([dst])
         while frontier:
             node = frontier.popleft()
-            for _, neighbor in self._out[node]:
+            for eid, neighbor in self._out[node]:
+                if eid in down:
+                    # down sets are symmetric, so skipping the forward
+                    # id here equals skipping the reversed traversal
+                    continue
                 if neighbor not in dist:
                     dist[neighbor] = dist[node] + 1
                     frontier.append(neighbor)
@@ -123,13 +147,14 @@ class GraphRouter:
         dist = self._distances(dst)
         if src not in dist:
             raise RoutingError(f"no route {src} -> {dst}")
+        down = self._down_edges
         path: list[Edge] = []
         node = src
         while node != dst:
             here = dist[node]
             candidates = [
                 (lid, nb) for lid, nb in self._out[node]
-                if dist.get(nb, here) == here - 1
+                if lid not in down and dist.get(nb, here) == here - 1
             ]
             if not candidates:
                 raise RoutingError(f"routing dead-end at {node} toward {dst}")

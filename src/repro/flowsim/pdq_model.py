@@ -57,6 +57,15 @@ class PdqModel:
         self._incremental = True
         self._prev_keyed = None
 
+    def invalidate_keys(self) -> None:
+        """Drop every cached comparator key and the incremental-sort
+        state. The engine calls this at fault-epoch reroutes: a flow's
+        ``max_rate`` (and so ``expected_tx``) can change without its
+        ``remaining_wire`` moving, which is the one invalidation signal
+        the caches watch."""
+        self._key_cache.clear()
+        self._prev_keyed = None
+
     # -- criticality -------------------------------------------------------------
 
     def _criticality(self, flow: FlowProgress, now: float) -> float | None:

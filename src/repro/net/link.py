@@ -60,6 +60,12 @@ class Link:
         self._loss_rng: np.random.Generator | None = None
         self.wire_losses = 0
 
+        # fault state (repro.faults): a down link is a terminal sink —
+        # it refuses new packets and drops its in-flight transmission,
+        # releasing both into the pool
+        self.up = True
+        self.fault_drops = 0
+
         # statistics
         self.bytes_sent = 0
         self.packets_sent = 0
@@ -88,11 +94,39 @@ class Link:
         self.loss_rate = rate
         self._loss_rng = rng
 
+    def fail(self) -> None:
+        """Take the link down (fault injection).
+
+        New packets are refused at :meth:`enqueue` and queued packets
+        are drained here — both released into the pool, exactly like
+        tail-drops. An in-flight transmission cannot be cancelled (the
+        single-event pipeline keeps no handles); :meth:`_finish` drops
+        it when the serialization completes.
+        """
+        self.up = False
+        pool = self.pool
+        packet = self.queue.pop()
+        while packet is not None:
+            self.fault_drops += 1
+            if pool is not None:
+                pool.release(packet)
+            packet = self.queue.pop()
+
+    def restore(self) -> None:
+        """Bring the link back up; it resumes accepting packets."""
+        self.up = True
+
     # -- data path ---------------------------------------------------------------
 
     # repro: hot
     def enqueue(self, packet: Packet) -> bool:
-        """Accept a packet for transmission; False means it was tail-dropped."""
+        """Accept a packet for transmission; False means it was dropped
+        (tail-drop, or the link is down)."""
+        if not self.up:
+            self.fault_drops += 1
+            if self.pool is not None:
+                self.pool.release(packet)
+            return False
         if self._transmitting:
             if not self.queue.offer(packet):
                 if self.pool is not None:
@@ -145,6 +179,14 @@ class Link:
         sim = self.sim
         self._busy_accum += sim.now - self._tx_started
         self._transmitting = False
+        if not self.up:
+            # the link failed mid-transmission: the packet never reaches
+            # the far end. The queue was drained by fail() and enqueue
+            # refuses while down, so there is nothing to start next.
+            self.fault_drops += 1
+            if self.pool is not None:
+                self.pool.release(packet)
+            return
         self.bytes_sent += packet.size
         self.packets_sent += 1
         lost = (

@@ -10,7 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from collections.abc import Iterable, Sequence
 
-from repro.errors import TopologyError
+from repro.errors import RoutingError, TopologyError
 from repro.events.simulator import Simulator
 from repro.metrics.collector import MetricsCollector
 from repro.net.link import Link
@@ -61,6 +61,14 @@ class Network:
         #: preemption counters (senders report pause/resume transitions)
         self.flow_pauses = 0
         self.flow_resumes = 0
+
+        #: fault injection (repro.faults): set by FaultController when a
+        #: scenario declares scheduled failures; None in normal runs
+        self.fault_controller = None
+        #: flows refused at start because a fault partitioned their
+        #: endpoints (counted here; mid-run rejections count on the
+        #: controller)
+        self.flows_unroutable = 0
 
         #: open-system streaming state: admission window width, streams
         #: still yielding flows, and a count of non-empty admission pulls
@@ -238,7 +246,21 @@ class Network:
     def _start_flow(self, spec: FlowSpec, record) -> None:
         src = self.host(spec.src)
         dst = self.host(spec.dst)
-        fwd = self.router.flow_path(spec.fid, src.id, dst.id)
+        if self.fault_controller is not None:
+            # under fault injection a flow may arrive while the network
+            # is partitioned: reject it (terminate on arrival) instead
+            # of crashing the run — the scheduling-with-rejections
+            # regime the fault subsystem models
+            try:
+                fwd = self.router.flow_path(spec.fid, src.id, dst.id)
+            except RoutingError:
+                self.flows_unroutable += 1
+                self.metrics.on_terminated(
+                    spec.fid, self.sim.now, "fault: unroutable at arrival"
+                )
+                return
+        else:
+            fwd = self.router.flow_path(spec.fid, src.id, dst.id)
         rev = self.router.reverse_path(fwd)
         sender, receiver = self.stack.make_endpoints(self, spec, record, fwd, rev)
         sender.start()

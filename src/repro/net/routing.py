@@ -46,6 +46,16 @@ class Router:
 
     # -- public API ---------------------------------------------------------------
 
+    def invalidate_routes(self) -> None:
+        """Forget cached distances and pinned paths.
+
+        Called by the fault controller when links go down or come back:
+        the next ``flow_path`` recomputes over the surviving links, so a
+        rerouted flow gets a fresh pin instead of a stale cached one.
+        """
+        self._dist_cache.clear()
+        self._path_cache.clear()
+
     def flow_path(self, fid: int, src_id: int, dst_id: int) -> tuple[Link, ...]:
         """Pinned forward path for flow ``fid`` from src to dst."""
         key = (fid, src_id, dst_id)
@@ -89,7 +99,8 @@ class Router:
         incoming: dict[int, list[int]] = {nid: [] for nid in self._nodes}
         for nid, links in self._out_links.items():
             for link in links:
-                incoming[link.dst.id].append(nid)
+                if link.up:  # failed links carry no routes
+                    incoming[link.dst.id].append(nid)
         dist = {dst_id: 0}
         frontier = deque([dst_id])
         while frontier:
@@ -108,7 +119,7 @@ class Router:
         return [
             link
             for link in self._out_links[node_id]
-            if dist.get(link.dst.id, here) == here - 1
+            if link.up and dist.get(link.dst.id, here) == here - 1
         ]
 
     def _compute_path(self, fid: int, src_id: int, dst_id: int) -> tuple[Link, ...]:

@@ -92,6 +92,15 @@ def harvest_packet_run(net) -> RunStats:
         c["net.pool_hits"] = pool.hits
         c["net.pool_misses"] = pool.misses
         c["net.pool_size"] = pool.size
+    controller = getattr(net, "fault_controller", None)
+    if controller is not None:
+        # only under fault injection, so fault-free stored payloads are
+        # byte-identical to what they were before the subsystem existed
+        c["faults.events_applied"] = controller.events_applied
+        c["faults.reroutes"] = controller.reroutes
+        c["faults.flows_rejected"] = (controller.flows_rejected
+                                      + net.flows_unroutable)
+        c["faults.packets_dropped"] = controller.packets_dropped()
     return stats
 
 
@@ -114,4 +123,10 @@ def harvest_fluid_run(sim) -> RunStats:
     if hits is not None:
         c["fluid.comparator_cache_hits"] = hits
         c["fluid.comparator_cache_misses"] = model.cache_misses
+    if getattr(sim, "fault_events", ()):
+        # same conditional-emission rule as the packet harvest: the
+        # counters appear only when the scenario declared faults
+        c["faults.events_applied"] = sim.fault_events_applied
+        c["faults.reroutes"] = sim.fault_reroutes
+        c["faults.flows_rejected"] = sim.flows_rejected
     return stats

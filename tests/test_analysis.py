@@ -63,9 +63,10 @@ class TestRpl001PoolLifecycle:
     def test_removed_sink_releases_are_flagged(self):
         diags = run_checker("RPL001", fixture_ctx("rpl001_fail_sink"))
         messages = [d.message for d in diags]
-        assert len(diags) == 2
+        assert len(diags) == 3
         assert any("enqueue()" in m for m in messages)
         assert any("_finish()" in m for m in messages)
+        assert any("fail()" in m for m in messages)
 
     def test_raw_packet_added_to_real_transport_fails_lint(self, tmp_path):
         # the acceptance scenario: someone adds a raw Packet() to a

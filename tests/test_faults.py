@@ -1,0 +1,282 @@
+"""Fault injection (repro.faults): spec parsing, scheduled failures,
+reroute in both engines, pool-safe packet drops, and determinism.
+
+The subsystem's contracts, in the order the classes test them: the
+``faults`` spec field has a strict canonical form (additive — fault-free
+specs hash exactly as before); scheduled link/switch failures reroute
+live flows onto surviving paths in the packet AND fluid engines;
+packets in flight across a failed link are released back into the
+:class:`~repro.net.pool.PacketPool` (the RPL001 lifecycle contract
+extends to the fault drop path); loss rules and the ``random_graph``
+topology are seed-deterministic.
+"""
+
+import pytest
+
+from repro.campaign.engines import run_flow_level, run_packet_level
+from repro.campaign.spec import ScenarioSpec, TopologySpec, WorkloadSpec
+from repro.errors import CampaignError, FaultError, TopologyError
+from repro.faults import (
+    FaultEvent,
+    LossRule,
+    canonical_faults,
+    events_from,
+    legacy_loss_rule,
+    loss_rules_from,
+)
+from repro.topology.fattree import FatTree
+from repro.topology.random_graph import RandomGraph
+from repro.topology.single_bottleneck import SingleBottleneck
+from repro.units import KBYTE
+from repro.workload.flow import FlowSpec
+
+LINK_DOWN = {"events": [
+    {"time": 0.002, "action": "link_down", "a": "agg0_0", "b": "core0_0"},
+]}
+
+
+def _fattree_flows(n=8, size=200 * KBYTE):
+    """A deterministic half-permutation on the 16-server fat-tree."""
+    topo = FatTree.for_servers(16)
+    hosts = topo.hosts
+    flows = [
+        FlowSpec(fid=i, src=hosts[i], dst=hosts[(i + 5) % len(hosts)],
+                 size_bytes=size, arrival=0.0)
+        for i in range(n)
+    ]
+    return topo, flows
+
+
+# -- canonical form -----------------------------------------------------------------
+
+
+class TestFaultSpec:
+    def test_events_are_time_sorted_and_typed(self):
+        faults = canonical_faults({"events": [
+            {"time": 0.2, "action": "switch_down", "node": "sw1"},
+            {"time": 0.1, "action": "link_down", "a": "x", "b": "y"},
+        ]})
+        events = events_from(faults)
+        assert [e.time for e in events] == [0.1, 0.2]
+        assert events[0] == FaultEvent(0.1, "link_down", "x", "y")
+        assert events[0].is_link and not events[1].is_link
+
+    def test_loss_rule_defaults_resolve_at_run_time(self):
+        faults = canonical_faults(
+            {"loss": [{"src": "sw*", "dst": "*", "rate": 0.01}]}
+        )
+        # omitted seed stays omitted in the canonical form (it would
+        # otherwise bake one spec.seed into every sweep cell's hash) ...
+        assert "seed" not in faults["loss"][0]
+        # ... and resolves to the spec seed when rules are built
+        (rule,) = loss_rules_from(faults, default_seed=7)
+        assert rule == LossRule("sw*", "*", 0.01, 7, both_directions=True)
+
+    def test_legacy_tuple_maps_to_exact_rule(self):
+        rule = legacy_loss_rule(("sw0", "recv", 0.02, 9))
+        assert rule == LossRule("sw0", "recv", 0.02, 9,
+                                both_directions=True)
+
+    @pytest.mark.parametrize("bad", [
+        {},  # empty faults mapping is a spec error, not a no-op
+        {"events": []},
+        {"events": [{"time": 0.1, "action": "nuke", "a": "x", "b": "y"}]},
+        {"events": [{"time": 0.1, "action": "link_down", "a": "x"}]},
+        {"events": [{"time": 0.1, "action": "link_down",
+                     "a": "x", "b": "x"}]},
+        {"events": [{"time": -0.1, "action": "switch_down", "node": "s"}]},
+        {"events": [{"time": 0.1, "action": "switch_down", "node": "s",
+                     "extra": 1}]},
+        {"loss": [{"src": "a", "dst": "b", "rate": 1.5}]},
+        {"loss": [{"src": "a", "rate": 0.1}]},
+        {"unknown_section": []},
+    ])
+    def test_malformed_faults_are_rejected(self, bad):
+        with pytest.raises((FaultError, CampaignError)):
+            canonical_faults(bad)
+
+
+class TestSpecIntegration:
+    def _spec(self, **kw):
+        return ScenarioSpec(
+            protocol="PDQ(Full)",
+            topology=TopologySpec("fattree", {"n_servers": 16}),
+            workload=WorkloadSpec("fig8.permutation",
+                                  {"flows_per_server": 1}),
+            seed=1, sim_deadline=4.0, **kw,
+        )
+
+    def test_fault_free_hashes_are_unchanged(self):
+        # additive canonicalization: no faults -> no "faults" key, so
+        # every pre-subsystem stored result key still resolves
+        assert "faults" not in self._spec().canonical()
+        assert self._spec().key != self._spec(faults=LINK_DOWN).key
+
+    def test_faults_roundtrip_through_from_dict(self):
+        spec = self._spec(faults=LINK_DOWN)
+        again = ScenarioSpec.from_dict(spec.canonical())
+        assert again.key == spec.key
+        assert again.fault_events() == spec.fault_events()
+
+    def test_loss_rules_only_exist_in_the_packet_engine(self):
+        with pytest.raises(CampaignError, match="packet"):
+            self._spec(engine="flow",
+                       faults={"loss": [{"src": "a", "dst": "b",
+                                         "rate": 0.01}]})
+        # scheduled events are engine-agnostic
+        assert self._spec(engine="flow", faults=LINK_DOWN).fault_events()
+
+
+# -- packet engine ------------------------------------------------------------------
+
+
+class TestPacketFaults:
+    def test_link_down_reroutes_live_flows(self):
+        topo, flows = _fattree_flows()
+        events = events_from(canonical_faults(LINK_DOWN))
+        collector = run_packet_level(topo, "PDQ(Full)", flows,
+                                     sim_deadline=4.0, faults=events)
+        assert collector.completed_count() == len(flows)
+        assert collector.stats["faults.events_applied"] == 1
+        assert collector.stats["faults.reroutes"] > 0
+
+    def test_fault_counters_absent_without_faults(self):
+        topo, flows = _fattree_flows(n=2)
+        collector = run_packet_level(topo, "PDQ(Full)", flows,
+                                     sim_deadline=4.0)
+        assert not any(k.startswith("faults.") for k in collector.stats)
+
+    def test_unknown_link_name_is_a_fault_error(self):
+        topo, flows = _fattree_flows(n=2)
+        events = (FaultEvent(0.001, "link_down", "agg0_0", "nope"),)
+        with pytest.raises(FaultError, match="nope"):
+            run_packet_level(topo, "PDQ(Full)", flows,
+                             sim_deadline=4.0, faults=events)
+
+    def test_severed_flows_are_terminated_not_hung(self):
+        # the bottleneck fan-in has exactly one path per sender: cutting
+        # send0's access link strands that flow with no reroute
+        topo = SingleBottleneck(4)
+        flows = [FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                          size_bytes=400 * KBYTE, arrival=0.0)
+                 for i in range(4)]
+        events = (FaultEvent(0.0005, "link_down", "send0", "sw0"),)
+        collector = run_packet_level(topo, "PDQ(Full)", flows,
+                                     sim_deadline=4.0, faults=events)
+        assert collector.stats["faults.flows_rejected"] == 1
+        assert collector.completed_count() == 3
+
+    def test_in_flight_drops_release_into_the_pool(self):
+        from repro.net.network import Network
+        from repro.net.pool import PacketPool
+        from repro.faults.controller import FaultController
+        from repro.campaign.engines import make_stack
+
+        topo, flows = _fattree_flows()
+        net = Network(topo, make_stack("PDQ(Full)"))
+        pool = PacketPool(debug=True)
+        net.pool = pool
+        for node in net.nodes:
+            node.pool = pool
+        for link in net.links:
+            link.pool = pool
+        controller = FaultController(
+            net, events_from(canonical_faults(LINK_DOWN)))
+        controller.start()
+        net.launch(flows)
+        net.run_until_quiet(deadline=4.0)
+        # run_until_quiet stops at the last flow's resolution with ACK/
+        # TERM trailers still in flight; drain them before the audit
+        net.sim.run(until=4.0)
+        assert controller.packets_dropped() > 0
+        pool.assert_no_leaks()
+
+
+# -- fluid engine -------------------------------------------------------------------
+
+
+class TestFluidFaults:
+    def test_link_down_reroutes_live_flows(self):
+        topo, flows = _fattree_flows()
+        events = events_from(canonical_faults(LINK_DOWN))
+        collector = run_flow_level(topo, "PDQ(Full)", flows,
+                                   sim_deadline=4.0, faults=events)
+        assert collector.completed_count() == len(flows)
+        assert collector.stats["faults.events_applied"] == 1
+        assert collector.stats["faults.reroutes"] > 0
+
+    def test_unknown_switch_name_is_a_fault_error(self):
+        topo, flows = _fattree_flows(n=2)
+        events = (FaultEvent(0.001, "switch_down", "sw99"),)
+        with pytest.raises(FaultError, match="sw99"):
+            run_flow_level(topo, "PDQ(Full)", flows,
+                           sim_deadline=4.0, faults=events)
+
+    def test_severed_flows_are_terminated_not_hung(self):
+        topo = SingleBottleneck(4)
+        flows = [FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                          size_bytes=400 * KBYTE, arrival=0.0)
+                 for i in range(4)]
+        events = (FaultEvent(0.0005, "link_down", "send0", "sw0"),)
+        collector = run_flow_level(topo, "PDQ(Full)", flows,
+                                   sim_deadline=4.0, faults=events)
+        assert collector.stats["faults.flows_rejected"] == 1
+        assert collector.completed_count() == 3
+
+    def test_restored_link_admits_later_arrivals(self):
+        # flap send0's only link: a flow arriving during the outage is
+        # rejected, one arriving after link_up completes normally
+        topo = SingleBottleneck(2)
+        flows = [
+            FlowSpec(fid=0, src="send0", dst="recv",
+                     size_bytes=100 * KBYTE, arrival=0.002),
+            FlowSpec(fid=1, src="send0", dst="recv",
+                     size_bytes=100 * KBYTE, arrival=0.02),
+        ]
+        events = (FaultEvent(0.001, "link_down", "send0", "sw0"),
+                  FaultEvent(0.01, "link_up", "send0", "sw0"))
+        collector = run_flow_level(topo, "PDQ(Full)", flows,
+                                   sim_deadline=4.0, faults=events)
+        assert collector.completed_count() == 1
+        assert collector.stats["faults.flows_rejected"] == 1
+
+
+# -- determinism --------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def _run(self, loss):
+        topo = SingleBottleneck(4)
+        flows = [FlowSpec(fid=i, src=f"send{i}", dst="recv",
+                          size_bytes=200 * KBYTE, arrival=0.0)
+                 for i in range(4)]
+        return run_packet_level(topo, "TCP", flows, sim_deadline=4.0,
+                                loss=loss)
+
+    def test_loss_rules_are_seed_deterministic(self):
+        rule = (LossRule("sw0", "*", 0.02, 5),)
+        a, b = self._run(rule), self._run(rule)
+        assert a.stats["net.wire_losses"] > 0
+        assert a.to_dict() == b.to_dict()
+
+    def test_exact_rule_matches_legacy_tuple_bit_for_bit(self):
+        legacy = self._run(("send0", "sw0", 0.02, 5))
+        rule = self._run((LossRule("send0", "sw0", 0.02, 5),))
+        assert legacy.to_dict() == rule.to_dict()
+
+    def test_zero_match_rule_is_an_error(self):
+        with pytest.raises(FaultError, match="match"):
+            self._run((LossRule("no_such_node", "*", 0.01, 5),))
+
+    def test_random_graph_is_seed_deterministic(self):
+        def edges(seed):
+            return sorted(RandomGraph(n_switches=10, seed=seed).graph.edges())
+
+        assert edges(3) == edges(3)
+        assert edges(3) != edges(4)
+
+    def test_random_graph_validates_parameters(self):
+        with pytest.raises(TopologyError):
+            RandomGraph(n_switches=1)
+        with pytest.raises(TopologyError):
+            RandomGraph(n_switches=4, hosts_per_switch=0)

@@ -144,13 +144,16 @@ class TestPairGrids:
     def test_default_grid_covers_required_families(self):
         pairs = default_pairs(quick=True)
         families = {p.family for p in pairs}
-        assert families == {"edge", "fig3", "fig5", "fattree"}
+        assert families == {"edge", "fig3", "fig5", "fattree", "faults"}
         protocols = {p.protocol for p in pairs
                      if p.family in ("fig3", "fig5")}
         assert protocols == {"PDQ(Full)", "D3", "RCP"}
         fattree = [p for p in pairs if p.family == "fattree"]
         assert [p.protocol for p in fattree] == ["PDQ(Full)"]
         assert fattree[0].tolerance.fct_rtol == 0.6
+        faults = [p for p in pairs if p.family == "faults"]
+        assert [p.protocol for p in faults] == ["PDQ(Full)", "RCP"]
+        assert all(p.packet.faults is not None for p in faults)
 
     def test_full_grid_is_larger(self):
         assert len(default_pairs(quick=False)) > len(default_pairs(quick=True))
